@@ -1,0 +1,66 @@
+// R-F9 — Call blocking probability vs offered load (Erlang curve).
+//
+// VoIP calls arrive Poisson at the gateway mesh and hold exponentially;
+// each arrival runs the centralized admission control. Expected shape:
+// the blocking probability follows the classic Erlang knee — ~0 until the
+// offered load approaches the mesh's call capacity, then climbs steeply —
+// and the scheduler choice shifts the knee: the ILP (exploiting spatial
+// reuse and compact packing) carries at least as much load as greedy,
+// which in turn beats the naive round-robin ordering.
+
+#include "bench_util.h"
+#include "wimesh/qos/call_dynamics.h"
+
+using namespace wimesh;
+using namespace wimesh::bench;
+
+namespace {
+
+CallDynamicsResult run(const Topology& topo, double erlangs,
+                       SchedulerKind kind) {
+  CallDynamicsConfig cfg;
+  for (NodeId n = 1; n < topo.node_count(); ++n) {
+    cfg.endpoints.push_back({n, 0});
+  }
+  cfg.mean_holding_s = 120.0;
+  cfg.arrival_rate_per_s = erlangs / cfg.mean_holding_s;
+  cfg.horizon = SimTime::seconds(4000);
+  cfg.scheduler = kind;
+  EmulationParams params;
+  params.frame.frame_duration = SimTime::milliseconds(10);
+  params.frame.control_slots = 4;
+  params.frame.data_slots = 96;
+  params.guard_time = SimTime::microseconds(50);
+  return simulate_call_dynamics(topo, RadioModel(110.0, 220.0), params,
+                                PhyMode::ofdm_802_11a(54), cfg);
+}
+
+}  // namespace
+
+void panel(const char* title, const Topology& topo,
+           const std::vector<double>& loads) {
+  heading("R-F9", title);
+  row("%-9s | %10s %9s | %10s %9s | %10s %9s", "erlangs", "ilp_block",
+      "ilp_carry", "grd_block", "grd_carry", "rr_block", "rr_carry");
+  for (double erlangs : loads) {
+    const auto ilp = run(topo, erlangs, SchedulerKind::kIlpDelayAware);
+    const auto greedy = run(topo, erlangs, SchedulerKind::kGreedy);
+    const auto rr = run(topo, erlangs, SchedulerKind::kRoundRobin);
+    row("%-9.1f | %10.4f %9.2f | %10.4f %9.2f | %10.4f %9.2f", erlangs,
+        ilp.blocking_probability(), ilp.mean_carried_calls,
+        greedy.blocking_probability(), greedy.mean_carried_calls,
+        rr.blocking_probability(), rr.mean_carried_calls);
+  }
+}
+
+int main() {
+  // Grid: the per-node clique bound decides admission, so all schedulers
+  // coincide — the Erlang knee itself is the result here.
+  panel("call blocking vs offered load (grid-3x3 gateway, G.729)",
+        make_grid(3, 3, 100.0), {4.0, 8.0, 12.0, 16.0, 20.0, 28.0});
+  // Chain with spatial reuse: transmission ORDER now decides capacity, so
+  // the naive round-robin scheduler blocks earlier than greedy/ILP.
+  panel("call blocking vs offered load (chain-6 gateway, G.729)",
+        make_chain(6, 100.0), {4.0, 8.0, 12.0, 16.0, 20.0});
+  return 0;
+}

@@ -1,0 +1,52 @@
+// R-F6 — The frame-length trade-off.
+//
+// Sweeps the 802.16-style frame duration while holding minislot duration
+// (~100 us) fixed. Short frames bound delay tightly but over-provision:
+// a 20 ms-period G.729 call still needs a grant in EVERY 5 ms frame
+// (persistent per-frame grants), quadrupling its slot share. Long frames
+// amortize grants but each wrap costs a whole frame of delay. Expected
+// shape: admitted-call capacity rises with frame length (up to the codec
+// interval), while worst-case and measured delay rise roughly linearly
+// with frame length.
+
+#include "bench_util.h"
+
+using namespace wimesh;
+using namespace wimesh::bench;
+
+int main() {
+  heading("R-F6", "capacity and delay vs frame duration (chain-4, G.729)");
+  row("%-10s %7s %9s %10s %10s %10s", "frame_ms", "slots", "capacity",
+      "analyt_ms", "sim_p99", "sim_mean");
+  for (int frame_ms : {5, 10, 20, 40}) {
+    MeshConfig cfg = base_config(make_chain(4, 100.0));
+    cfg.emulation.frame.frame_duration = SimTime::milliseconds(frame_ms);
+    cfg.emulation.frame.control_slots = 4;
+    // Keep minislots at ~100 us so "a slot" means the same thing per row.
+    cfg.emulation.frame.data_slots = frame_ms * 10 - 4;
+
+    MeshNetwork net(cfg);
+    int id = 0;
+    for (int round = 0; round < 20; ++round) {
+      net.add_voip_call(id, 0, 3, VoipCodec::g729(),
+                        SimTime::milliseconds(150));
+      id += 2;
+    }
+    const std::size_t calls = net.admit_incrementally() / 2;
+    if (calls == 0) {
+      row("%-10d %7d %9s %10s %10s %10s", frame_ms,
+          cfg.emulation.frame.data_slots, "0", "-", "-", "-");
+      continue;
+    }
+    double analytic = 0.0;
+    for (const FlowPlan& f : net.plan().guaranteed) {
+      analytic = std::max(analytic, f.worst_case_delay.to_ms());
+    }
+    const SimulationResult r =
+        net.run(MacMode::kTdmaOverlay, SimTime::seconds(8));
+    row("%-10d %7d %9zu %10.1f %10.2f %10.2f", frame_ms,
+        cfg.emulation.frame.data_slots, calls, analytic,
+        worst_voip_p99_ms(r), r.mean_delay_ms());
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// R-T2 — ILP solve time and branch & bound effort vs network size.
+//
+// Times the pure feasibility ILP (heuristics disabled, so branch & bound
+// does the work) at the minimal feasible S on chains and grids, plus the
+// underlying simplex on the root relaxation. Expected shape: solve time
+// grows superlinearly with the number of conflicting link pairs (binary
+// variables); chains stay trivial while grids grow quickly — the reason
+// the paper treats the ILP as an offline/admission-time tool.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "wimesh/qos/planner.h"
+#include "wimesh/sched/conflict_graph.h"
+
+using namespace wimesh;
+using namespace wimesh::bench;
+
+namespace {
+
+SchedulingProblem chain_problem(NodeId n) {
+  const Topology topo = make_chain(n, 100.0);
+  MeshConfig cfg = base_config(topo);
+  QosPlanner planner(topo, RadioModel(cfg.comm_range, cfg.interference_range),
+                     cfg.emulation, cfg.phy);
+  const auto plan = planner.plan(
+      {FlowSpec::voip(0, 0, n - 1, VoipCodec::g729()),
+       FlowSpec::voip(1, n - 1, 0, VoipCodec::g729())},
+      SchedulerKind::kGreedy);
+  WIMESH_ASSERT(plan.has_value());
+  SchedulingProblem p;
+  p.links = plan->links;
+  p.demand = plan->guaranteed_demand;
+  p.conflicts = plan->conflicts;
+  for (const FlowPlan& f : plan->guaranteed) {
+    p.flows.push_back(FlowPath{f.links, f.delay_budget_frames});
+  }
+  return p;
+}
+
+SchedulingProblem grid_problem(NodeId side) {
+  const Topology topo = make_grid(side, side, 100.0);
+  MeshConfig cfg = base_config(topo);
+  QosPlanner planner(topo, RadioModel(cfg.comm_range, cfg.interference_range),
+                     cfg.emulation, cfg.phy);
+  const NodeId last = side * side - 1;
+  const auto plan = planner.plan(
+      {FlowSpec::voip(0, 0, last, VoipCodec::g729()),
+       FlowSpec::voip(1, last, 0, VoipCodec::g729()),
+       FlowSpec::voip(2, side - 1, last - side + 1, VoipCodec::g729())},
+      SchedulerKind::kGreedy);
+  WIMESH_ASSERT(plan.has_value());
+  SchedulingProblem p;
+  p.links = plan->links;
+  p.demand = plan->guaranteed_demand;
+  p.conflicts = plan->conflicts;
+  for (const FlowPlan& f : plan->guaranteed) {
+    p.flows.push_back(FlowPath{f.links, f.delay_budget_frames});
+  }
+  return p;
+}
+
+// slack = extra slots beyond the minimum. At slack 0 the feasibility
+// question is hardest (feasible orders are rare); a few slots of slack
+// collapse the tree. Reporting both regimes reproduces the paper's
+// observation that the exact ILP is an offline tool.
+void run_ilp(benchmark::State& state, const SchedulingProblem& p,
+             int slack) {
+  const auto probe = min_slots_search(p, 96);
+  WIMESH_ASSERT(probe.has_value());
+  const int s = probe->frame_slots + slack;
+
+  IlpSchedulerOptions opt;
+  opt.try_heuristics = false;  // time the branch & bound itself
+  opt.time_limit_seconds = 10.0;
+  opt.max_nodes = 2'000'000;
+  long nodes = 0, lp_iters = 0;
+  bool solved = true;
+  for (auto _ : state) {
+    auto r = schedule_ilp(p, s, opt);
+    if (!r.has_value()) {
+      solved = false;
+      state.SkipWithError("DNF: branch & bound limit (the tight-S wall)");
+      break;
+    }
+    nodes = r->ilp_nodes;
+    lp_iters = r->lp_iterations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["links"] = p.links.count();
+  state.counters["conflict_pairs"] = p.conflicts.edge_count();
+  state.counters["bnb_nodes"] = static_cast<double>(nodes);
+  state.counters["lp_pivots"] = static_cast<double>(lp_iters);
+  state.counters["slots"] = s;
+  state.counters["solved"] = solved ? 1 : 0;
+}
+
+void BM_IlpChainTightS(benchmark::State& state) {
+  const auto p = chain_problem(static_cast<NodeId>(state.range(0)));
+  run_ilp(state, p, /*slack=*/0);
+}
+
+void BM_IlpChainLooseS(benchmark::State& state) {
+  const auto p = chain_problem(static_cast<NodeId>(state.range(0)));
+  run_ilp(state, p, /*slack=*/4);
+}
+
+void BM_IlpGridLooseS(benchmark::State& state) {
+  const auto p = grid_problem(static_cast<NodeId>(state.range(0)));
+  run_ilp(state, p, /*slack=*/4);
+}
+
+void BM_RootLpRelaxation(benchmark::State& state) {
+  // Cost of one simplex solve on the chain relaxation (the unit of work
+  // branch & bound repeats per node).
+  const auto p = chain_problem(static_cast<NodeId>(state.range(0)));
+  const auto probe = min_slots_search(p, 96);
+  WIMESH_ASSERT(probe.has_value());
+  IlpSchedulerOptions opt;
+  opt.max_nodes = 1;
+  opt.try_heuristics = true;  // rounding path == root LP + reconstruction
+  for (auto _ : state) {
+    auto r = schedule_ilp(p, probe->frame_slots, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_IlpChainTightS)->Arg(4)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_IlpChainLooseS)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IlpGridLooseS)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RootLpRelaxation)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

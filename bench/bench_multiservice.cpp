@@ -1,0 +1,48 @@
+// R-F7 — Multi-service sharing: best-effort throughput vs VoIP load.
+//
+// A 3x3 grid offers a fixed 10 Mbit/s of best-effort transfer while the
+// number of admitted G.729 calls to the gateway grows. Expected shape:
+// best-effort goodput decreases roughly linearly as voice reserves more
+// minislots, while every admitted call's QoS stays intact (loss ~0, p99
+// under its bound) at every point — the "guaranteed + best effort"
+// coexistence the multi-service TDMA mesh is for.
+
+#include "bench_util.h"
+
+using namespace wimesh;
+using namespace wimesh::bench;
+
+int main() {
+  heading("R-F7",
+          "best-effort goodput vs number of guaranteed VoIP calls (grid-3x3)");
+  row("%-7s %10s %12s %11s %11s %11s", "calls", "admitted", "voip_slots",
+      "be_mbps", "voip_p99", "voip_loss");
+  for (int calls : {0, 2, 4, 8, 12, 16}) {
+    MeshConfig cfg = base_config(make_grid(3, 3, 100.0));
+    cfg.emulation.frame.frame_duration = SimTime::milliseconds(20);
+    cfg.emulation.frame.data_slots = 196;
+    MeshNetwork net(cfg);
+    int id = 0;
+    for (int c = 0; c < calls; ++c) {
+      const NodeId subscriber = 1 + static_cast<NodeId>(c) % 8;
+      net.add_voip_call(id, subscriber, 0, VoipCodec::g729(),
+                        SimTime::milliseconds(120));
+      id += 2;
+    }
+    net.add_flow(FlowSpec::best_effort(500, 2, 6, 1200, 5e6));
+    net.add_flow(FlowSpec::best_effort(501, 8, 0, 1200, 5e6));
+
+    const auto plan = net.compute_plan();
+    if (!plan.has_value()) {
+      row("%-7d %10s %12s %11s %11s %11s", calls, "reject", "-", "-", "-",
+          "-");
+      continue;
+    }
+    const SimulationResult r =
+        net.run(MacMode::kTdmaOverlay, SimTime::seconds(8));
+    row("%-7d %10d %12d %11.2f %11.2f %11.4f", calls, calls,
+        (*plan)->guaranteed_slots_used, best_effort_goodput_mbps(r),
+        worst_voip_p99_ms(r), worst_voip_loss(r));
+  }
+  return 0;
+}

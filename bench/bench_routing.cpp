@@ -1,0 +1,65 @@
+// R-A3 — Routing policy ablation: hop-count vs load-aware routing.
+//
+// On topologies with path diversity (ring, grid), spreading flows across
+// parallel routes relieves the conflict cliques around popular links and
+// admits more guaranteed calls. Expected shape: identical capacity on
+// chains (no diversity), a measurable gain on the ring and grid.
+
+#include "bench_util.h"
+
+using namespace wimesh;
+using namespace wimesh::bench;
+
+namespace {
+
+std::size_t capacity(Topology topo, double comm, RoutingPolicy routing,
+                     std::vector<std::pair<NodeId, NodeId>> endpoints) {
+  MeshConfig cfg = base_config(std::move(topo));
+  cfg.comm_range = comm;
+  cfg.interference_range = comm * 2;
+  cfg.routing = routing;
+  MeshNetwork net(cfg);
+  int id = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (const auto& [a, b] : endpoints) {
+      net.add_voip_call(id, a, b, VoipCodec::g729(),
+                        SimTime::milliseconds(100));
+      id += 2;
+    }
+  }
+  return net.admit_incrementally() / 2;
+}
+
+}  // namespace
+
+int main() {
+  heading("R-A3", "admitted G.729 calls: hop-count vs load-aware routing");
+  row("%-12s %12s %12s", "topology", "hop-count", "load-aware");
+
+  {
+    const auto calls = std::vector<std::pair<NodeId, NodeId>>{{0, 4}};
+    row("%-12s %12zu %12zu", "chain-5",
+        capacity(make_chain(5, 100.0), 110.0, RoutingPolicy::kHopCount,
+                 calls),
+        capacity(make_chain(5, 100.0), 110.0, RoutingPolicy::kLoadAware,
+                 calls));
+  }
+  {
+    const auto calls = std::vector<std::pair<NodeId, NodeId>>{{0, 4}};
+    row("%-12s %12zu %12zu", "ring-8",
+        capacity(make_ring(8, 160.0), 130.0, RoutingPolicy::kHopCount,
+                 calls),
+        capacity(make_ring(8, 160.0), 130.0, RoutingPolicy::kLoadAware,
+                 calls));
+  }
+  {
+    const auto calls =
+        std::vector<std::pair<NodeId, NodeId>>{{0, 8}, {2, 6}};
+    row("%-12s %12zu %12zu", "grid-3x3",
+        capacity(make_grid(3, 3, 100.0), 110.0, RoutingPolicy::kHopCount,
+                 calls),
+        capacity(make_grid(3, 3, 100.0), 110.0, RoutingPolicy::kLoadAware,
+                 calls));
+  }
+  return 0;
+}

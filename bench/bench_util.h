@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared helpers for the experiment benches (bench_* binaries): canonical
+// mesh configurations and small table-printing utilities. Each bench binary
+// regenerates one reconstructed table/figure from DESIGN.md §3 and prints
+// it as an aligned text table plus CSV-ish rows that EXPERIMENTS.md quotes.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wimesh/core/mesh_network.h"
+
+namespace wimesh::bench {
+
+// The canonical emulation parameters used across experiments unless a
+// bench sweeps them: 10 ms frame, 4 control + 96 data minislots (100 us
+// minislots), 802.11a @ 54 Mbps, 2x interference range.
+inline MeshConfig base_config(Topology topology) {
+  MeshConfig cfg;
+  cfg.topology = std::move(topology);
+  cfg.comm_range = 110.0;
+  cfg.interference_range = 220.0;
+  cfg.phy = PhyMode::ofdm_802_11a(54);
+  cfg.emulation.frame.frame_duration = SimTime::milliseconds(10);
+  cfg.emulation.frame.control_slots = 4;
+  cfg.emulation.frame.data_slots = 96;
+  return cfg;
+}
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Worst VoIP p99 delay (ms) across guaranteed flows; 0 when none measured.
+inline double worst_voip_p99_ms(const SimulationResult& r) {
+  double worst = 0.0;
+  for (const FlowResult& f : r.flows) {
+    if (f.spec.service != ServiceClass::kGuaranteed) continue;
+    if (f.stats.delays_ms().empty()) continue;
+    worst = std::max(worst, f.stats.delays_ms().quantile(0.99));
+  }
+  return worst;
+}
+
+inline double worst_voip_loss(const SimulationResult& r) {
+  double worst = 0.0;
+  for (const FlowResult& f : r.flows) {
+    if (f.spec.service != ServiceClass::kGuaranteed) continue;
+    worst = std::max(worst, f.stats.loss_rate());
+  }
+  return worst;
+}
+
+inline double mean_voip_jitter_ms(const SimulationResult& r) {
+  double sum = 0.0;
+  int n = 0;
+  for (const FlowResult& f : r.flows) {
+    if (f.spec.service != ServiceClass::kGuaranteed) continue;
+    if (f.stats.delivered_packets() == 0) continue;
+    sum += f.stats.mean_jitter_ms();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+inline double best_effort_goodput_mbps(const SimulationResult& r) {
+  double total = 0.0;
+  for (const FlowResult& f : r.flows) {
+    if (f.spec.service != ServiceClass::kBestEffort) continue;
+    total += f.stats.throughput_bps(r.measured_interval);
+  }
+  return total / 1e6;
+}
+
+}  // namespace wimesh::bench

@@ -1,0 +1,97 @@
+// Schedule explorer: visualizes what the delay-aware ILP actually decides.
+//
+// Builds a 6-node chain carrying one VoIP call end-to-end, prints the
+// conflict graph, then renders the minislot assignment of each scheduler
+// (delay-aware ILP, delay-unaware ILP, greedy, round-robin) as an ASCII
+// frame map together with each flow's frame-wrap count and worst-case
+// delay. This is the quickest way to *see* the paper's idea: same
+// bandwidth, different transmission order, very different delay.
+
+#include <cstdio>
+#include <string>
+
+#include "wimesh/qos/planner.h"
+
+using namespace wimesh;
+
+namespace {
+
+void render(const char* label, const MeshPlan& plan,
+            const EmulationParams& params) {
+  std::printf("\n%s (schedule length %d slots)\n", label,
+              plan.guaranteed_slots_used);
+  const int width = plan.schedule.used_slots();
+  for (LinkId l = 0; l < plan.links.count(); ++l) {
+    const auto g = plan.schedule.grant(l);
+    if (!g) continue;
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (int s = g->start; s < g->end(); ++s) {
+      bar[static_cast<std::size_t>(s)] = '#';
+    }
+    std::printf("  %d->%d  |%s|\n", plan.links.link(l).from,
+                plan.links.link(l).to, bar.c_str());
+  }
+  for (const FlowPlan& f : plan.guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    std::printf("  flow %d: wraps %d, worst-case delay %s (%s)\n", f.spec.id,
+                count_frame_wraps(plan.schedule, fp),
+                f.worst_case_delay.to_string().c_str(),
+                f.delay_bound_met ? "bound met" : "BOUND MISSED");
+  }
+  (void)params;
+}
+
+}  // namespace
+
+int main() {
+  EmulationParams params;
+  params.frame.frame_duration = SimTime::milliseconds(10);
+  params.frame.control_slots = 4;
+  params.frame.data_slots = 96;
+  params.guard_time = SimTime::microseconds(50);
+
+  const Topology topo = make_chain(6, 100.0);
+  const RadioModel radio(110.0, 220.0);
+  QosPlanner planner(topo, radio, params, PhyMode::ofdm_802_11a(54));
+
+  const std::vector<FlowSpec> flows{
+      FlowSpec::voip(0, 0, 5, VoipCodec::g729(), SimTime::milliseconds(60)),
+      FlowSpec::voip(1, 5, 0, VoipCodec::g729(), SimTime::milliseconds(60)),
+  };
+
+  // Conflict graph summary.
+  {
+    auto probe = planner.plan(flows, SchedulerKind::kGreedy);
+    if (!probe.has_value()) {
+      std::fprintf(stderr, "planning failed: %s\n", probe.error().c_str());
+      return 1;
+    }
+    std::printf("links: %d, conflict edges: %d\n", probe->links.count(),
+                probe->conflicts.edge_count());
+    for (EdgeId e = 0; e < probe->conflicts.edge_count(); ++e) {
+      const Link& a = probe->links.link(probe->conflicts.edge(e).u);
+      const Link& b = probe->links.link(probe->conflicts.edge(e).v);
+      std::printf("  (%d->%d) x (%d->%d)\n", a.from, a.to, b.from, b.to);
+    }
+  }
+
+  struct Entry {
+    const char* label;
+    SchedulerKind kind;
+  };
+  for (const Entry& entry :
+       {Entry{"delay-aware ILP (the paper)", SchedulerKind::kIlpDelayAware},
+        Entry{"delay-unaware ILP", SchedulerKind::kIlpDelayUnaware},
+        Entry{"greedy first-fit", SchedulerKind::kGreedy},
+        Entry{"round-robin", SchedulerKind::kRoundRobin}}) {
+    auto plan = planner.plan(flows, entry.kind);
+    if (!plan.has_value()) {
+      std::printf("\n%s: infeasible (%s)\n", entry.label,
+                  plan.error().c_str());
+      continue;
+    }
+    render(entry.label, *plan, params);
+  }
+  return 0;
+}

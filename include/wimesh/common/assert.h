@@ -1,0 +1,24 @@
+#pragma once
+
+// Contract checks. WIMESH_ASSERT is always on (simulation correctness beats
+// the negligible branch cost); failures print the condition and abort so a
+// broken invariant can never silently corrupt an experiment.
+
+#include <string_view>
+
+namespace wimesh::detail {
+[[noreturn]] void assert_fail(std::string_view cond, std::string_view file,
+                              int line, std::string_view msg);
+}  // namespace wimesh::detail
+
+#define WIMESH_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::wimesh::detail::assert_fail(#cond, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define WIMESH_ASSERT_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]]                                            \
+      ::wimesh::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));   \
+  } while (false)

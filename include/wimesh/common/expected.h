@@ -1,0 +1,66 @@
+#pragma once
+
+// Expected<T>: value-or-error-message result type.
+//
+// The toolchain (gcc 12, C++20) has no std::expected, so this is a minimal
+// stand-in used by fallible APIs (solvers, admission control, parsers) where
+// failure is an ordinary outcome rather than a bug. For bugs use
+// WIMESH_ASSERT.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh {
+
+// Distinguishes the error string from a T that may itself be a string.
+struct Unexpected {
+  std::string message;
+};
+
+inline Unexpected make_error(std::string message) {
+  return Unexpected{std::move(message)};
+}
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected err) : data_(std::in_place_index<1>, std::move(err)) {}
+
+  bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    WIMESH_ASSERT_MSG(has_value(), error_or_empty());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    WIMESH_ASSERT_MSG(has_value(), error_or_empty());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    WIMESH_ASSERT_MSG(has_value(), error_or_empty());
+    return std::move(std::get<0>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const std::string& error() const {
+    WIMESH_ASSERT(!has_value());
+    return std::get<1>(data_).message;
+  }
+
+ private:
+  std::string error_or_empty() const {
+    return has_value() ? std::string{} : std::get<1>(data_).message;
+  }
+  std::variant<T, Unexpected> data_;
+};
+
+}  // namespace wimesh

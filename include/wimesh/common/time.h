@@ -1,0 +1,73 @@
+#pragma once
+
+// Simulation time: a strong integer-nanosecond type.
+//
+// All modules express time as SimTime. Integer nanoseconds keep event
+// ordering exact (no floating-point drift across billions of events) while
+// giving ~292 years of range, far beyond any simulation horizon used here.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace wimesh {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime microseconds(std::int64_t us) {
+    return SimTime{us * 1000};
+  }
+  static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000'000};
+  }
+  // Converts a floating-point second count, rounding to the nearest ns.
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr std::int64_t operator/(SimTime o) const { return ns_ / o.ns_; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+  constexpr SimTime operator%(SimTime o) const { return SimTime{ns_ % o.ns_}; }
+  constexpr SimTime operator-() const { return SimTime{-ns_}; }
+
+  // Human-readable rendering with an adaptive unit, e.g. "2.5ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+}  // namespace wimesh

@@ -1,0 +1,119 @@
+#pragma once
+
+// Public facade: build a mesh, declare flows, compute the QoS plan
+// (routing + delay-aware TDMA schedule), then run packet-level simulations
+// under either MAC — the paper's TDMA-over-WiFi overlay or plain 802.11
+// DCF — and collect per-flow QoS results.
+//
+// Typical use (see examples/quickstart.cpp):
+//   MeshConfig cfg;
+//   cfg.topology = make_chain(5, 100.0);
+//   MeshNetwork net(cfg);
+//   net.add_voip_call(0, /*a=*/0, /*b=*/4, VoipCodec::g729());
+//   auto plan = net.compute_plan();                 // admission + schedule
+//   SimulationResult r = net.run(MacMode::kTdmaOverlay, SimTime::seconds(10));
+
+#include <memory>
+#include <vector>
+
+#include "wimesh/common/expected.h"
+#include "wimesh/metrics/flow_stats.h"
+#include "wimesh/qos/planner.h"
+#include "wimesh/sync/sync.h"
+
+namespace wimesh {
+
+enum class MacMode {
+  kTdmaOverlay,  // the paper's system: scheduled slots over zero-backoff WiFi
+  kDcf,          // baseline: plain 802.11 CSMA/CA forwarding
+  kEdca,         // baseline: 802.11e prioritized CSMA/CA (voice > best effort)
+};
+
+struct MeshConfig {
+  Topology topology;
+  double comm_range = 110.0;
+  double interference_range = 220.0;
+  PhyMode phy = PhyMode::ofdm_802_11a(54);
+  EmulationParams emulation;  // frame layout + guard time
+  SyncConfig sync;
+  // When true the guard time is derived from the sync error bound at the
+  // mesh diameter instead of emulation.guard_time.
+  bool auto_guard = true;
+  double packet_error_rate = 0.0;
+  // RTS/CTS handshake + NAV for kDcf runs (hidden-terminal mitigation).
+  bool dcf_rts_cts = false;
+  SchedulerKind scheduler = SchedulerKind::kIlpDelayAware;
+  RoutingPolicy routing = RoutingPolicy::kHopCount;
+  IlpSchedulerOptions ilp;
+  std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+  FlowSpec spec;
+  FlowStats stats;
+  SimTime planned_worst_delay{};  // analytic bound (guaranteed flows)
+  bool delay_bound_met = false;   // analytic check (guaranteed flows)
+};
+
+struct SimulationResult {
+  SimTime measured_interval{};
+  std::vector<FlowResult> flows;
+  // Channel / overlay diagnostics.
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t receptions_corrupted = 0;
+  std::uint64_t mac_drops = 0;
+  std::uint64_t overlay_busy_at_slot_start = 0;
+
+  double aggregate_throughput_bps() const;
+  double mean_delay_ms() const;
+  double max_loss_rate() const;
+  const FlowResult* find_flow(int flow_id) const;
+};
+
+class MeshNetwork {
+ public:
+  explicit MeshNetwork(MeshConfig config);
+
+  // Flow declaration (before compute_plan).
+  void add_flow(FlowSpec spec);
+  // A VoIP call is a pair of opposite guaranteed flows with ids
+  // (id_base, id_base + 1).
+  void add_voip_call(int id_base, NodeId a, NodeId b, const VoipCodec& codec,
+                     SimTime max_delay = SimTime::milliseconds(100));
+
+  // Routes, sizes demands, runs the configured scheduler, fits best-effort
+  // capacity and verifies delay bounds. Must succeed before run() in
+  // kTdmaOverlay mode.
+  Expected<const MeshPlan*> compute_plan();
+
+  // Longest admissible prefix of the declared flows (VoIP capacity
+  // experiments). Leaves that prefix installed as the active plan and
+  // returns how many flows were admitted.
+  std::size_t admit_incrementally();
+
+  // Replaces the active plan's schedule with an externally built one over
+  // the same links (order-ablation experiments). Per-flow worst-case delay
+  // analytics are recomputed against the new schedule.
+  void override_schedule(MeshSchedule schedule);
+
+  // Packet-level simulation for `duration` of traffic plus a drain period.
+  SimulationResult run(MacMode mode, SimTime duration,
+                       SimTime drain = SimTime::milliseconds(500));
+
+  const MeshPlan& plan() const {
+    WIMESH_ASSERT_MSG(has_plan_, "compute_plan() has not succeeded");
+    return plan_;
+  }
+  const MeshConfig& config() const { return config_; }
+  // Guard time actually in use (after auto_guard resolution).
+  SimTime effective_guard() const { return config_.emulation.guard_time; }
+
+ private:
+  MeshConfig config_;
+  QosPlanner planner_;
+  std::vector<FlowSpec> flows_;
+  MeshPlan plan_;
+  bool has_plan_ = false;
+};
+
+}  // namespace wimesh

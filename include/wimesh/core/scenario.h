@@ -1,0 +1,53 @@
+#pragma once
+
+// Text scenario format: one file describes a complete experiment —
+// topology, radio, frame layout, scheduler, traffic mix, MAC and duration —
+// so studies can be driven without recompiling (examples/wimesh_run.cpp).
+//
+//   # lines starting with '#' are comments; keys are 'key = value'
+//   topology = grid 3 3 100          # chain N S | grid R C S | ring N R |
+//                                    # random N SIDE RANGE SEED | tree A D S
+//   comm_range = 110
+//   interference_range = 220
+//   phy = ofdm54                     # ofdm{6,9,12,18,24,36,48,54},
+//                                    # dsss{1,2,5,11}
+//   frame_ms = 10
+//   control_slots = 4
+//   data_slots = 96
+//   guard_us = auto                  # 'auto' or microseconds
+//   scheduler = ilp-delay            # ilp-delay|ilp-nodelay|greedy|round-robin
+//   routing = hop                    # hop | load-aware
+//   mac = tdma                       # tdma | dcf | edca
+//   duration_s = 10
+//   seed = 1
+//
+//   # traffic declarations (one per line):
+//   voip <id> <a> <b> <codec> <max_delay_ms>    # bidirectional call
+//   video <id> <src> <dst> <mean_bps>           # rtPS-style VBR stream
+//   bulk <id> <src> <dst> <bytes> <rate_bps>    # best-effort Poisson
+
+#include <string>
+#include <vector>
+
+#include "wimesh/common/expected.h"
+#include "wimesh/core/mesh_network.h"
+
+namespace wimesh {
+
+struct Scenario {
+  MeshConfig config;
+  std::vector<FlowSpec> flows;
+  MacMode mac = MacMode::kTdmaOverlay;
+  SimTime duration = SimTime::seconds(10);
+};
+
+// Parses the text form; returns a message naming the offending line on
+// failure. Unknown keys are errors (typos should not silently change an
+// experiment).
+Expected<Scenario> parse_scenario(const std::string& text);
+
+// Renders a human-readable per-flow report of a finished run.
+std::string format_report(const Scenario& scenario,
+                          const SimulationResult& result);
+
+}  // namespace wimesh

@@ -1,0 +1,88 @@
+#pragma once
+
+// Discrete-event simulation kernel.
+//
+// A single-threaded event queue with integer-nanosecond timestamps and FIFO
+// tie-breaking, so runs are deterministic given the same inputs. All MAC,
+// traffic and synchronization models in this repo are processes driven by
+// this kernel.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wimesh/common/assert.h"
+#include "wimesh/common/time.h"
+
+namespace wimesh {
+
+// Identifies a scheduled event so it can be cancelled. Handles are never
+// reused within one Simulator.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn at absolute time t (must not be in the past).
+  EventHandle schedule_at(SimTime t, EventFn fn);
+
+  // Schedules fn `delay` after now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; cancelling an already-fired or already-
+  // cancelled event is a harmless no-op.
+  void cancel(EventHandle h);
+
+  // Runs until the queue drains or `horizon` is reached (events at exactly
+  // `horizon` are executed). The clock ends at min(horizon, last event).
+  void run_until(SimTime horizon);
+
+  // Runs until the queue drains completely.
+  void run_all();
+
+  // Requests that the run loop stop after the current event returns.
+  void stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO order among same-time events
+    std::uint64_t id;
+    // Ordering for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void execute_next();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, EventFn> handlers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace wimesh

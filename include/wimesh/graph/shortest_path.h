@@ -1,0 +1,48 @@
+#pragma once
+
+// Shortest-path algorithms over Digraph.
+
+#include <optional>
+#include <vector>
+
+#include "wimesh/graph/graph.h"
+
+namespace wimesh {
+
+struct ShortestPathTree {
+  // dist[v] — shortest distance from the source (infinity if unreachable).
+  std::vector<double> dist;
+  // parent_arc[v] — arc used to reach v in the tree (kInvalidEdge at the
+  // source and at unreachable nodes).
+  std::vector<EdgeId> parent_arc;
+
+  bool reachable(NodeId v) const;
+  // Node sequence src…dst; empty if dst is unreachable.
+  std::vector<NodeId> path_to(const Digraph& g, NodeId dst) const;
+};
+
+// Dijkstra. Requires all arc weights >= 0.
+ShortestPathTree dijkstra(const Digraph& g, NodeId src);
+
+struct BellmanFordResult {
+  // Filled only when no negative cycle is reachable from the source.
+  ShortestPathTree tree;
+  bool has_negative_cycle = false;
+  // A witness cycle (arc ids, in order) when has_negative_cycle.
+  std::vector<EdgeId> negative_cycle;
+};
+
+// Bellman–Ford from src; handles negative weights and reports a reachable
+// negative cycle if one exists.
+BellmanFordResult bellman_ford(const Digraph& g, NodeId src);
+
+// Solves the system of difference constraints  x[to] - x[from] <= weight
+// (one inequality per arc) by running Bellman–Ford from a virtual source
+// connected to every node with weight 0. Returns a feasible assignment with
+// all values <= 0, or nullopt if the system is infeasible (the constraint
+// graph has a negative cycle). This is the standard order→slot-offset step
+// of delay-aware TDMA scheduling.
+std::optional<std::vector<double>> solve_difference_constraints(
+    const Digraph& g);
+
+}  // namespace wimesh

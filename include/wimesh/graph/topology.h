@@ -1,0 +1,56 @@
+#pragma once
+
+// Mesh topology generators.
+//
+// A Topology is a connectivity graph plus 2-D node positions (metres); the
+// positions feed the PHY interference model and make experiments plottable.
+// Generators cover the layouts used throughout the evaluation: chains (worst
+// case for end-to-end delay), grids (typical community mesh), random
+// geometric graphs (irregular deployments) and trees rooted at a gateway
+// (the 802.16 mesh overlay-tree case).
+
+#include <cstdint>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/graph/graph.h"
+
+namespace wimesh {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+struct Topology {
+  Graph graph;
+  std::vector<Point> positions;  // indexed by NodeId
+
+  NodeId node_count() const { return graph.node_count(); }
+};
+
+// n nodes in a line, consecutive nodes `spacing` metres apart and connected.
+Topology make_chain(NodeId n, double spacing = 100.0);
+
+// n nodes on a circle, consecutive nodes connected.
+Topology make_ring(NodeId n, double radius = 200.0);
+
+// rows x cols lattice with 4-neighbour connectivity.
+Topology make_grid(NodeId rows, NodeId cols, double spacing = 100.0);
+
+// n nodes uniform in a side x side square; nodes within `range` metres are
+// connected. Re-draws (up to a bounded number of attempts) until the graph
+// is connected; asserts if connectivity is unattainable.
+Topology make_random_geometric(NodeId n, double side, double range, Rng& rng);
+
+// Balanced tree: each node has `arity` children, `depth` levels below the
+// root (root = node 0, the gateway). Positions are laid out by level.
+Topology make_tree(NodeId arity, NodeId depth, double spacing = 100.0);
+
+// Breadth-first spanning tree of `g` rooted at `root`, returned as
+// parent[v] (kInvalidNode for the root). Requires g connected.
+std::vector<NodeId> spanning_tree_parents(const Graph& g, NodeId root);
+
+}  // namespace wimesh

@@ -1,0 +1,97 @@
+#pragma once
+
+// Integer linear programming via branch & bound on the simplex LP relaxation
+// (wimesh/lp). Supports the binary "transmission order" programs the paper's
+// scheduler solves, plus general bounded integers.
+//
+// Typical use by the scheduler:
+//   IlpModel m;
+//   VarId o = m.add_binary("order_ab");
+//   VarId s = m.add_continuous(0, frame_slots, 0.0, "start_ab");
+//   m.add_constraint({{s, 1.0}, {o, big_m}}, RowSense::kLessEqual, rhs);
+//   IlpResult r = solve_ilp(m, opts);
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wimesh/lp/lp.h"
+
+namespace wimesh {
+
+class IlpModel {
+ public:
+  // Continuous variable with bounds [lo, up] and objective coefficient obj.
+  VarId add_continuous(double lo, double up, double obj,
+                       std::string name = "");
+
+  // Integer variable with inclusive bounds [lo, up].
+  VarId add_integer(double lo, double up, double obj, std::string name = "");
+
+  // Binary {0, 1} variable.
+  VarId add_binary(double obj = 0.0, std::string name = "");
+
+  RowId add_constraint(const std::vector<LpTerm>& terms, RowSense sense,
+                       double rhs, std::string name = "") {
+    return lp_.add_constraint(terms, sense, rhs, std::move(name));
+  }
+
+  void set_objective_sense(ObjSense sense) { lp_.set_objective_sense(sense); }
+
+  const LpModel& lp() const { return lp_; }
+  LpModel& lp() { return lp_; }
+  const std::vector<VarId>& integer_vars() const { return integer_vars_; }
+  bool is_integer_var(VarId v) const;
+
+  // Branching priority (higher = branched earlier among fractional
+  // variables; default 0). Letting the modeller mark the most constraining
+  // binaries cuts tree size dramatically on disjunctive programs.
+  void set_branch_priority(VarId v, double priority);
+  double branch_priority(VarId v) const;
+
+  int variable_count() const { return lp_.variable_count(); }
+  int constraint_count() const { return lp_.constraint_count(); }
+
+ private:
+  LpModel lp_;
+  std::vector<VarId> integer_vars_;
+  std::vector<double> priorities_;  // parallel to lp_ variables
+};
+
+enum class IlpStatus {
+  kOptimal,       // proven optimal incumbent
+  kFeasible,      // incumbent found but search stopped early (limits)
+  kInfeasible,    // proven: no integer-feasible point
+  kLimitReached,  // limits hit with no incumbent — feasibility unknown
+};
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::kLimitReached;
+  double objective = 0.0;       // incumbent objective (when an incumbent exists)
+  std::vector<double> x;        // incumbent point (integers snapped exactly)
+  long nodes_explored = 0;
+  long lp_iterations = 0;       // total simplex pivots across all nodes
+  double best_bound = 0.0;      // proven bound on the optimum
+
+  bool has_solution() const {
+    return status == IlpStatus::kOptimal || status == IlpStatus::kFeasible;
+  }
+};
+
+struct IlpOptions {
+  long max_nodes = 200'000;
+  double time_limit_seconds = 60.0;
+  // Stop as soon as any integer-feasible point is found. This is what the
+  // schedule-length linear search uses: each stage is a pure feasibility
+  // program.
+  bool stop_at_first_feasible = false;
+  double integrality_tol = 1e-6;
+  // Prune nodes whose LP bound cannot beat the incumbent by more than this
+  // (set to ~1 when the objective is integral to prune aggressively).
+  double objective_gap_tol = 1e-9;
+  LpOptions lp;
+};
+
+IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options = {});
+
+}  // namespace wimesh

@@ -1,0 +1,124 @@
+#pragma once
+
+// Linear programming substrate.
+//
+// The paper's scheduler solves binary integer programs; no external solver
+// (CBC/GLPK/CPLEX) is available offline, so this module implements the LP
+// relaxation engine from scratch: a dense two-phase primal simplex with
+// general variable bounds (so binary 0/1 bounds cost nothing extra), bound
+// flips, and Bland anti-cycling fallback. The ILP branch & bound in
+// wimesh/ilp sits on top.
+//
+// Problem form:
+//   minimize / maximize   c'x
+//   subject to            lhs_i : a_i'x (<= | = | >=) rhs_i
+//                         lo_j <= x_j <= up_j   (either side may be infinite)
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh {
+
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+using VarId = int;
+using RowId = int;
+
+enum class RowSense { kLessEqual, kEqual, kGreaterEqual };
+enum class ObjSense { kMinimize, kMaximize };
+
+struct LpTerm {
+  VarId var = -1;
+  double coef = 0.0;
+};
+
+// A linear model, shared by the LP solver and the ILP layer (which adds
+// integrality marks on top).
+class LpModel {
+ public:
+  // Adds a variable with bounds [lo, up] and objective coefficient obj.
+  VarId add_variable(double lo, double up, double obj, std::string name = "");
+
+  // Adds a constraint  sum(terms) sense rhs. Terms may repeat a variable
+  // (coefficients are summed).
+  RowId add_constraint(const std::vector<LpTerm>& terms, RowSense sense,
+                       double rhs, std::string name = "");
+
+  void set_objective_sense(ObjSense sense) { obj_sense_ = sense; }
+  ObjSense objective_sense() const { return obj_sense_; }
+
+  // Tightens (replaces) the bounds of an existing variable.
+  void set_bounds(VarId v, double lo, double up);
+
+  int variable_count() const { return static_cast<int>(vars_.size()); }
+  int constraint_count() const { return static_cast<int>(rows_.size()); }
+
+  double lower_bound(VarId v) const { return vars_[check_var(v)].lo; }
+  double upper_bound(VarId v) const { return vars_[check_var(v)].up; }
+  double objective_coef(VarId v) const { return vars_[check_var(v)].obj; }
+  const std::string& variable_name(VarId v) const {
+    return vars_[check_var(v)].name;
+  }
+
+  struct Row {
+    std::vector<LpTerm> terms;
+    RowSense sense = RowSense::kLessEqual;
+    double rhs = 0.0;
+    std::string name;
+  };
+  const Row& row(RowId r) const {
+    WIMESH_ASSERT(r >= 0 && r < constraint_count());
+    return rows_[static_cast<std::size_t>(r)];
+  }
+
+  // Objective value of a given assignment (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  // Max constraint violation + max bound violation of an assignment.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  struct Var {
+    double lo = 0.0;
+    double up = kLpInfinity;
+    double obj = 0.0;
+    std::string name;
+  };
+
+  std::size_t check_var(VarId v) const {
+    WIMESH_ASSERT(v >= 0 && v < variable_count());
+    return static_cast<std::size_t>(v);
+  }
+
+  std::vector<Var> vars_;
+  std::vector<Row> rows_;
+  ObjSense obj_sense_ = ObjSense::kMinimize;
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;       // valid when kOptimal
+  std::vector<double> x;        // primal values, valid when kOptimal
+  long iterations = 0;          // simplex pivots performed
+};
+
+struct LpOptions {
+  long max_iterations = 200'000;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-9;
+};
+
+// Solves the LP. Deterministic; no randomness.
+LpResult solve_lp(const LpModel& model, const LpOptions& options = {});
+
+}  // namespace wimesh

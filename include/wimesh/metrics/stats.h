@@ -1,0 +1,88 @@
+#pragma once
+
+// Streaming and sample-based statistics used by every experiment.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh {
+
+// Welford online mean/variance plus min/max. O(1) memory.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples for exact quantiles; suitable for per-flow delay series at
+// simulation scale (millions of samples at 8 bytes each).
+class SampleSet {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  // Exact q-quantile with linear interpolation, q in [0, 1]. Requires at
+  // least one sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  // Empirical CDF evaluated at the given points: fraction of samples <= x.
+  std::vector<double> cdf(const std::vector<double>& points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+// the edge bins so nothing is dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  double bin_lower(std::size_t i) const {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  std::uint64_t total() const { return total_; }
+
+  // Rows of "bin_lower,count" for CSV output.
+  std::string to_csv() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wimesh

@@ -1,0 +1,65 @@
+#pragma once
+
+// 802.11 PHY timing model.
+//
+// The TDMA-over-WiFi emulation inherits every per-frame cost of the WiFi
+// PHY (preambles, SIFS/DIFS, ACK airtime), so those constants are modelled
+// from the standards: 802.11a OFDM (the hardware the paper targets) and
+// 802.11b DSSS for comparison runs.
+
+#include <cstdint>
+#include <string>
+
+#include "wimesh/common/time.h"
+
+namespace wimesh {
+
+// MAC-relevant PHY constants plus the airtime function for one PHY mode.
+class PhyMode {
+ public:
+  // 802.11a OFDM; rate_mbps must be one of {6, 9, 12, 18, 24, 36, 48, 54}.
+  static PhyMode ofdm_802_11a(int rate_mbps);
+  // 802.11b DSSS/CCK; rate_mbps must be one of {1, 2, 5, 11} (5 = 5.5).
+  static PhyMode dsss_802_11b(int rate_mbps);
+
+  const std::string& name() const { return name_; }
+  double bitrate_bps() const { return bitrate_bps_; }
+
+  SimTime slot_time() const { return slot_; }
+  SimTime sifs() const { return sifs_; }
+  // DIFS = SIFS + 2 * slot.
+  SimTime difs() const { return sifs_ + slot_ * 2; }
+  int cw_min() const { return cw_min_; }
+  int cw_max() const { return cw_max_; }
+
+  // Time on air of a MAC frame of `mac_bytes` total bytes (header+payload+
+  // FCS), including PHY preamble/header.
+  SimTime airtime(std::size_t mac_bytes) const;
+
+  // Airtime of an ACK control frame (14 MAC bytes) at this mode's control
+  // rate (the base rate of the PHY family).
+  SimTime ack_airtime() const;
+
+ private:
+  PhyMode() = default;
+
+  enum class Family { kOfdm, kDsss };
+  Family family_ = Family::kOfdm;
+  std::string name_;
+  double bitrate_bps_ = 0.0;
+  double control_bitrate_bps_ = 0.0;  // rate used for ACKs
+  int bits_per_symbol_ = 0;           // OFDM only
+  SimTime slot_{};
+  SimTime sifs_{};
+  SimTime preamble_{};
+  int cw_min_ = 15;
+  int cw_max_ = 1023;
+};
+
+// Per-packet Bernoulli loss applied to data receptions (channel noise on
+// top of collisions, which the MAC model computes itself).
+struct ErrorModel {
+  double packet_error_rate = 0.0;
+};
+
+}  // namespace wimesh

@@ -1,0 +1,48 @@
+#pragma once
+
+// Protocol (range-based) radio model.
+//
+// Two radii: packets decode within comm_range; transmissions disturb
+// receivers within interference_range (typically ~2x comm_range). This is
+// the standard protocol interference model the paper's conflict graph is
+// built from.
+
+#include <vector>
+
+#include "wimesh/graph/graph.h"
+#include "wimesh/graph/topology.h"
+
+namespace wimesh {
+
+class RadioModel {
+ public:
+  RadioModel(double comm_range, double interference_range)
+      : comm_range_(comm_range), interference_range_(interference_range) {
+    WIMESH_ASSERT(comm_range > 0);
+    WIMESH_ASSERT(interference_range >= comm_range);
+  }
+
+  double comm_range() const { return comm_range_; }
+  double interference_range() const { return interference_range_; }
+
+  bool can_communicate(const Point& a, const Point& b) const {
+    return distance(a, b) <= comm_range_;
+  }
+  bool interferes(const Point& tx, const Point& rx) const {
+    return distance(tx, rx) <= interference_range_;
+  }
+
+  // Connectivity graph induced by comm_range over the positions.
+  Graph build_connectivity(const std::vector<Point>& positions) const;
+
+  // For each node, the set of nodes whose transmissions reach it with
+  // interfering power (excluding itself).
+  std::vector<std::vector<NodeId>> build_interference_sets(
+      const std::vector<Point>& positions) const;
+
+ private:
+  double comm_range_;
+  double interference_range_;
+};
+
+}  // namespace wimesh

@@ -1,0 +1,119 @@
+#pragma once
+
+// QoS planner: routes flows, maps rates to per-link minislot demands, runs
+// the chosen scheduler for the guaranteed class, fits best-effort grants
+// into the leftover slots, and verifies per-flow delay bounds against the
+// resulting schedule. This is the control-plane counterpart of the TDMA
+// overlay (which executes the plan).
+
+#include <vector>
+
+#include "wimesh/common/expected.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/phy/phy.h"
+#include "wimesh/phy/radio_model.h"
+#include "wimesh/qos/flow.h"
+#include "wimesh/sched/scheduler.h"
+#include "wimesh/tdma/overlay.h"
+
+namespace wimesh {
+
+enum class SchedulerKind {
+  kIlpDelayAware,    // the paper's scheduler
+  kIlpDelayUnaware,  // ILP without delay budgets (bandwidth only)
+  kGreedy,           // first-fit baseline
+  kRoundRobin,       // naive ordering baseline
+};
+
+enum class RoutingPolicy {
+  // Fewest hops (BFS); deterministic tie-break. The paper's default.
+  kHopCount,
+  // Dijkstra with congestion-sensitive weights: flows are routed one at a
+  // time and each link's weight grows with the airtime already reserved on
+  // it, spreading load across parallel paths (capacity extension, R-A3).
+  kLoadAware,
+};
+
+enum class PlanObjective {
+  // Linear search for the shortest schedule (the paper's optimization;
+  // leftover slots feed best effort).
+  kMinimizeSlots,
+  // Any feasible schedule within the data subframe — much cheaper; used
+  // per-candidate by incremental admission where only the accept/reject
+  // answer matters.
+  kFeasibility,
+};
+
+// One flow's realized plan.
+struct FlowPlan {
+  FlowSpec spec;
+  std::vector<NodeId> node_path;  // src … dst
+  std::vector<LinkId> links;      // per hop
+  int packets_per_frame = 0;      // arrivals the grant must carry per frame
+  int delay_budget_frames = 0;    // wraps the delay bound tolerates
+  // Filled after scheduling:
+  SimTime worst_case_delay{};     // analytic bound under the schedule
+  bool delay_bound_met = false;
+};
+
+struct MeshPlan {
+  LinkSet links;
+  std::vector<int> guaranteed_demand;  // minislots per link (guaranteed)
+  Graph conflicts;
+  MeshSchedule schedule;               // guaranteed + best-effort grants
+  std::vector<FlowPlan> guaranteed;
+  std::vector<FlowPlan> best_effort;
+  int guaranteed_slots_used = 0;
+  long ilp_nodes = 0;
+  int search_stages = 0;
+
+  // Next hop of flow `flow_id` at node `at`, or kInvalidNode.
+  NodeId next_hop(int flow_id, NodeId at) const;
+  // LinkId of flow's hop out of `at`, or kInvalidLink.
+  LinkId out_link(int flow_id, NodeId at) const;
+  const FlowPlan* find_flow(int flow_id) const;
+};
+
+class QosPlanner {
+ public:
+  QosPlanner(const Topology& topology, const RadioModel& radio,
+             EmulationParams params, PhyMode phy,
+             RoutingPolicy routing = RoutingPolicy::kHopCount);
+
+  // Plans all flows at once. Fails if the guaranteed class cannot be
+  // scheduled within the data subframe or a delay bound cannot be met.
+  Expected<MeshPlan> plan(
+      const std::vector<FlowSpec>& flows, SchedulerKind kind,
+      const IlpSchedulerOptions& ilp_options = {},
+      PlanObjective objective = PlanObjective::kMinimizeSlots) const;
+
+  // Largest number of flow sets admissible: convenience incremental
+  // admission — returns the plan for the longest feasible prefix of
+  // `flows` (guaranteed flows only gate admission; best-effort always
+  // fits by shrinking).
+  struct AdmissionResult {
+    MeshPlan plan;          // plan over the admitted prefix
+    std::size_t admitted;   // how many specs from the front were admitted
+  };
+  AdmissionResult admit_incrementally(
+      const std::vector<FlowSpec>& flows, SchedulerKind kind,
+      const IlpSchedulerOptions& ilp_options = {}) const;
+
+  const EmulationParams& params() const { return params_; }
+  const PhyMode& phy() const { return phy_; }
+
+ private:
+  // `link_load` carries the airtime (seconds/frame) already reserved per
+  // directed link during this planning pass; only kLoadAware reads it.
+  std::vector<NodeId> route(
+      NodeId src, NodeId dst,
+      const std::vector<std::vector<double>>& link_load) const;
+
+  const Topology& topology_;
+  RadioModel radio_;
+  EmulationParams params_;
+  PhyMode phy_;
+  RoutingPolicy routing_;
+};
+
+}  // namespace wimesh

@@ -1,0 +1,53 @@
+#pragma once
+
+// Conflict graph construction.
+//
+// Nodes of the conflict graph are directed links (LinkIds); an edge joins
+// two links that cannot transmit in the same minislot. Because the TDMA
+// schedule executes over WiFi hardware, every data frame on a link (a→b)
+// is answered by a link-layer ACK from b — both endpoints transmit inside
+// the link's minislots. Under the protocol interference model with
+// single-radio half-duplex nodes, links l=(a→b) and m=(c→d) therefore
+// conflict iff:
+//   * they share an endpoint (a node cannot transmit twice, nor transmit
+//     and receive, in one slot), or
+//   * any endpoint of one link is within interference range of any
+//     endpoint of the other (covers data→data, data→ACK and ACK→ACK
+//     collisions in both directions).
+
+#include <vector>
+
+#include "wimesh/graph/graph.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/phy/radio_model.h"
+#include "wimesh/wimax/mesh_frame.h"
+
+namespace wimesh {
+
+// Conflict graph over links.count() nodes (indexed by LinkId).
+Graph build_conflict_graph(const LinkSet& links,
+                           const std::vector<Point>& positions,
+                           const RadioModel& radio);
+
+// Conflict graph from connectivity only (no geometry): links conflict when
+// they share an endpoint or one link's transmitter is a graph-neighbor of
+// the other link's receiver. Equivalent to the protocol model with
+// interference range == comm range; useful for abstract topologies.
+Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity);
+
+// Lower bound on the number of slots any conflict-free schedule needs:
+// the demand of every clique must serialize. Evaluates the per-node clique
+// (all links touching one node are mutually conflicting) and single-link
+// demands. demand[l] is in slots.
+int schedule_length_lower_bound(const LinkSet& links,
+                                const std::vector<int>& demand);
+
+// Stronger bound: additionally grows a greedy clique around every link of
+// the conflict graph (descending demand) and takes the heaviest clique
+// found. Never weaker than the node-based bound on connected conflicts;
+// the min-slot search starts here to skip provably-infeasible stages.
+int schedule_length_lower_bound(const LinkSet& links,
+                                const std::vector<int>& demand,
+                                const Graph& conflicts);
+
+}  // namespace wimesh

@@ -1,0 +1,97 @@
+#pragma once
+
+// Time synchronization substrate for the TDMA-over-WiFi overlay.
+//
+// WiFi NICs have no shared TDMA clock, so the paper's overlay keeps nodes
+// aligned with a beacon-based protocol rooted at a master node and pads
+// slots with guard time to absorb the residual error. This module models
+// exactly the quantities that matter to the overlay:
+//
+//  * per-node crystal drift (fixed ppm offset drawn per node),
+//  * a periodic resync that propagates hop-by-hop down a spanning tree,
+//    accumulating a random timestamping error per hop,
+//  * the resulting per-node clock error as a function of global time.
+//
+// The sync messages themselves ride in the 802.16-style control subframe,
+// which FrameConfig already reserves; their airtime therefore does not
+// consume data minislots and is not separately simulated.
+
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/des/simulator.h"
+#include "wimesh/graph/graph.h"
+#include "wimesh/graph/topology.h"
+
+namespace wimesh {
+
+struct SyncConfig {
+  // Interval between resync waves from the master.
+  SimTime resync_interval = SimTime::milliseconds(500);
+  // Std-dev of the per-hop timestamping error added at each tree hop.
+  SimTime per_hop_error_stddev = SimTime::microseconds(2);
+  // Std-dev of per-node crystal drift in ppm (typical crystals: 5–20 ppm).
+  double drift_ppm_stddev = 10.0;
+
+  // Conservative bound on one node's clock error: 3 sigma of the
+  // accumulated per-hop error random walk plus worst drift between syncs.
+  SimTime max_error_bound(int max_hops) const;
+
+  // Guard time covering the mutual misalignment of two nodes (each can be
+  // off by max_error_bound in opposite directions).
+  SimTime recommended_guard(int max_hops) const {
+    return max_error_bound(max_hops) * 2;
+  }
+};
+
+// Drives resync waves on the simulator and answers clock queries.
+class SyncProtocol {
+ public:
+  // `topology` must be connected; the spanning tree is rooted at `master`.
+  // Until the first wave completes, nodes run on their initial (unsynced)
+  // offsets, which are drawn uniform in [0, initial_offset_bound).
+  SyncProtocol(Simulator& sim, const Graph& topology, NodeId master,
+               SyncConfig config, Rng rng,
+               SimTime initial_offset_bound = SimTime::microseconds(50));
+
+  // Begins periodic resync waves at t = 0 (the first wave is immediate).
+  void start();
+
+  // Clock error of node n at global time t: local(t) - t.
+  SimTime error(NodeId n, SimTime t) const;
+
+  // Local clock reading of node n at global time t.
+  SimTime local_time(NodeId n, SimTime t) const {
+    return t + error(n, t);
+  }
+
+  // Global time at which node n's clock will read `local_target`.
+  // Requires local_target to be at or after the node's current local time.
+  SimTime global_time_for_local(NodeId n, SimTime local_target) const;
+
+  NodeId master() const { return master_; }
+  int max_tree_depth() const { return max_depth_; }
+  const SyncConfig& config() const { return config_; }
+  std::uint64_t waves_completed() const { return waves_; }
+
+ private:
+  struct ClockState {
+    double drift_ppm = 0.0;   // fixed crystal error
+    SimTime offset{};         // error at last_sync
+    SimTime last_sync{};
+  };
+
+  void run_wave();
+
+  Simulator& sim_;
+  NodeId master_;
+  SyncConfig config_;
+  Rng rng_;
+  std::vector<NodeId> parent_;  // spanning tree
+  std::vector<int> depth_;
+  int max_depth_ = 0;
+  std::vector<ClockState> clocks_;
+  std::uint64_t waves_ = 0;
+};
+
+}  // namespace wimesh

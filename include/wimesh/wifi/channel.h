@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared-medium wireless channel under the protocol interference model.
+//
+// The channel delivers frames, drives per-node carrier sense, and decides
+// corruption: a reception is lost if any other transmission audible at the
+// receiver overlaps it in time (no capture effect), if the receiver itself
+// transmits during it (half-duplex), or if the Bernoulli error process
+// fires. Propagation delay is negligible at mesh ranges (< 2 µs) and is
+// modelled as zero; carrier sensing is therefore instantaneous, which is
+// the standard simplification for protocol-model simulators.
+
+#include <cstdint>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/des/simulator.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/phy/phy.h"
+#include "wimesh/phy/radio_model.h"
+#include "wimesh/wifi/packet.h"
+
+namespace wimesh {
+
+struct WifiFrame {
+  enum class Type { kData, kAck, kRts, kCts };
+  Type type = Type::kData;
+  MacPacket packet;        // for control frames, packet.id ties the exchange
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;  // kInvalidNode = broadcast (data only)
+  // NAV reservation carried by the frame (RTS/CTS/DATA duration field):
+  // how long the medium stays reserved after this frame ends.
+  SimTime nav{};
+};
+
+// The channel's view of a MAC.
+class MacInterface {
+ public:
+  virtual ~MacInterface() = default;
+  // Carrier-sense edge notifications; the channel may nest busy periods, so
+  // implementations count (busy while count > 0).
+  virtual void on_medium_busy() = 0;
+  virtual void on_medium_idle() = 0;
+  // A frame decoded successfully at this node.
+  virtual void on_frame_received(const WifiFrame& frame) = 0;
+};
+
+class WifiChannel {
+ public:
+  // When `deliver_overheard` is set, unicast frames are decoded by every
+  // node in range (not just the addressee) so MACs can honor NAV
+  // reservations from overheard RTS/CTS. Off by default: overhearing costs
+  // events and only the RTS/CTS mode needs it.
+  WifiChannel(Simulator& sim, std::vector<Point> positions, RadioModel radio,
+              PhyMode phy, ErrorModel error, Rng rng,
+              bool deliver_overheard = false);
+
+  // Registers the MAC entity for a node; required before it can transmit
+  // or hear anything.
+  void attach(NodeId node, MacInterface* mac);
+
+  // Starts a transmission now; the caller must itself respect CSMA timing.
+  // Returns the on-air duration (caller schedules its own tx-end handling).
+  SimTime transmit(const WifiFrame& frame);
+
+  SimTime frame_airtime(const WifiFrame& frame) const;
+
+  const PhyMode& phy() const { return phy_; }
+  NodeId node_count() const {
+    return static_cast<NodeId>(positions_.size());
+  }
+
+  // Diagnostics.
+  std::uint64_t frames_transmitted() const { return frames_transmitted_; }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t receptions_corrupted() const { return receptions_corrupted_; }
+
+ private:
+  struct Reception {
+    WifiFrame frame;
+    NodeId rx = kInvalidNode;
+    bool corrupted = false;
+  };
+  struct ActiveTx {
+    std::uint64_t key;
+    NodeId tx;
+    SimTime end;
+    std::vector<Reception> receptions;
+  };
+
+  bool node_transmitting(NodeId n) const;
+  void finish_transmission(std::uint64_t key);
+
+  Simulator& sim_;
+  std::vector<Point> positions_;
+  RadioModel radio_;
+  PhyMode phy_;
+  ErrorModel error_;
+  Rng rng_;
+  bool deliver_overheard_ = false;
+  std::vector<MacInterface*> macs_;
+  std::vector<ActiveTx> active_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t frames_transmitted_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t receptions_corrupted_ = 0;
+};
+
+}  // namespace wimesh

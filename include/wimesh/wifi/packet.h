@@ -1,0 +1,24 @@
+#pragma once
+
+// Link-layer packet passed between traffic sources, MACs and the overlay.
+
+#include <cstdint>
+
+#include "wimesh/common/time.h"
+#include "wimesh/graph/graph.h"
+
+namespace wimesh {
+
+struct MacPacket {
+  std::uint64_t id = 0;      // unique per packet, assigned by the source
+  int flow_id = -1;          // owning flow (-1 = control/unattributed)
+  NodeId from = kInvalidNode;  // transmitter of the current hop
+  NodeId to = kInvalidNode;    // link receiver; kInvalidNode = broadcast
+  std::size_t bytes = 0;       // MAC payload size (bytes)
+  SimTime created_at{};        // source timestamp, for end-to-end delay
+};
+
+// MAC header + FCS added to every data payload on the air.
+inline constexpr std::size_t kMacOverheadBytes = 34;
+
+}  // namespace wimesh

@@ -1,0 +1,69 @@
+#pragma once
+
+// 802.16 mesh control messages (MSH-DSCH style) — the wire format that
+// carries the centralized schedule to every node each frame.
+//
+// The emulation reserves a control subframe; whether a schedule actually
+// FITS in it is a real constraint the planner can check: each grant is an
+// information element of a few bytes, the message rides the WiFi medium at
+// the base rate, and the control subframe has a fixed duration. This
+// module provides the encoding, a byte-exact round-trip codec, and the
+// capacity arithmetic.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wimesh/phy/phy.h"
+#include "wimesh/wimax/mesh_frame.h"
+
+namespace wimesh {
+
+// One grant information element: which link owns which minislot range.
+struct GrantIe {
+  std::uint16_t link = 0;     // LinkId
+  std::uint8_t start = 0;     // first minislot
+  std::uint8_t length = 0;    // minislots granted
+
+  friend bool operator==(const GrantIe&, const GrantIe&) = default;
+};
+
+// Schedule-dissemination message (MSH-DSCH flavored): header + grant IEs.
+struct MshDschMessage {
+  std::uint32_t frame_sequence = 0;
+  std::vector<GrantIe> grants;
+
+  friend bool operator==(const MshDschMessage&,
+                         const MshDschMessage&) = default;
+};
+
+inline constexpr std::size_t kMshDschHeaderBytes = 6;  // seq(4) + count(2)
+inline constexpr std::size_t kGrantIeBytes = 4;
+
+// Serialized size of a message.
+std::size_t encoded_size(const MshDschMessage& message);
+
+// Encodes to a flat byte vector (fixed-width little-endian fields).
+std::vector<std::uint8_t> encode(const MshDschMessage& message);
+
+// Decodes; nullopt on truncation or a count/size mismatch.
+std::optional<MshDschMessage> decode(const std::vector<std::uint8_t>& bytes);
+
+// Builds the dissemination message for a schedule (primary grants plus
+// best-effort extras, in link order). Requires every grant to fit the IE
+// field widths (minislot indices < 256), which FrameConfig guarantees for
+// the frame sizes used here.
+MshDschMessage build_schedule_message(const MeshSchedule& schedule,
+                                      std::uint32_t frame_sequence);
+
+// Bytes the control subframe can carry when the message is broadcast once
+// at the PHY's airtime over `control_slots` minislots of `frame`.
+std::size_t control_subframe_capacity_bytes(const FrameConfig& frame,
+                                            const PhyMode& phy);
+
+// True iff the schedule's dissemination message fits the control subframe.
+bool schedule_fits_control_subframe(const MeshSchedule& schedule,
+                                    const FrameConfig& frame,
+                                    const PhyMode& phy);
+
+}  // namespace wimesh

@@ -1,0 +1,18 @@
+#include "wimesh/common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wimesh::detail {
+
+[[noreturn]] void assert_fail(std::string_view cond, std::string_view file,
+                              int line, std::string_view msg) {
+  std::fprintf(stderr, "wimesh assertion failed: %.*s (%.*s:%d)%s%.*s\n",
+               static_cast<int>(cond.size()), cond.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               msg.empty() ? "" : " — ", static_cast<int>(msg.size()),
+               msg.data());
+  std::abort();
+}
+
+}  // namespace wimesh::detail

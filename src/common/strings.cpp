@@ -1,0 +1,38 @@
+#include "wimesh/common/strings.h"
+
+#include <iomanip>
+
+namespace wimesh {
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,15 @@
+#include "wimesh/common/time.h"
+
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+
+std::string SimTime::to_string() const {
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000) return fmt_double(to_seconds(), 3) + "s";
+  if (abs_ns >= 1'000'000) return fmt_double(to_ms(), 3) + "ms";
+  if (abs_ns >= 1'000) return fmt_double(to_us(), 3) + "us";
+  return str_cat(ns_, "ns");
+}
+
+}  // namespace wimesh

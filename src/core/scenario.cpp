@@ -1,0 +1,330 @@
+#include "wimesh/core/scenario.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+namespace {
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
+  std::size_t b = 0;
+  while (b < s.size() && is_space(s[b])) ++b;
+  std::size_t e = s.size();
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+Expected<double> to_number(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    return make_error(str_cat("line ", line_no, ": '", s,
+                              "' is not a number"));
+  }
+}
+
+Expected<Topology> parse_topology(const std::vector<std::string>& args,
+                                  std::size_t line_no) {
+  const auto need = [&](std::size_t n) {
+    return args.size() == n;
+  };
+  const auto num = [&](std::size_t i) { return to_number(args[i], line_no); };
+  if (args.empty()) return make_error(str_cat("line ", line_no,
+                                              ": empty topology"));
+  const std::string& kind = args[0];
+  if (kind == "chain" && need(3)) {
+    const auto n = num(1);
+    const auto s = num(2);
+    if (!n || !s) return make_error(n ? s.error() : n.error());
+    return make_chain(static_cast<NodeId>(*n), *s);
+  }
+  if (kind == "grid" && need(4)) {
+    const auto r = num(1);
+    const auto c = num(2);
+    const auto s = num(3);
+    if (!r || !c || !s) return make_error("bad grid arguments");
+    return make_grid(static_cast<NodeId>(*r), static_cast<NodeId>(*c), *s);
+  }
+  if (kind == "ring" && need(3)) {
+    const auto n = num(1);
+    const auto r = num(2);
+    if (!n || !r) return make_error("bad ring arguments");
+    return make_ring(static_cast<NodeId>(*n), *r);
+  }
+  if (kind == "random" && need(5)) {
+    const auto n = num(1);
+    const auto side = num(2);
+    const auto range = num(3);
+    const auto seed = num(4);
+    if (!n || !side || !range || !seed) {
+      return make_error("bad random arguments");
+    }
+    Rng rng(static_cast<std::uint64_t>(*seed));
+    return make_random_geometric(static_cast<NodeId>(*n), *side, *range, rng);
+  }
+  if (kind == "tree" && need(4)) {
+    const auto a = num(1);
+    const auto d = num(2);
+    const auto s = num(3);
+    if (!a || !d || !s) return make_error("bad tree arguments");
+    return make_tree(static_cast<NodeId>(*a), static_cast<NodeId>(*d), *s);
+  }
+  return make_error(str_cat("line ", line_no, ": unknown topology '", kind,
+                            "' (or wrong argument count)"));
+}
+
+Expected<PhyMode> parse_phy(const std::string& value, std::size_t line_no) {
+  if (value.rfind("ofdm", 0) == 0) {
+    const auto rate = to_number(value.substr(4), line_no);
+    if (!rate) return make_error(rate.error());
+    for (int r : {6, 9, 12, 18, 24, 36, 48, 54}) {
+      if (r == static_cast<int>(*rate)) return PhyMode::ofdm_802_11a(r);
+    }
+  }
+  if (value.rfind("dsss", 0) == 0) {
+    const auto rate = to_number(value.substr(4), line_no);
+    if (!rate) return make_error(rate.error());
+    for (int r : {1, 2, 5, 11}) {
+      if (r == static_cast<int>(*rate)) return PhyMode::dsss_802_11b(r);
+    }
+  }
+  return make_error(str_cat("line ", line_no, ": unknown phy '", value, "'"));
+}
+
+Expected<VoipCodec> parse_codec(const std::string& name,
+                                std::size_t line_no) {
+  if (name == "g711") return VoipCodec::g711();
+  if (name == "g729") return VoipCodec::g729();
+  if (name == "g723") return VoipCodec::g723();
+  return make_error(str_cat("line ", line_no, ": unknown codec '", name,
+                            "' (g711|g729|g723)"));
+}
+
+}  // namespace
+
+Expected<Scenario> parse_scenario(const std::string& text) {
+  Scenario sc;
+  bool have_topology = false;
+  std::size_t line_no = 0;
+
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // Flow declarations: "<kind> <args...>" without '='.
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      const auto tokens = tokenize(line);
+      const std::string& kind = tokens[0];
+      const auto num = [&](std::size_t i) -> Expected<double> {
+        if (i >= tokens.size()) {
+          return make_error(str_cat("line ", line_no, ": missing argument"));
+        }
+        return to_number(tokens[i], line_no);
+      };
+      if (kind == "voip" && tokens.size() == 6) {
+        const auto id = num(1), a = num(2), b = num(3), delay = num(5);
+        const auto codec = parse_codec(tokens[4], line_no);
+        if (!id || !a || !b || !delay) return make_error("bad voip line");
+        if (!codec) return make_error(codec.error());
+        const SimTime bound =
+            SimTime::milliseconds(static_cast<std::int64_t>(*delay));
+        sc.flows.push_back(FlowSpec::voip(static_cast<int>(*id),
+                                          static_cast<NodeId>(*a),
+                                          static_cast<NodeId>(*b), *codec,
+                                          bound));
+        sc.flows.push_back(FlowSpec::voip(static_cast<int>(*id) + 1,
+                                          static_cast<NodeId>(*b),
+                                          static_cast<NodeId>(*a), *codec,
+                                          bound));
+        continue;
+      }
+      if (kind == "video" && tokens.size() == 5) {
+        const auto id = num(1), src = num(2), dst = num(3), rate = num(4);
+        if (!id || !src || !dst || !rate) return make_error("bad video line");
+        sc.flows.push_back(FlowSpec::video(static_cast<int>(*id),
+                                           static_cast<NodeId>(*src),
+                                           static_cast<NodeId>(*dst), *rate));
+        continue;
+      }
+      if (kind == "bulk" && tokens.size() == 6) {
+        const auto id = num(1), src = num(2), dst = num(3), bytes = num(4),
+                   rate = num(5);
+        if (!id || !src || !dst || !bytes || !rate) {
+          return make_error("bad bulk line");
+        }
+        sc.flows.push_back(FlowSpec::best_effort(
+            static_cast<int>(*id), static_cast<NodeId>(*src),
+            static_cast<NodeId>(*dst), static_cast<std::size_t>(*bytes),
+            *rate));
+        continue;
+      }
+      return make_error(str_cat("line ", line_no, ": unrecognized line '",
+                                line, "'"));
+    }
+
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto numeric = [&]() { return to_number(value, line_no); };
+
+    if (key == "topology") {
+      auto topo = parse_topology(tokenize(value), line_no);
+      if (!topo) return make_error(topo.error());
+      sc.config.topology = std::move(*topo);
+      have_topology = true;
+    } else if (key == "comm_range") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.comm_range = *v;
+    } else if (key == "interference_range") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.interference_range = *v;
+    } else if (key == "phy") {
+      auto phy = parse_phy(value, line_no);
+      if (!phy) return make_error(phy.error());
+      sc.config.phy = std::move(*phy);
+    } else if (key == "frame_ms") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.emulation.frame.frame_duration =
+          SimTime::milliseconds(static_cast<std::int64_t>(*v));
+    } else if (key == "control_slots") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.emulation.frame.control_slots = static_cast<int>(*v);
+    } else if (key == "data_slots") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.emulation.frame.data_slots = static_cast<int>(*v);
+    } else if (key == "guard_us") {
+      if (value == "auto") {
+        sc.config.auto_guard = true;
+      } else {
+        const auto v = numeric();
+        if (!v) return make_error(v.error());
+        sc.config.auto_guard = false;
+        sc.config.emulation.guard_time =
+            SimTime::microseconds(static_cast<std::int64_t>(*v));
+      }
+    } else if (key == "scheduler") {
+      if (value == "ilp-delay") {
+        sc.config.scheduler = SchedulerKind::kIlpDelayAware;
+      } else if (value == "ilp-nodelay") {
+        sc.config.scheduler = SchedulerKind::kIlpDelayUnaware;
+      } else if (value == "greedy") {
+        sc.config.scheduler = SchedulerKind::kGreedy;
+      } else if (value == "round-robin") {
+        sc.config.scheduler = SchedulerKind::kRoundRobin;
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown scheduler '",
+                                  value, "'"));
+      }
+    } else if (key == "routing") {
+      if (value == "hop") {
+        sc.config.routing = RoutingPolicy::kHopCount;
+      } else if (value == "load-aware") {
+        sc.config.routing = RoutingPolicy::kLoadAware;
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown routing '",
+                                  value, "'"));
+      }
+    } else if (key == "mac") {
+      if (value == "tdma") {
+        sc.mac = MacMode::kTdmaOverlay;
+      } else if (value == "dcf") {
+        sc.mac = MacMode::kDcf;
+      } else if (value == "edca") {
+        sc.mac = MacMode::kEdca;
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown mac '", value,
+                                  "'"));
+      }
+    } else if (key == "duration_s") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.duration = SimTime::from_seconds(*v);
+    } else if (key == "seed") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.seed = static_cast<std::uint64_t>(*v);
+    } else if (key == "packet_error_rate") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      sc.config.packet_error_rate = *v;
+    } else if (key == "rts_cts") {
+      if (value == "on") {
+        sc.config.dcf_rts_cts = true;
+      } else if (value == "off") {
+        sc.config.dcf_rts_cts = false;
+      } else {
+        return make_error(str_cat("line ", line_no,
+                                  ": rts_cts must be on|off"));
+      }
+    } else {
+      return make_error(str_cat("line ", line_no, ": unknown key '", key,
+                                "'"));
+    }
+  }
+
+  if (!have_topology) return make_error("scenario is missing 'topology'");
+  if (sc.flows.empty()) return make_error("scenario declares no traffic");
+  return sc;
+}
+
+std::string format_report(const Scenario& scenario,
+                          const SimulationResult& result) {
+  std::string out;
+  out += str_cat("nodes: ", scenario.config.topology.node_count(),
+                 "  flows: ", result.flows.size(),
+                 "  interval: ", result.measured_interval.to_string(), "\n");
+  out += str_cat("frames on air: ", result.frames_transmitted,
+                 "  corrupted receptions: ", result.receptions_corrupted,
+                 "  mac drops: ", result.mac_drops, "\n");
+  out += "flow  class       loss     mean_ms  p99_ms    tput_kbps\n";
+  for (const FlowResult& f : result.flows) {
+    const char* cls =
+        f.spec.shape == TrafficShape::kVbrVideo
+            ? "video"
+            : (f.spec.service == ServiceClass::kGuaranteed ? "voip"
+                                                           : "best-effort");
+    const bool has = !f.stats.delays_ms().empty();
+    out += str_cat(f.spec.id, "  ", cls, "  ",
+                   fmt_double(f.stats.loss_rate(), 4), "  ",
+                   fmt_double(has ? f.stats.delays_ms().mean() : 0.0, 2),
+                   "  ",
+                   fmt_double(has ? f.stats.delays_ms().quantile(0.99) : 0.0,
+                              2),
+                   "  ",
+                   fmt_double(f.stats.throughput_bps(
+                                  result.measured_interval) /
+                                  1000.0,
+                              1),
+                   "\n");
+  }
+  return out;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,131 @@
+#include "wimesh/graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace wimesh {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+bool ShortestPathTree::reachable(NodeId v) const {
+  return dist[static_cast<std::size_t>(v)] < kInf;
+}
+
+std::vector<NodeId> ShortestPathTree::path_to(const Digraph& g,
+                                              NodeId dst) const {
+  if (!reachable(dst)) return {};
+  std::vector<NodeId> path{dst};
+  NodeId cur = dst;
+  while (parent_arc[static_cast<std::size_t>(cur)] != kInvalidEdge) {
+    cur = g.arc(parent_arc[static_cast<std::size_t>(cur)]).from;
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Digraph& g, NodeId src) {
+  WIMESH_ASSERT(src >= 0 && src < g.node_count());
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPathTree t;
+  t.dist.assign(n, kInf);
+  t.parent_arc.assign(n, kInvalidEdge);
+  t.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > t.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (EdgeId a : g.out_arcs(u)) {
+      const auto& arc = g.arc(a);
+      WIMESH_ASSERT_MSG(arc.weight >= 0.0, "dijkstra requires nonnegative weights");
+      const double nd = d + arc.weight;
+      if (nd < t.dist[static_cast<std::size_t>(arc.to)]) {
+        t.dist[static_cast<std::size_t>(arc.to)] = nd;
+        t.parent_arc[static_cast<std::size_t>(arc.to)] = a;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return t;
+}
+
+BellmanFordResult bellman_ford(const Digraph& g, NodeId src) {
+  WIMESH_ASSERT(src >= 0 && src < g.node_count());
+  const auto n = static_cast<std::size_t>(g.node_count());
+  BellmanFordResult r;
+  r.tree.dist.assign(n, kInf);
+  r.tree.parent_arc.assign(n, kInvalidEdge);
+  r.tree.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  // Standard |V|-1 relaxation rounds with early exit.
+  for (std::size_t round = 0; round + 1 < n || n == 1; ++round) {
+    bool changed = false;
+    for (EdgeId a = 0; a < g.arc_count(); ++a) {
+      const auto& arc = g.arc(a);
+      const double du = r.tree.dist[static_cast<std::size_t>(arc.from)];
+      if (du == kInf) continue;
+      if (du + arc.weight < r.tree.dist[static_cast<std::size_t>(arc.to)]) {
+        r.tree.dist[static_cast<std::size_t>(arc.to)] = du + arc.weight;
+        r.tree.parent_arc[static_cast<std::size_t>(arc.to)] = a;
+        changed = true;
+      }
+    }
+    if (!changed) return r;
+    if (n == 1) break;
+  }
+
+  // One more pass: any further relaxation implies a reachable negative cycle.
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    const auto& arc = g.arc(a);
+    const double du = r.tree.dist[static_cast<std::size_t>(arc.from)];
+    if (du == kInf) continue;
+    if (du + arc.weight < r.tree.dist[static_cast<std::size_t>(arc.to)]) {
+      r.has_negative_cycle = true;
+      // Walk parents from arc.to n times to land inside the cycle, then
+      // collect it.
+      NodeId cur = arc.to;
+      r.tree.parent_arc[static_cast<std::size_t>(arc.to)] = a;
+      for (std::size_t i = 0; i < n; ++i) {
+        const EdgeId pa = r.tree.parent_arc[static_cast<std::size_t>(cur)];
+        WIMESH_ASSERT(pa != kInvalidEdge);
+        cur = g.arc(pa).from;
+      }
+      const NodeId cycle_entry = cur;
+      do {
+        const EdgeId pa = r.tree.parent_arc[static_cast<std::size_t>(cur)];
+        r.negative_cycle.push_back(pa);
+        cur = g.arc(pa).from;
+      } while (cur != cycle_entry);
+      std::reverse(r.negative_cycle.begin(), r.negative_cycle.end());
+      return r;
+    }
+  }
+  return r;
+}
+
+std::optional<std::vector<double>> solve_difference_constraints(
+    const Digraph& g) {
+  // Virtual source: node n with a zero-weight arc to every real node.
+  Digraph aug(g.node_count() + 1);
+  for (const auto& arc : g.arcs()) aug.add_arc(arc.from, arc.to, arc.weight);
+  const NodeId source = g.node_count();
+  for (NodeId v = 0; v < g.node_count(); ++v) aug.add_arc(source, v, 0.0);
+
+  const auto r = bellman_ford(aug, source);
+  if (r.has_negative_cycle) return std::nullopt;
+  std::vector<double> x(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    x[static_cast<std::size_t>(v)] = r.tree.dist[static_cast<std::size_t>(v)];
+  }
+  return x;
+}
+
+}  // namespace wimesh

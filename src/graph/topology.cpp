@@ -1,0 +1,132 @@
+#include "wimesh/graph/topology.h"
+
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+namespace wimesh {
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+Topology make_chain(NodeId n, double spacing) {
+  WIMESH_ASSERT(n >= 1);
+  Topology t;
+  t.graph.resize(n);
+  t.positions.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    t.positions[static_cast<std::size_t>(i)] = Point{spacing * i, 0.0};
+    if (i > 0) t.graph.add_edge(i - 1, i);
+  }
+  return t;
+}
+
+Topology make_ring(NodeId n, double radius) {
+  WIMESH_ASSERT(n >= 3);
+  Topology t;
+  t.graph.resize(n);
+  t.positions.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / n;
+    t.positions[static_cast<std::size_t>(i)] =
+        Point{radius * std::cos(angle), radius * std::sin(angle)};
+    if (i > 0) t.graph.add_edge(i - 1, i);
+  }
+  t.graph.add_edge(n - 1, 0);
+  return t;
+}
+
+Topology make_grid(NodeId rows, NodeId cols, double spacing) {
+  WIMESH_ASSERT(rows >= 1 && cols >= 1);
+  Topology t;
+  t.graph.resize(rows * cols);
+  t.positions.resize(static_cast<std::size_t>(rows * cols));
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      t.positions[static_cast<std::size_t>(id(r, c))] =
+          Point{spacing * c, spacing * r};
+      if (c > 0) t.graph.add_edge(id(r, c - 1), id(r, c));
+      if (r > 0) t.graph.add_edge(id(r - 1, c), id(r, c));
+    }
+  }
+  return t;
+}
+
+Topology make_random_geometric(NodeId n, double side, double range, Rng& rng) {
+  WIMESH_ASSERT(n >= 1);
+  WIMESH_ASSERT(side > 0 && range > 0);
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Topology t;
+    t.graph.resize(n);
+    t.positions.resize(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      t.positions[static_cast<std::size_t>(i)] =
+          Point{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (distance(t.positions[static_cast<std::size_t>(i)],
+                     t.positions[static_cast<std::size_t>(j)]) <= range) {
+          t.graph.add_edge(i, j);
+        }
+      }
+    }
+    if (is_connected(t.graph)) return t;
+  }
+  WIMESH_ASSERT_MSG(false,
+                    "could not draw a connected random geometric graph; "
+                    "increase range or shrink the area");
+  return {};
+}
+
+Topology make_tree(NodeId arity, NodeId depth, double spacing) {
+  WIMESH_ASSERT(arity >= 1 && depth >= 0);
+  Topology t;
+  t.graph.resize(1);
+  t.positions.push_back(Point{0.0, 0.0});
+  std::vector<NodeId> level{0};
+  for (NodeId d = 1; d <= depth; ++d) {
+    std::vector<NodeId> next;
+    double x = 0.0;
+    for (NodeId parent : level) {
+      for (NodeId k = 0; k < arity; ++k) {
+        const NodeId child = t.graph.add_node();
+        t.positions.push_back(Point{x, spacing * d});
+        x += spacing;
+        t.graph.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    level = std::move(next);
+  }
+  return t;
+}
+
+std::vector<NodeId> spanning_tree_parents(const Graph& g, NodeId root) {
+  WIMESH_ASSERT(is_connected(g));
+  WIMESH_ASSERT(root >= 0 && root < g.node_count());
+  std::vector<NodeId> parent(static_cast<std::size_t>(g.node_count()),
+                             kInvalidNode);
+  std::vector<bool> seen(static_cast<std::size_t>(g.node_count()), false);
+  std::queue<NodeId> frontier;
+  seen[static_cast<std::size_t>(root)] = true;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.other_end(e, u);
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        parent[static_cast<std::size_t>(v)] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,266 @@
+#include "wimesh/ilp/ilp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "wimesh/common/log.h"
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+
+VarId IlpModel::add_continuous(double lo, double up, double obj,
+                               std::string name) {
+  return lp_.add_variable(lo, up, obj, std::move(name));
+}
+
+VarId IlpModel::add_integer(double lo, double up, double obj,
+                            std::string name) {
+  WIMESH_ASSERT_MSG(std::floor(lo) == lo && std::floor(up) == up,
+                    "integer variable bounds must be integral");
+  const VarId v = lp_.add_variable(lo, up, obj, std::move(name));
+  integer_vars_.push_back(v);
+  return v;
+}
+
+VarId IlpModel::add_binary(double obj, std::string name) {
+  return add_integer(0.0, 1.0, obj, std::move(name));
+}
+
+bool IlpModel::is_integer_var(VarId v) const {
+  return std::binary_search(integer_vars_.begin(), integer_vars_.end(), v);
+}
+
+void IlpModel::set_branch_priority(VarId v, double priority) {
+  WIMESH_ASSERT(v >= 0 && v < variable_count());
+  if (priorities_.size() < static_cast<std::size_t>(variable_count())) {
+    priorities_.resize(static_cast<std::size_t>(variable_count()), 0.0);
+  }
+  priorities_[static_cast<std::size_t>(v)] = priority;
+}
+
+double IlpModel::branch_priority(VarId v) const {
+  const auto idx = static_cast<std::size_t>(v);
+  return idx < priorities_.size() ? priorities_[idx] : 0.0;
+}
+
+namespace {
+
+// A search node is the set of tightened bounds on integer variables,
+// relative to the root model.
+struct Node {
+  std::vector<double> int_lo;
+  std::vector<double> int_up;
+  double parent_bound;  // LP bound inherited from the parent (for pruning)
+  int depth = 0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const IlpModel& model, const IlpOptions& opt)
+      : model_(model), opt_(opt) {}
+
+  IlpResult run();
+
+ private:
+  // The LP bound direction depends on objective sense; normalize everything
+  // to minimization internally.
+  double norm(double obj) const {
+    return model_.lp().objective_sense() == ObjSense::kMinimize ? obj : -obj;
+  }
+
+  bool time_exhausted() const {
+    return std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  // Applies node bounds onto the working model.
+  void apply_bounds(const Node& node);
+
+  // Index into integer_vars() of the most fractional integer variable in x,
+  // or -1 when all are integral within tolerance.
+  int pick_branch_var(const std::vector<double>& x) const;
+
+  void record_incumbent(const std::vector<double>& x, double normalized_obj);
+
+  const IlpModel& model_;
+  const IlpOptions& opt_;
+  LpModel work_;  // mutable copy whose bounds are rewritten per node
+  std::chrono::steady_clock::time_point deadline_;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = 0.0;  // normalized (minimization)
+  std::vector<double> incumbent_x_;
+
+  IlpResult result_;
+};
+
+void BranchAndBound::apply_bounds(const Node& node) {
+  const auto& ints = model_.integer_vars();
+  for (std::size_t k = 0; k < ints.size(); ++k) {
+    work_.set_bounds(ints[k], node.int_lo[k], node.int_up[k]);
+  }
+}
+
+int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+  // Among fractional variables, branch the highest-priority one; priority
+  // ties fall back to most-fractional.
+  const auto& ints = model_.integer_vars();
+  int best = -1;
+  double best_priority = 0.0;
+  double best_frac_dist = 0.0;
+  for (std::size_t k = 0; k < ints.size(); ++k) {
+    const double v = x[static_cast<std::size_t>(ints[k])];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);  // distance to integer
+    if (dist <= opt_.integrality_tol) continue;
+    const double priority = model_.branch_priority(ints[k]);
+    if (best < 0 || priority > best_priority ||
+        (priority == best_priority && dist > best_frac_dist)) {
+      best = static_cast<int>(k);
+      best_priority = priority;
+      best_frac_dist = dist;
+    }
+  }
+  return best;
+}
+
+void BranchAndBound::record_incumbent(const std::vector<double>& x,
+                                      double normalized_obj) {
+  if (have_incumbent_ && normalized_obj >= incumbent_obj_) return;
+  have_incumbent_ = true;
+  incumbent_obj_ = normalized_obj;
+  incumbent_x_ = x;
+  // Snap integers exactly; they are within integrality_tol already.
+  for (VarId v : model_.integer_vars()) {
+    auto& val = incumbent_x_[static_cast<std::size_t>(v)];
+    val = std::round(val);
+  }
+}
+
+IlpResult BranchAndBound::run() {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(opt_.time_limit_seconds));
+  work_ = model_.lp();
+
+  const auto& ints = model_.integer_vars();
+  Node root;
+  root.int_lo.reserve(ints.size());
+  root.int_up.reserve(ints.size());
+  for (VarId v : ints) {
+    root.int_lo.push_back(std::ceil(model_.lp().lower_bound(v)));
+    root.int_up.push_back(std::floor(model_.lp().upper_bound(v)));
+  }
+  root.parent_bound = -kLpInfinity;
+
+  // DFS stack: depth-first finds incumbents quickly, and with bound pruning
+  // that is what matters for the feasibility programs the scheduler poses.
+  std::vector<Node> stack;
+  stack.push_back(std::move(root));
+
+  bool limits_hit = false;
+  double best_open_bound = -kLpInfinity;  // min over pruned/open nodes handled at end
+
+  while (!stack.empty()) {
+    if (result_.nodes_explored >= opt_.max_nodes || time_exhausted()) {
+      limits_hit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    // Bound pruning against the incumbent before paying for the LP.
+    if (have_incumbent_ &&
+        node.parent_bound >= incumbent_obj_ - opt_.objective_gap_tol) {
+      continue;
+    }
+
+    apply_bounds(node);
+    ++result_.nodes_explored;
+    const LpResult lp = solve_lp(work_, opt_.lp);
+    result_.lp_iterations += lp.iterations;
+
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kIterationLimit) {
+      limits_hit = true;
+      continue;
+    }
+    if (lp.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the ILP itself is
+      // unbounded or infeasible; treat as a hard error — the scheduling
+      // models are always bounded.
+      WIMESH_ASSERT_MSG(false, "unbounded LP relaxation in branch & bound");
+    }
+
+    const double bound = norm(lp.objective);
+    if (have_incumbent_ && bound >= incumbent_obj_ - opt_.objective_gap_tol) {
+      continue;  // cannot improve
+    }
+
+    const int k = pick_branch_var(lp.x);
+    if (k < 0) {
+      record_incumbent(lp.x, bound);
+      if (opt_.stop_at_first_feasible) break;
+      continue;
+    }
+
+    // Track the weakest open bound for reporting.
+    best_open_bound = std::max(best_open_bound, -bound);
+
+    const VarId v = ints[static_cast<std::size_t>(k)];
+    const double xv = lp.x[static_cast<std::size_t>(v)];
+    const double floor_v = std::floor(xv);
+
+    Node down = node;  // v <= floor(xv)
+    down.int_up[static_cast<std::size_t>(k)] =
+        std::min(down.int_up[static_cast<std::size_t>(k)], floor_v);
+    down.parent_bound = bound;
+    down.depth = node.depth + 1;
+
+    Node up = std::move(node);  // v >= ceil(xv)
+    up.int_lo[static_cast<std::size_t>(k)] =
+        std::max(up.int_lo[static_cast<std::size_t>(k)], floor_v + 1.0);
+    up.parent_bound = bound;
+    up.depth += 1;
+
+    // Dive toward the nearer integer first (pushed last = popped first).
+    const double frac = xv - floor_v;
+    if (frac > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  const double sense =
+      model_.lp().objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
+  if (have_incumbent_) {
+    result_.objective = sense * incumbent_obj_;
+    result_.x = incumbent_x_;
+    const bool proven = !limits_hit && stack.empty() &&
+                        !opt_.stop_at_first_feasible;
+    result_.status = proven || (opt_.stop_at_first_feasible)
+                         ? (opt_.stop_at_first_feasible ? IlpStatus::kFeasible
+                                                        : IlpStatus::kOptimal)
+                         : IlpStatus::kFeasible;
+    result_.best_bound = sense * incumbent_obj_;
+  } else if (!limits_hit && stack.empty()) {
+    result_.status = IlpStatus::kInfeasible;
+  } else {
+    result_.status = IlpStatus::kLimitReached;
+  }
+  return result_;
+}
+
+}  // namespace
+
+IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options) {
+  BranchAndBound bnb(model, options);
+  return bnb.run();
+}
+
+}  // namespace wimesh

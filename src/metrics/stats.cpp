@@ -1,0 +1,99 @@
+#include "wimesh/metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  WIMESH_ASSERT_MSG(!samples_.empty(), "quantile of empty sample set");
+  WIMESH_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<double> SampleSet::cdf(const std::vector<double>& points) const {
+  ensure_sorted();
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), p);
+    out.push_back(samples_.empty()
+                      ? 0.0
+                      : static_cast<double>(it - samples_.begin()) /
+                            static_cast<double>(samples_.size()));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)) {
+  WIMESH_ASSERT(hi > lo && bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::string Histogram::to_csv() const {
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out += str_cat(fmt_double(bin_lower(i), 6), ",", counts_[i], "\n");
+  }
+  return out;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,92 @@
+#include "wimesh/phy/phy.h"
+
+#include <cmath>
+
+#include "wimesh/common/assert.h"
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+namespace {
+
+constexpr std::size_t kAckBytes = 14;
+
+}  // namespace
+
+PhyMode PhyMode::ofdm_802_11a(int rate_mbps) {
+  int bits_per_symbol = 0;
+  switch (rate_mbps) {
+    case 6: bits_per_symbol = 24; break;
+    case 9: bits_per_symbol = 36; break;
+    case 12: bits_per_symbol = 48; break;
+    case 18: bits_per_symbol = 72; break;
+    case 24: bits_per_symbol = 96; break;
+    case 36: bits_per_symbol = 144; break;
+    case 48: bits_per_symbol = 192; break;
+    case 54: bits_per_symbol = 216; break;
+    default:
+      WIMESH_ASSERT_MSG(false, "invalid 802.11a rate");
+  }
+  PhyMode m;
+  m.family_ = Family::kOfdm;
+  m.name_ = str_cat("802.11a-", rate_mbps, "Mbps");
+  m.bitrate_bps_ = rate_mbps * 1e6;
+  m.control_bitrate_bps_ = 6e6;
+  m.bits_per_symbol_ = bits_per_symbol;
+  m.slot_ = SimTime::microseconds(9);
+  m.sifs_ = SimTime::microseconds(16);
+  m.preamble_ = SimTime::microseconds(20);  // 16us preamble + 4us SIGNAL
+  m.cw_min_ = 15;
+  m.cw_max_ = 1023;
+  return m;
+}
+
+PhyMode PhyMode::dsss_802_11b(int rate_mbps) {
+  double rate_bps = 0.0;
+  switch (rate_mbps) {
+    case 1: rate_bps = 1e6; break;
+    case 2: rate_bps = 2e6; break;
+    case 5: rate_bps = 5.5e6; break;
+    case 11: rate_bps = 11e6; break;
+    default:
+      WIMESH_ASSERT_MSG(false, "invalid 802.11b rate");
+  }
+  PhyMode m;
+  m.family_ = Family::kDsss;
+  m.name_ = str_cat("802.11b-", rate_mbps == 5 ? 5.5 : rate_mbps, "Mbps");
+  m.bitrate_bps_ = rate_bps;
+  m.control_bitrate_bps_ = 1e6;
+  m.slot_ = SimTime::microseconds(20);
+  m.sifs_ = SimTime::microseconds(10);
+  m.preamble_ = SimTime::microseconds(192);  // long PLCP preamble + header
+  m.cw_min_ = 31;
+  m.cw_max_ = 1023;
+  return m;
+}
+
+SimTime PhyMode::airtime(std::size_t mac_bytes) const {
+  if (family_ == Family::kOfdm) {
+    // 20us preamble+SIGNAL, then 4us symbols carrying bits_per_symbol_
+    // each; payload bits = SERVICE(16) + 8*bytes + TAIL(6).
+    const double bits = 16.0 + 8.0 * static_cast<double>(mac_bytes) + 6.0;
+    const auto symbols = static_cast<std::int64_t>(
+        std::ceil(bits / static_cast<double>(bits_per_symbol_)));
+    return preamble_ + SimTime::microseconds(4) * symbols;
+  }
+  // DSSS: preamble at 1 Mbps already counted; payload at the data rate.
+  const double seconds =
+      8.0 * static_cast<double>(mac_bytes) / bitrate_bps_;
+  return preamble_ + SimTime::from_seconds(seconds);
+}
+
+SimTime PhyMode::ack_airtime() const {
+  if (family_ == Family::kOfdm) {
+    // ACKs go at the 6 Mbps base rate: 24 bits/symbol.
+    const double bits = 16.0 + 8.0 * kAckBytes + 6.0;
+    const auto symbols = static_cast<std::int64_t>(std::ceil(bits / 24.0));
+    return preamble_ + SimTime::microseconds(4) * symbols;
+  }
+  const double seconds = 8.0 * kAckBytes / control_bitrate_bps_;
+  return preamble_ + SimTime::from_seconds(seconds);
+}
+
+}  // namespace wimesh

@@ -1,0 +1,32 @@
+#include "wimesh/phy/radio_model.h"
+
+namespace wimesh {
+
+Graph RadioModel::build_connectivity(
+    const std::vector<Point>& positions) const {
+  Graph g(static_cast<NodeId>(positions.size()));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (can_communicate(positions[i], positions[j])) {
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<NodeId>> RadioModel::build_interference_sets(
+    const std::vector<Point>& positions) const {
+  std::vector<std::vector<NodeId>> sets(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (i == j) continue;
+      if (interferes(positions[j], positions[i])) {
+        sets[i].push_back(static_cast<NodeId>(j));
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace wimesh

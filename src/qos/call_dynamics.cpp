@@ -1,0 +1,99 @@
+#include "wimesh/qos/call_dynamics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "wimesh/des/simulator.h"
+
+namespace wimesh {
+
+CallDynamicsResult simulate_call_dynamics(const Topology& topology,
+                                          const RadioModel& radio,
+                                          const EmulationParams& params,
+                                          const PhyMode& phy,
+                                          const CallDynamicsConfig& config) {
+  WIMESH_ASSERT(!config.endpoints.empty());
+  WIMESH_ASSERT(config.arrival_rate_per_s > 0.0);
+  WIMESH_ASSERT(config.mean_holding_s > 0.0);
+
+  QosPlanner planner(topology, radio, params, phy);
+  Simulator sim;
+  Rng rng(config.seed);
+
+  CallDynamicsResult result;
+  // Active calls as flow specs (two per call) keyed by call id.
+  std::map<int, std::pair<FlowSpec, FlowSpec>> active;
+  int next_call_id = 0;
+
+  // Carried-load time integral.
+  SimTime last_change = SimTime::zero();
+  double carried_integral_s = 0.0;
+  const auto account = [&] {
+    carried_integral_s +=
+        static_cast<double>(active.size()) *
+        (sim.now() - last_change).to_seconds();
+    last_change = sim.now();
+    result.peak_carried_calls =
+        std::max(result.peak_carried_calls, static_cast<int>(active.size()));
+  };
+
+  const auto flows_with = [&](const std::pair<FlowSpec, FlowSpec>* candidate) {
+    std::vector<FlowSpec> flows;
+    for (const auto& [id, pair] : active) {
+      flows.push_back(pair.first);
+      flows.push_back(pair.second);
+    }
+    if (candidate != nullptr) {
+      flows.push_back(candidate->first);
+      flows.push_back(candidate->second);
+    }
+    return flows;
+  };
+
+  std::function<void()> schedule_next_arrival = [&] {
+    const SimTime gap = SimTime::from_seconds(
+        rng.exponential(1.0 / config.arrival_rate_per_s));
+    if (sim.now() + gap >= config.horizon) return;
+    sim.schedule_in(gap, [&] {
+      ++result.offered;
+      const auto& endpoints = config.endpoints[rng.next_below(
+          static_cast<std::uint64_t>(config.endpoints.size()))];
+      const int call_id = next_call_id;
+      next_call_id += 2;
+      std::pair<FlowSpec, FlowSpec> candidate{
+          FlowSpec::voip(call_id, endpoints.first, endpoints.second,
+                         config.codec, config.max_delay),
+          FlowSpec::voip(call_id + 1, endpoints.second, endpoints.first,
+                         config.codec, config.max_delay)};
+      ++result.plans_attempted;
+      const auto plan =
+          planner.plan(flows_with(&candidate), config.scheduler, config.ilp,
+                       PlanObjective::kFeasibility);
+      if (plan.has_value()) {
+        account();
+        ++result.admitted;
+        active.emplace(call_id, std::move(candidate));
+        const SimTime holding =
+            SimTime::from_seconds(rng.exponential(config.mean_holding_s));
+        sim.schedule_in(holding, [&, call_id] {
+          account();
+          active.erase(call_id);
+        });
+      } else {
+        ++result.blocked;
+      }
+      schedule_next_arrival();
+    });
+  };
+  schedule_next_arrival();
+
+  sim.run_until(config.horizon);
+  account();
+  const double horizon_s = config.horizon.to_seconds();
+  result.mean_carried_calls =
+      horizon_s > 0.0 ? carried_integral_s / horizon_s : 0.0;
+  return result;
+}
+
+}  // namespace wimesh

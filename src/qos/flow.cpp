@@ -1,0 +1,47 @@
+#include "wimesh/qos/flow.h"
+
+namespace wimesh {
+
+FlowSpec FlowSpec::voip(int id, NodeId src, NodeId dst, const VoipCodec& codec,
+                        SimTime max_delay) {
+  FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.service = ServiceClass::kGuaranteed;
+  f.packet_bytes = codec.packet_bytes();
+  f.packet_interval = codec.packet_interval;
+  f.max_delay = max_delay;
+  return f;
+}
+
+FlowSpec FlowSpec::best_effort(int id, NodeId src, NodeId dst,
+                               std::size_t packet_bytes, double rate_bps) {
+  FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.service = ServiceClass::kBestEffort;
+  f.shape = TrafficShape::kPoisson;
+  f.packet_bytes = packet_bytes;
+  f.packet_interval = SimTime::from_seconds(
+      static_cast<double>(packet_bytes) * 8.0 / rate_bps);
+  return f;
+}
+
+FlowSpec FlowSpec::video(int id, NodeId src, NodeId dst, double mean_rate_bps,
+                         std::size_t mtu, SimTime max_delay) {
+  FlowSpec f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.service = ServiceClass::kGuaranteed;
+  f.shape = TrafficShape::kVbrVideo;
+  f.packet_bytes = mtu;
+  f.packet_interval = SimTime::from_seconds(
+      static_cast<double>(mtu) * 8.0 / mean_rate_bps);
+  f.max_delay = max_delay;
+  return f;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,393 @@
+#include "wimesh/qos/planner.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "wimesh/common/strings.h"
+#include "wimesh/graph/shortest_path.h"
+#include "wimesh/sched/conflict_graph.h"
+
+namespace wimesh {
+
+NodeId MeshPlan::next_hop(int flow_id, NodeId at) const {
+  const FlowPlan* f = find_flow(flow_id);
+  if (f == nullptr) return kInvalidNode;
+  for (std::size_t i = 0; i + 1 < f->node_path.size(); ++i) {
+    if (f->node_path[i] == at) return f->node_path[i + 1];
+  }
+  return kInvalidNode;
+}
+
+LinkId MeshPlan::out_link(int flow_id, NodeId at) const {
+  const FlowPlan* f = find_flow(flow_id);
+  if (f == nullptr) return kInvalidLink;
+  for (std::size_t i = 0; i + 1 < f->node_path.size(); ++i) {
+    if (f->node_path[i] == at) return f->links[i];
+  }
+  return kInvalidLink;
+}
+
+const FlowPlan* MeshPlan::find_flow(int flow_id) const {
+  for (const FlowPlan& f : guaranteed) {
+    if (f.spec.id == flow_id) return &f;
+  }
+  for (const FlowPlan& f : best_effort) {
+    if (f.spec.id == flow_id) return &f;
+  }
+  return nullptr;
+}
+
+QosPlanner::QosPlanner(const Topology& topology, const RadioModel& radio,
+                       EmulationParams params, PhyMode phy,
+                       RoutingPolicy routing)
+    : topology_(topology),
+      radio_(radio),
+      params_(params),
+      phy_(std::move(phy)),
+      routing_(routing) {
+  WIMESH_ASSERT(is_connected(topology.graph));
+}
+
+std::vector<NodeId> QosPlanner::route(
+    NodeId src, NodeId dst,
+    const std::vector<std::vector<double>>& link_load) const {
+  WIMESH_ASSERT(src != dst);
+  if (routing_ == RoutingPolicy::kHopCount) {
+    const auto parents = spanning_tree_parents(topology_.graph, src);
+    std::vector<NodeId> path{dst};
+    while (path.back() != src) {
+      const NodeId p = parents[static_cast<std::size_t>(path.back())];
+      WIMESH_ASSERT(p != kInvalidNode);
+      path.push_back(p);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  // Load-aware: arc weight 1 + reserved airtime fraction of the frame.
+  // The "+1" keeps hop count dominant until links approach saturation, so
+  // detours are only taken when they actually relieve congestion.
+  const double frame_s = params_.frame.frame_duration.to_seconds();
+  Digraph g(topology_.node_count());
+  for (EdgeId e = 0; e < topology_.graph.edge_count(); ++e) {
+    const auto& ed = topology_.graph.edge(e);
+    const auto load_of = [&](NodeId a, NodeId b) {
+      return link_load[static_cast<std::size_t>(a)]
+                      [static_cast<std::size_t>(b)];
+    };
+    g.add_arc(ed.u, ed.v, 1.0 + 8.0 * load_of(ed.u, ed.v) / frame_s);
+    g.add_arc(ed.v, ed.u, 1.0 + 8.0 * load_of(ed.v, ed.u) / frame_s);
+  }
+  const auto tree = dijkstra(g, src);
+  auto path = tree.path_to(g, dst);
+  WIMESH_ASSERT(!path.empty());
+  return path;
+}
+
+namespace {
+
+// Minislots needed on one link: guard + the busy time of all packets it
+// must carry per frame, rounded up to whole slots.
+int slots_for_busy_time(const EmulationParams& params, SimTime busy) {
+  if (busy <= SimTime::zero()) return 0;
+  const SimTime needed = busy + params.guard_time;
+  const SimTime slot = params.frame.slot_duration();
+  return static_cast<int>((needed + slot - SimTime::nanoseconds(1)) / slot);
+}
+
+// Gaps of the frame not overlapping any `busy` range, in slot order.
+std::vector<SlotRange> free_gaps(std::vector<SlotRange> busy,
+                                 int frame_slots) {
+  std::sort(busy.begin(), busy.end(),
+            [](const SlotRange& a, const SlotRange& b) {
+              return a.start < b.start;
+            });
+  std::vector<SlotRange> gaps;
+  int cursor = 0;
+  for (const SlotRange& b : busy) {
+    if (b.start > cursor) gaps.push_back(SlotRange{cursor, b.start - cursor});
+    cursor = std::max(cursor, b.end());
+  }
+  if (cursor < frame_slots) {
+    gaps.push_back(SlotRange{cursor, frame_slots - cursor});
+  }
+  return gaps;
+}
+
+}  // namespace
+
+Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
+                                    SchedulerKind kind,
+                                    const IlpSchedulerOptions& ilp_options,
+                                    PlanObjective objective) const {
+  MeshPlan plan;
+
+  // ---- 1. Route everything and register links. Guaranteed flows are
+  // routed first so best-effort detours cannot displace voice; within a
+  // class, declaration order decides (as admission would).
+  const auto node_count = static_cast<std::size_t>(topology_.node_count());
+  std::vector<std::vector<double>> link_load(
+      node_count, std::vector<double>(node_count, 0.0));
+  std::vector<FlowSpec> ordered;
+  for (const FlowSpec& spec : flows) {
+    if (spec.service == ServiceClass::kGuaranteed) ordered.push_back(spec);
+  }
+  for (const FlowSpec& spec : flows) {
+    if (spec.service == ServiceClass::kBestEffort) ordered.push_back(spec);
+  }
+  for (const FlowSpec& spec : ordered) {
+    WIMESH_ASSERT(spec.src >= 0 && spec.src < topology_.node_count());
+    WIMESH_ASSERT(spec.dst >= 0 && spec.dst < topology_.node_count());
+    FlowPlan f;
+    f.spec = spec;
+    f.node_path = route(spec.src, spec.dst, link_load);
+    for (std::size_t i = 1; i < f.node_path.size(); ++i) {
+      f.links.push_back(
+          plan.links.add({f.node_path[i - 1], f.node_path[i]}));
+    }
+    // Arrivals per frame the grant must absorb (persistent per-frame
+    // grants, as in 802.16 mesh centralized scheduling).
+    const SimTime frame = params_.frame.frame_duration;
+    f.packets_per_frame = static_cast<int>(
+        (frame + spec.packet_interval - SimTime::nanoseconds(1)) /
+        spec.packet_interval);
+    // Record the airtime this flow reserves per frame on each hop so the
+    // load-aware router sees it when placing the next flow.
+    const double per_frame_airtime_s =
+        DcfMac::overlay_service_time(phy_, spec.packet_bytes).to_seconds() *
+        f.packets_per_frame;
+    for (std::size_t i = 1; i < f.node_path.size(); ++i) {
+      link_load[static_cast<std::size_t>(f.node_path[i - 1])]
+               [static_cast<std::size_t>(f.node_path[i])] +=
+          per_frame_airtime_s;
+    }
+    // worst delay <= (budget + 2) frames (initial wait + per-wrap frames +
+    // the in-frame traversal), so the budget below is conservative.
+    f.delay_budget_frames = std::max<int>(
+        0, static_cast<int>(spec.max_delay / frame) - 2);
+    if (spec.service == ServiceClass::kGuaranteed) {
+      plan.guaranteed.push_back(std::move(f));
+    } else {
+      plan.best_effort.push_back(std::move(f));
+    }
+  }
+
+  // ---- 2. Per-link guaranteed demand (busy time → slots).
+  std::vector<SimTime> busy(static_cast<std::size_t>(plan.links.count()),
+                            SimTime::zero());
+  for (const FlowPlan& f : plan.guaranteed) {
+    const SimTime per_packet =
+        DcfMac::overlay_service_time(phy_, f.spec.packet_bytes);
+    for (LinkId l : f.links) {
+      busy[static_cast<std::size_t>(l)] += per_packet * f.packets_per_frame;
+    }
+  }
+  plan.guaranteed_demand.resize(static_cast<std::size_t>(plan.links.count()));
+  for (LinkId l = 0; l < plan.links.count(); ++l) {
+    plan.guaranteed_demand[static_cast<std::size_t>(l)] =
+        slots_for_busy_time(params_, busy[static_cast<std::size_t>(l)]);
+  }
+
+  // ---- 3. Conflict graph.
+  plan.conflicts =
+      build_conflict_graph(plan.links, topology_.positions, radio_);
+
+  // ---- 4. Schedule the guaranteed class.
+  SchedulingProblem problem;
+  problem.links = plan.links;
+  problem.demand = plan.guaranteed_demand;
+  problem.conflicts = plan.conflicts;
+  for (const FlowPlan& f : plan.guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    fp.delay_budget_frames = f.delay_budget_frames;
+    problem.flows.push_back(std::move(fp));
+  }
+
+  const int data_slots = params_.frame.data_slots;
+  switch (kind) {
+    case SchedulerKind::kIlpDelayAware:
+    case SchedulerKind::kIlpDelayUnaware: {
+      IlpSchedulerOptions opt = ilp_options;
+      opt.delay_aware = kind == SchedulerKind::kIlpDelayAware;
+      MeshSchedule found;
+      if (objective == PlanObjective::kFeasibility) {
+        // Single feasibility question at the full data subframe. The
+        // greedy-clique lower bound rejects most over-capacity requests
+        // instantly (admission control under overload hits this path for
+        // nearly every arrival); then cheap heuristics, then the ILP.
+        if (schedule_length_lower_bound(problem.links, problem.demand,
+                                        problem.conflicts) > data_slots) {
+          return make_error("infeasible: clique bound exceeds the subframe");
+        }
+        std::optional<ScheduleResult> heuristic;
+        if (opt.try_heuristics) {
+          for (auto h : {&schedule_flow_order_greedy, &schedule_greedy}) {
+            auto attempt = h(problem, data_slots);
+            if (attempt.has_value() &&
+                (!opt.delay_aware ||
+                 budgets_satisfied(problem, attempt->schedule))) {
+              heuristic = std::move(attempt);
+              break;
+            }
+          }
+        }
+        if (heuristic.has_value()) {
+          found = std::move(heuristic->schedule);
+        } else {
+          auto r = schedule_ilp(problem, data_slots, opt);
+          if (!r.has_value()) return make_error(r.error());
+          found = std::move(r->schedule);
+          plan.ilp_nodes = r->ilp_nodes;
+        }
+        plan.search_stages = 1;
+      } else {
+        auto r = min_slots_search(problem, data_slots, opt);
+        if (!r.has_value()) return make_error(r.error());
+        found = std::move(r->result.schedule);
+        plan.ilp_nodes = r->result.ilp_nodes;
+        plan.search_stages = r->stages;
+      }
+      // The schedule may be sized to the minimal S; re-house the grants in
+      // the full data subframe so the leftover slots exist for best-effort
+      // placement.
+      plan.schedule = MeshSchedule(plan.links, data_slots);
+      for (LinkId l = 0; l < plan.links.count(); ++l) {
+        if (const auto g = found.grant(l)) plan.schedule.set_grant(l, *g);
+      }
+      break;
+    }
+    case SchedulerKind::kGreedy: {
+      auto r = schedule_greedy(problem, data_slots);
+      if (!r.has_value()) return make_error("greedy: infeasible");
+      plan.schedule = std::move(r->schedule);
+      break;
+    }
+    case SchedulerKind::kRoundRobin: {
+      auto r = schedule_round_robin(problem, data_slots);
+      if (!r.has_value()) return make_error("round-robin: infeasible");
+      plan.schedule = std::move(r->schedule);
+      break;
+    }
+  }
+  plan.guaranteed_slots_used = plan.schedule.used_slots();
+
+  // ---- 5. Verify guaranteed delay bounds against the actual schedule.
+  for (FlowPlan& f : plan.guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    const int slots = worst_case_delay_slots(plan.schedule, fp,
+                                             params_.frame.total_slots());
+    f.worst_case_delay = params_.frame.slot_duration() * slots;
+    f.delay_bound_met = f.worst_case_delay <= f.spec.max_delay;
+    if (kind == SchedulerKind::kIlpDelayAware && !f.delay_bound_met) {
+      return make_error(str_cat("flow ", f.spec.id,
+                                " misses its delay bound: ",
+                                f.worst_case_delay.to_string(), " > ",
+                                f.spec.max_delay.to_string()));
+    }
+  }
+
+  // ---- 6. Best-effort grants from leftover slots (shrink to fit).
+  // Per-link BE slot request.
+  std::vector<SimTime> be_busy(static_cast<std::size_t>(plan.links.count()),
+                               SimTime::zero());
+  for (FlowPlan& f : plan.best_effort) {
+    const SimTime per_packet =
+        DcfMac::overlay_service_time(phy_, f.spec.packet_bytes);
+    for (LinkId l : f.links) {
+      be_busy[static_cast<std::size_t>(l)] += per_packet * f.packets_per_frame;
+    }
+  }
+  // Allocation is round-robin in packet-carrying granules so that no link
+  // starves: a multi-hop best-effort path is only as good as its worst hop,
+  // and a sequential first-come sweep would hand all leftover slots to the
+  // lowest-numbered links.
+  std::vector<int> remaining(static_cast<std::size_t>(plan.links.count()), 0);
+  std::vector<int> granule(static_cast<std::size_t>(plan.links.count()), 0);
+  std::vector<std::size_t> max_bytes(
+      static_cast<std::size_t>(plan.links.count()), 0);
+  for (const FlowPlan& f : plan.best_effort) {
+    for (LinkId l : f.links) {
+      max_bytes[static_cast<std::size_t>(l)] =
+          std::max(max_bytes[static_cast<std::size_t>(l)],
+                   f.spec.packet_bytes);
+    }
+  }
+  bool any_request = false;
+  for (LinkId l = 0; l < plan.links.count(); ++l) {
+    const auto idx = static_cast<std::size_t>(l);
+    remaining[idx] = slots_for_busy_time(params_, be_busy[idx]);
+    if (remaining[idx] == 0) continue;
+    // Smallest block that still carries at least one packet; smaller
+    // fragments would waste their guard and carry nothing.
+    granule[idx] =
+        block_for_packets(params_, phy_, 1, max_bytes[idx]);
+    if (granule[idx] <= 0) {
+      remaining[idx] = 0;
+      continue;
+    }
+    any_request = true;
+  }
+  while (any_request) {
+    bool pass_progress = false;
+    for (LinkId l = 0; l < plan.links.count(); ++l) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (remaining[idx] <= 0) continue;
+      const int chunk = granule[idx];
+      std::vector<SlotRange> busy_ranges = plan.schedule.all_grants(l);
+      for (EdgeId e : plan.conflicts.incident(l)) {
+        const LinkId m = plan.conflicts.other_end(e, l);
+        const auto mg = plan.schedule.all_grants(m);
+        busy_ranges.insert(busy_ranges.end(), mg.begin(), mg.end());
+      }
+      bool placed = false;
+      for (const SlotRange& gap :
+           free_gaps(std::move(busy_ranges), data_slots)) {
+        if (gap.length < chunk) continue;
+        plan.schedule.add_extra_grant(l, SlotRange{gap.start, chunk});
+        remaining[idx] -= chunk;
+        placed = true;
+        break;
+      }
+      // No gap can ever fit this granule again: the link is done.
+      if (!placed) remaining[idx] = 0;
+      pass_progress |= placed;
+    }
+    any_request = false;
+    for (int r : remaining) any_request |= r > 0;
+    if (!pass_progress) break;
+  }
+
+  return plan;
+}
+
+QosPlanner::AdmissionResult QosPlanner::admit_incrementally(
+    const std::vector<FlowSpec>& flows, SchedulerKind kind,
+    const IlpSchedulerOptions& ilp_options) const {
+  AdmissionResult best;
+  best.admitted = 0;
+  // Longest feasible prefix; each attempt re-plans from scratch, exactly as
+  // a centralized 802.16 scheduler would on each admission request. Only
+  // feasibility matters per candidate, so the cheap objective is used.
+  std::vector<FlowSpec> prefix;
+  for (const FlowSpec& spec : flows) {
+    prefix.push_back(spec);
+    auto attempt =
+        plan(prefix, kind, ilp_options, PlanObjective::kFeasibility);
+    if (!attempt.has_value()) break;
+    best.plan = std::move(*attempt);
+    best.admitted = prefix.size();
+  }
+  if (best.admitted > 0) {
+    // One final min-slots pass over the admitted set, so the returned plan
+    // carries the paper's compact schedule; keep the feasibility plan if
+    // the search exhausts its limits.
+    prefix.resize(best.admitted);
+    auto final_plan = plan(prefix, kind, ilp_options);
+    if (final_plan.has_value()) best.plan = std::move(*final_plan);
+  }
+  return best;
+}
+
+}  // namespace wimesh

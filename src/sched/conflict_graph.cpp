@@ -1,0 +1,121 @@
+#include "wimesh/sched/conflict_graph.h"
+
+#include <algorithm>
+
+namespace wimesh {
+namespace {
+
+bool share_endpoint(const Link& l, const Link& m) {
+  return l.from == m.from || l.from == m.to || l.to == m.from ||
+         l.to == m.to;
+}
+
+}  // namespace
+
+Graph build_conflict_graph(const LinkSet& links,
+                           const std::vector<Point>& positions,
+                           const RadioModel& radio) {
+  Graph g(links.count());
+  const auto pos = [&](NodeId n) {
+    WIMESH_ASSERT(n >= 0 && static_cast<std::size_t>(n) < positions.size());
+    return positions[static_cast<std::size_t>(n)];
+  };
+  for (LinkId l = 0; l < links.count(); ++l) {
+    for (LinkId m = l + 1; m < links.count(); ++m) {
+      const Link& a = links.link(l);
+      const Link& b = links.link(m);
+      // Over WiFi hardware every data frame is answered by a link-layer
+      // ACK from the receiver, so BOTH endpoints of a scheduled link
+      // transmit within its minislots. Two links may share a slot only if
+      // no endpoint of one can interfere at any endpoint of the other.
+      const bool conflict =
+          share_endpoint(a, b) ||
+          radio.interferes(pos(a.from), pos(b.to)) ||
+          radio.interferes(pos(a.from), pos(b.from)) ||
+          radio.interferes(pos(a.to), pos(b.to)) ||
+          radio.interferes(pos(a.to), pos(b.from));
+      if (conflict) g.add_edge(l, m);
+    }
+  }
+  return g;
+}
+
+Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity) {
+  Graph g(links.count());
+  for (LinkId l = 0; l < links.count(); ++l) {
+    for (LinkId m = l + 1; m < links.count(); ++m) {
+      const Link& a = links.link(l);
+      const Link& b = links.link(m);
+      // ACK-aware, as in the geometric variant: any endpoint adjacency
+      // between the two links serializes them.
+      const bool conflict = share_endpoint(a, b) ||
+                            connectivity.has_edge(a.from, b.to) ||
+                            connectivity.has_edge(a.from, b.from) ||
+                            connectivity.has_edge(a.to, b.to) ||
+                            connectivity.has_edge(a.to, b.from);
+      if (conflict) g.add_edge(l, m);
+    }
+  }
+  return g;
+}
+
+int schedule_length_lower_bound(const LinkSet& links,
+                                const std::vector<int>& demand) {
+  WIMESH_ASSERT(demand.size() == static_cast<std::size_t>(links.count()));
+  // All links touching one node serialize: per-node demand sums are clique
+  // bounds. So is any single link's demand (covered by the sums).
+  NodeId max_node = -1;
+  for (const Link& l : links.links()) {
+    max_node = std::max({max_node, l.from, l.to});
+  }
+  std::vector<int> node_load(static_cast<std::size_t>(max_node + 1), 0);
+  for (LinkId l = 0; l < links.count(); ++l) {
+    const auto d = demand[static_cast<std::size_t>(l)];
+    WIMESH_ASSERT(d >= 0);
+    node_load[static_cast<std::size_t>(links.link(l).from)] += d;
+    node_load[static_cast<std::size_t>(links.link(l).to)] += d;
+  }
+  int bound = 0;
+  for (int load : node_load) bound = std::max(bound, load);
+  return bound;
+}
+
+int schedule_length_lower_bound(const LinkSet& links,
+                                const std::vector<int>& demand,
+                                const Graph& conflicts) {
+  WIMESH_ASSERT(conflicts.node_count() == links.count());
+  int bound = schedule_length_lower_bound(links, demand);
+
+  // Greedy clique growth seeded at every demanded link: repeatedly add the
+  // heaviest link adjacent (in the conflict graph) to every member.
+  std::vector<LinkId> by_demand;
+  for (LinkId l = 0; l < links.count(); ++l) {
+    if (demand[static_cast<std::size_t>(l)] > 0) by_demand.push_back(l);
+  }
+  std::sort(by_demand.begin(), by_demand.end(), [&](LinkId a, LinkId b) {
+    return demand[static_cast<std::size_t>(a)] >
+           demand[static_cast<std::size_t>(b)];
+  });
+  for (LinkId seed : by_demand) {
+    std::vector<LinkId> clique{seed};
+    int weight = demand[static_cast<std::size_t>(seed)];
+    for (LinkId cand : by_demand) {
+      if (cand == seed) continue;
+      bool adjacent_to_all = true;
+      for (LinkId member : clique) {
+        if (!conflicts.has_edge(cand, member)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) {
+        clique.push_back(cand);
+        weight += demand[static_cast<std::size_t>(cand)];
+      }
+    }
+    bound = std::max(bound, weight);
+  }
+  return bound;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,605 @@
+#include "wimesh/sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "wimesh/common/strings.h"
+#include "wimesh/graph/shortest_path.h"
+#include "wimesh/sched/conflict_graph.h"
+
+namespace wimesh {
+
+void SchedulingProblem::check() const {
+  WIMESH_ASSERT(demand.size() == static_cast<std::size_t>(links.count()));
+  WIMESH_ASSERT(conflicts.node_count() == links.count());
+  for (int d : demand) WIMESH_ASSERT(d >= 0);
+  for (const FlowPath& f : flows) {
+    WIMESH_ASSERT(!f.links.empty());
+    WIMESH_ASSERT(f.delay_budget_frames >= 0);
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      const LinkId l = f.links[i];
+      WIMESH_ASSERT(l >= 0 && l < links.count());
+      WIMESH_ASSERT_MSG(demand[static_cast<std::size_t>(l)] > 0,
+                        "flow routed over a link with zero demand");
+      if (i > 0) {
+        // Consecutive hops share the relay node, hence always conflict.
+        WIMESH_ASSERT(links.link(f.links[i - 1]).to == links.link(l).from);
+        WIMESH_ASSERT(conflicts.has_edge(f.links[i - 1], l));
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<LinkId> active_links(const SchedulingProblem& p) {
+  std::vector<LinkId> act;
+  for (LinkId l = 0; l < p.links.count(); ++l) {
+    if (p.demand[static_cast<std::size_t>(l)] > 0) act.push_back(l);
+  }
+  return act;
+}
+
+// Builds the final ScheduleResult from a complete transmission order by
+// running the Bellman–Ford reconstruction and validating.
+Expected<ScheduleResult> finish_from_order(const SchedulingProblem& problem,
+                                           TransmissionOrder order,
+                                           int frame_slots, long ilp_nodes,
+                                           long lp_iterations) {
+  auto schedule = order_to_schedule(problem, order, frame_slots);
+  if (!schedule.has_value()) {
+    return make_error("order reconstruction failed (cyclic or too long)");
+  }
+  WIMESH_ASSERT(validate_schedule(problem, *schedule));
+  ScheduleResult result{std::move(*schedule), std::move(order), ilp_nodes,
+                        lp_iterations};
+  return result;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared skeleton of the transmission-order integer programs: start-slot
+// variables, one binary per conflicting active pair with the big-M
+// disjunction rows, and helpers to express per-flow wrap counts and to
+// extract orders from solutions.
+struct OrderModel {
+  IlpModel model;
+  struct PairVar {
+    LinkId l, m;
+    VarId var;
+  };
+  std::vector<PairVar> pairs;
+  std::vector<VarId> pair_var;  // flat (l, m) lookup, l < m
+  LinkId n = 0;
+
+  VarId lookup(LinkId a, LinkId b) const {
+    return pair_var[static_cast<std::size_t>(a) *
+                        static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(b)];
+  }
+
+  // Appends the LP terms of  sum over consecutive hops (a, b) of the
+  // indicator "a's block precedes b's block"; `constant` accumulates the
+  // constant part contributed by reversed-orientation pair variables.
+  void append_before_terms(const FlowPath& flow, std::vector<LpTerm>* terms,
+                           double* constant) const {
+    for (std::size_t i = 1; i < flow.links.size(); ++i) {
+      const LinkId a = flow.links[i - 1];
+      const LinkId b = flow.links[i];
+      if (a < b) {
+        const VarId o = lookup(a, b);
+        WIMESH_ASSERT(o >= 0);
+        terms->push_back({o, 1.0});
+      } else {
+        const VarId o = lookup(b, a);
+        WIMESH_ASSERT(o >= 0);
+        terms->push_back({o, -1.0});  // "a before b" == 1 - o(b, a)
+        *constant += 1.0;
+      }
+    }
+  }
+
+  TransmissionOrder extract_order(const std::vector<double>& x,
+                                  double threshold = 0.5) const {
+    TransmissionOrder order(n);
+    for (const PairVar& pv : pairs) {
+      if (x[static_cast<std::size_t>(pv.var)] >= threshold) {
+        order.set_before(pv.l, pv.m);
+      } else {
+        order.set_before(pv.m, pv.l);
+      }
+    }
+    return order;
+  }
+};
+
+Expected<OrderModel> build_order_model(const SchedulingProblem& problem,
+                                       int frame_slots) {
+  WIMESH_ASSERT(frame_slots > 0);
+  const auto act = active_links(problem);
+  const double big_m = frame_slots;
+
+  for (LinkId l : act) {
+    if (problem.demand[static_cast<std::size_t>(l)] > frame_slots) {
+      return make_error("infeasible: a single demand exceeds the frame");
+    }
+  }
+
+  OrderModel out;
+  out.n = problem.links.count();
+  // Start-slot variable per active link.
+  std::vector<VarId> start(static_cast<std::size_t>(out.n), -1);
+  for (LinkId l : act) {
+    const int d = problem.demand[static_cast<std::size_t>(l)];
+    start[static_cast<std::size_t>(l)] = out.model.add_continuous(
+        0.0, static_cast<double>(frame_slots - d), 0.0, str_cat("s", l));
+  }
+
+  out.pair_var.assign(
+      static_cast<std::size_t>(out.n) * static_cast<std::size_t>(out.n), -1);
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    LinkId l = problem.conflicts.edge(e).u;
+    LinkId m = problem.conflicts.edge(e).v;
+    if (l > m) std::swap(l, m);
+    const int dl = problem.demand[static_cast<std::size_t>(l)];
+    const int dm = problem.demand[static_cast<std::size_t>(m)];
+    if (dl == 0 || dm == 0) continue;
+    const VarId o = out.model.add_binary(0.0, str_cat("o", l, "_", m));
+    // Heaviest pairs decide the schedule's shape; branch them first.
+    out.model.set_branch_priority(o, dl + dm);
+    out.pairs.push_back({l, m, o});
+    out.pair_var[static_cast<std::size_t>(l) *
+                     static_cast<std::size_t>(out.n) +
+                 static_cast<std::size_t>(m)] = o;
+    const VarId sl = start[static_cast<std::size_t>(l)];
+    const VarId sm = start[static_cast<std::size_t>(m)];
+    // o = 1: s_l + d_l <= s_m   (big-M relaxed when o = 0)
+    out.model.add_constraint({{sl, 1.0}, {sm, -1.0}, {o, big_m}},
+                             RowSense::kLessEqual,
+                             big_m - static_cast<double>(dl));
+    // o = 0: s_m + d_m <= s_l   (big-M relaxed when o = 1)
+    out.model.add_constraint({{sm, 1.0}, {sl, -1.0}, {o, -big_m}},
+                             RowSense::kLessEqual, -static_cast<double>(dm));
+  }
+  return out;
+}
+
+// Per-flow wrap budgets: sum of "a before b" indicators >= hops-1-budget.
+void add_budget_rows(OrderModel& om, const SchedulingProblem& problem) {
+  for (const FlowPath& flow : problem.flows) {
+    const auto hops = static_cast<int>(flow.links.size());
+    if (hops <= 1) continue;
+    std::vector<LpTerm> terms;
+    double constant = 0.0;
+    om.append_before_terms(flow, &terms, &constant);
+    const double required =
+        static_cast<double>(hops - 1 - flow.delay_budget_frames);
+    if (required <= 0.0) continue;  // budget never binds
+    om.model.add_constraint(terms, RowSense::kGreaterEqual,
+                            required - constant);
+  }
+}
+
+}  // namespace
+
+Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
+                                      int frame_slots,
+                                      const IlpSchedulerOptions& options) {
+  problem.check();
+  auto build = build_order_model(problem, frame_slots);
+  if (!build.has_value()) return make_error(build.error());
+  OrderModel& om = *build;
+  if (options.delay_aware) add_budget_rows(om, problem);
+
+  // Fast path: round the root LP relaxation into an order and let
+  // Bellman-Ford try to realize it. On many instances the rounded order is
+  // already feasible, skipping branch & bound entirely.
+  if (options.try_heuristics) {
+    const LpResult root = solve_lp(om.model.lp());
+    if (root.status == LpStatus::kOptimal) {
+      TransmissionOrder rounded = om.extract_order(root.x);
+      if (auto schedule = order_to_schedule(problem, rounded, frame_slots)) {
+        if (!options.delay_aware || budgets_satisfied(problem, *schedule)) {
+          WIMESH_ASSERT(validate_schedule(problem, *schedule));
+          return ScheduleResult{std::move(*schedule), std::move(rounded), 0,
+                                root.iterations};
+        }
+      }
+    }
+  }
+
+  IlpOptions iopt;
+  iopt.stop_at_first_feasible = true;  // pure feasibility program
+  iopt.max_nodes = options.max_nodes;
+  iopt.time_limit_seconds = options.time_limit_seconds;
+  const IlpResult r = solve_ilp(om.model, iopt);
+  if (r.status == IlpStatus::kInfeasible) return make_error("infeasible");
+  if (!r.has_solution()) return make_error("limit");
+
+  TransmissionOrder order = om.extract_order(r.x);
+  return finish_from_order(problem, std::move(order), frame_slots,
+                           r.nodes_explored, r.lp_iterations);
+}
+
+Expected<MinMaxDelayResult> schedule_ilp_min_max_delay(
+    const SchedulingProblem& problem, int frame_slots,
+    const IlpSchedulerOptions& options) {
+  problem.check();
+  auto build = build_order_model(problem, frame_slots);
+  if (!build.has_value()) return make_error(build.error());
+  OrderModel& om = *build;
+  if (options.delay_aware) add_budget_rows(om, problem);
+
+  // W bounds every flow's wrap count: wraps_f = hops-1 - sum(before terms)
+  // <= W  ⇔  sum(before terms) + W >= hops-1.
+  int max_hops = 0;
+  for (const FlowPath& f : problem.flows) {
+    max_hops = std::max(max_hops, static_cast<int>(f.links.size()));
+  }
+  const VarId w = om.model.add_integer(
+      0.0, std::max(0, max_hops - 1), 1.0, "max_wraps");
+  om.model.set_objective_sense(ObjSense::kMinimize);
+  for (const FlowPath& flow : problem.flows) {
+    const auto hops = static_cast<int>(flow.links.size());
+    if (hops <= 1) continue;
+    std::vector<LpTerm> terms;
+    double constant = 0.0;
+    om.append_before_terms(flow, &terms, &constant);
+    terms.push_back({w, 1.0});
+    om.model.add_constraint(terms, RowSense::kGreaterEqual,
+                            static_cast<double>(hops - 1) - constant);
+  }
+
+  IlpOptions iopt;
+  iopt.max_nodes = options.max_nodes;
+  iopt.time_limit_seconds = options.time_limit_seconds;
+  iopt.objective_gap_tol = 1.0 - 1e-6;  // integral objective: prune hard
+  const IlpResult r = solve_ilp(om.model, iopt);
+  if (r.status == IlpStatus::kInfeasible) return make_error("infeasible");
+  if (!r.has_solution()) return make_error("limit");
+
+  TransmissionOrder order = om.extract_order(r.x);
+  auto finished = finish_from_order(problem, std::move(order), frame_slots,
+                                    r.nodes_explored, r.lp_iterations);
+  if (!finished.has_value()) return make_error(finished.error());
+  MinMaxDelayResult out;
+  out.result = std::move(*finished);
+  out.max_wraps = static_cast<int>(
+      std::llround(r.x[static_cast<std::size_t>(w)]));
+  out.proven = r.status == IlpStatus::kOptimal;
+  // The reconstructed schedule honors the same order, so its wrap counts
+  // cannot exceed the model's bound.
+  for (const FlowPath& f : problem.flows) {
+    WIMESH_ASSERT(count_frame_wraps(out.result.schedule, f) <= out.max_wraps);
+  }
+  return out;
+}
+
+Expected<MinSlotsResult> min_slots_search(const SchedulingProblem& problem,
+                                          int max_slots,
+                                          const IlpSchedulerOptions& options) {
+  problem.check();
+  const int lower = schedule_length_lower_bound(problem.links, problem.demand,
+                                                problem.conflicts);
+  if (lower == 0) {
+    // Nothing to schedule.
+    MinSlotsResult out;
+    out.frame_slots = 0;
+    out.result.schedule = MeshSchedule(problem.links, 0);
+    out.result.order = TransmissionOrder(problem.links.count());
+    return out;
+  }
+  if (lower > max_slots) {
+    return make_error(
+        str_cat("infeasible: clique lower bound ", lower,
+                " exceeds the data subframe size ", max_slots));
+  }
+  MinSlotsResult out;
+  bool ilp_limit_hit = false;
+  for (int s = lower; s <= max_slots; ++s) {
+    ++out.stages;
+    if (options.try_heuristics) {
+      // Constructive heuristics: any feasible schedule settles the stage.
+      for (auto heuristic :
+           {&schedule_flow_order_greedy, &schedule_greedy}) {
+        auto attempt = heuristic(problem, s);
+        if (attempt.has_value() &&
+            (!options.delay_aware ||
+             budgets_satisfied(problem, attempt->schedule))) {
+          out.frame_slots = s;
+          out.result = std::move(*attempt);
+          out.proven_minimal = !ilp_limit_hit;
+          return out;
+        }
+      }
+    }
+    auto attempt = schedule_ilp(problem, s, options);
+    if (attempt.has_value()) {
+      out.frame_slots = s;
+      out.result = std::move(*attempt);
+      out.proven_minimal = !ilp_limit_hit;
+      return out;
+    }
+    // An ILP that exhausted its limits leaves this stage undecided; keep
+    // scanning upward — larger S only gets easier — but remember that the
+    // eventual answer is an upper bound, not a proven minimum.
+    if (attempt.error() == "limit") ilp_limit_hit = true;
+  }
+  if (ilp_limit_hit) {
+    return make_error("solver limit reached during min-slot search");
+  }
+  return make_error(str_cat("infeasible within ", max_slots, " slots"));
+}
+
+std::optional<ScheduleResult> schedule_flow_order_greedy(
+    const SchedulingProblem& problem, int frame_slots) {
+  problem.check();
+  auto act = active_links(problem);
+  // Rank links by their earliest position along any flow; links outside all
+  // flows sort last. Processing in rank order and pinning each block after
+  // its upstream hop's block yields wrap-free orders on path-shaped demand.
+  std::vector<int> rank(static_cast<std::size_t>(problem.links.count()),
+                        1 << 20);
+  for (const FlowPath& f : problem.flows) {
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      auto& r = rank[static_cast<std::size_t>(f.links[i])];
+      r = std::min(r, static_cast<int>(i));
+    }
+  }
+  std::sort(act.begin(), act.end(), [&](LinkId a, LinkId b) {
+    const int ra = rank[static_cast<std::size_t>(a)];
+    const int rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+
+  MeshSchedule schedule(problem.links, frame_slots);
+  for (LinkId l : act) {
+    const int d = problem.demand[static_cast<std::size_t>(l)];
+    // The block must start no earlier than the end of every already-placed
+    // upstream hop (the delay-aware pin).
+    int lower_start = 0;
+    for (const FlowPath& f : problem.flows) {
+      for (std::size_t i = 1; i < f.links.size(); ++i) {
+        if (f.links[i] != l) continue;
+        if (const auto up = schedule.grant(f.links[i - 1])) {
+          lower_start = std::max(lower_start, up->end());
+        }
+      }
+    }
+    std::vector<SlotRange> busy;
+    for (EdgeId e : problem.conflicts.incident(l)) {
+      const LinkId m = problem.conflicts.other_end(e, l);
+      if (const auto g = schedule.grant(m)) busy.push_back(*g);
+    }
+    std::sort(busy.begin(), busy.end(),
+              [](const SlotRange& a, const SlotRange& b) {
+                return a.start < b.start;
+              });
+    int cursor = lower_start;
+    for (const SlotRange& b : busy) {
+      if (cursor + d <= b.start) break;
+      cursor = std::max(cursor, b.end());
+    }
+    if (cursor + d > frame_slots) return std::nullopt;
+    schedule.set_grant(l, SlotRange{cursor, d});
+  }
+  WIMESH_ASSERT(validate_schedule(problem, schedule));
+  TransmissionOrder order = order_from_schedule(problem, schedule);
+  return ScheduleResult{std::move(schedule), std::move(order), 0, 0};
+}
+
+bool budgets_satisfied(const SchedulingProblem& problem,
+                       const MeshSchedule& schedule) {
+  for (const FlowPath& f : problem.flows) {
+    if (count_frame_wraps(schedule, f) > f.delay_budget_frames) return false;
+  }
+  return true;
+}
+
+std::optional<MeshSchedule> order_to_schedule(const SchedulingProblem& problem,
+                                              const TransmissionOrder& order,
+                                              int frame_slots) {
+  WIMESH_ASSERT(order.link_count() == problem.links.count());
+  const auto act = active_links(problem);
+
+  // Completeness: every conflicting active pair must be ordered one way.
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    const LinkId l = problem.conflicts.edge(e).u;
+    const LinkId m = problem.conflicts.edge(e).v;
+    if (problem.demand[static_cast<std::size_t>(l)] == 0 ||
+        problem.demand[static_cast<std::size_t>(m)] == 0) {
+      continue;
+    }
+    WIMESH_ASSERT_MSG(order.before(l, m) != order.before(m, l),
+                      "transmission order must decide every conflicting pair");
+  }
+
+  // Difference-constraint graph: node i = start slot of act[i]; node n = 0
+  // reference. Arc (from → to, w) encodes x_to - x_from <= w.
+  std::vector<int> node_of(static_cast<std::size_t>(problem.links.count()),
+                           -1);
+  const auto n = static_cast<NodeId>(act.size());
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    node_of[static_cast<std::size_t>(act[i])] = static_cast<int>(i);
+  }
+  Digraph g(n + 1);
+  const NodeId zero = n;
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    const int d = problem.demand[static_cast<std::size_t>(act[i])];
+    if (d > frame_slots) return std::nullopt;
+    // s_i - 0 <= S - d  and  0 - s_i <= 0.
+    g.add_arc(zero, static_cast<NodeId>(i),
+              static_cast<double>(frame_slots - d));
+    g.add_arc(static_cast<NodeId>(i), zero, 0.0);
+  }
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    const LinkId l = problem.conflicts.edge(e).u;
+    const LinkId m = problem.conflicts.edge(e).v;
+    const int dl = problem.demand[static_cast<std::size_t>(l)];
+    const int dm = problem.demand[static_cast<std::size_t>(m)];
+    if (dl == 0 || dm == 0) continue;
+    if (order.before(l, m)) {
+      // s_m >= s_l + d_l  ⇔  s_l - s_m <= -d_l  ⇔ arc m → l.
+      g.add_arc(node_of[static_cast<std::size_t>(m)],
+                node_of[static_cast<std::size_t>(l)],
+                -static_cast<double>(dl));
+    } else {
+      g.add_arc(node_of[static_cast<std::size_t>(l)],
+                node_of[static_cast<std::size_t>(m)],
+                -static_cast<double>(dm));
+    }
+  }
+
+  const auto x = solve_difference_constraints(g);
+  if (!x.has_value()) return std::nullopt;
+
+  MeshSchedule schedule(problem.links, frame_slots);
+  const double base = (*x)[static_cast<std::size_t>(zero)];
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    const double raw = (*x)[i] - base;
+    const int slot = static_cast<int>(std::llround(raw));
+    WIMESH_ASSERT_MSG(std::abs(raw - slot) < 1e-6,
+                      "difference-constraint solution must be integral");
+    schedule.set_grant(
+        act[i],
+        SlotRange{slot, problem.demand[static_cast<std::size_t>(act[i])]});
+  }
+  return schedule;
+}
+
+std::optional<ScheduleResult> schedule_greedy(const SchedulingProblem& problem,
+                                              int frame_slots) {
+  problem.check();
+  auto act = active_links(problem);
+  std::sort(act.begin(), act.end(), [&](LinkId a, LinkId b) {
+    const int da = problem.demand[static_cast<std::size_t>(a)];
+    const int db = problem.demand[static_cast<std::size_t>(b)];
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  MeshSchedule schedule(problem.links, frame_slots);
+  for (LinkId l : act) {
+    const int d = problem.demand[static_cast<std::size_t>(l)];
+    // Collect busy intervals of already-placed conflicting links.
+    std::vector<SlotRange> busy;
+    for (EdgeId e : problem.conflicts.incident(l)) {
+      const LinkId m = problem.conflicts.other_end(e, l);
+      if (const auto g = schedule.grant(m)) busy.push_back(*g);
+    }
+    std::sort(busy.begin(), busy.end(),
+              [](const SlotRange& a, const SlotRange& b) {
+                return a.start < b.start;
+              });
+    // First-fit gap.
+    int cursor = 0;
+    for (const SlotRange& b : busy) {
+      if (cursor + d <= b.start) break;
+      cursor = std::max(cursor, b.end());
+    }
+    if (cursor + d > frame_slots) return std::nullopt;
+    schedule.set_grant(l, SlotRange{cursor, d});
+  }
+  WIMESH_ASSERT(validate_schedule(problem, schedule));
+  TransmissionOrder order = order_from_schedule(problem, schedule);
+  return ScheduleResult{std::move(schedule), std::move(order), 0, 0};
+}
+
+std::optional<ScheduleResult> schedule_round_robin(
+    const SchedulingProblem& problem, int frame_slots) {
+  problem.check();
+  MeshSchedule schedule(problem.links, frame_slots);
+  for (LinkId l : active_links(problem)) {
+    const int d = problem.demand[static_cast<std::size_t>(l)];
+    int cursor = 0;
+    for (EdgeId e : problem.conflicts.incident(l)) {
+      const LinkId m = problem.conflicts.other_end(e, l);
+      if (const auto g = schedule.grant(m)) cursor = std::max(cursor, g->end());
+    }
+    if (cursor + d > frame_slots) return std::nullopt;
+    schedule.set_grant(l, SlotRange{cursor, d});
+  }
+  WIMESH_ASSERT(validate_schedule(problem, schedule));
+  TransmissionOrder order = order_from_schedule(problem, schedule);
+  return ScheduleResult{std::move(schedule), std::move(order), 0, 0};
+}
+
+TransmissionOrder order_from_schedule(const SchedulingProblem& problem,
+                                      const MeshSchedule& schedule) {
+  TransmissionOrder order(problem.links.count());
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    const LinkId l = problem.conflicts.edge(e).u;
+    const LinkId m = problem.conflicts.edge(e).v;
+    const auto gl = schedule.grant(l);
+    const auto gm = schedule.grant(m);
+    if (!gl || !gm) continue;
+    if (gl->end() <= gm->start) {
+      order.set_before(l, m);
+    } else if (gm->end() <= gl->start) {
+      order.set_before(m, l);
+    }
+    // Overlapping grants leave the pair unordered; validate_schedule will
+    // reject such schedules.
+  }
+  return order;
+}
+
+bool validate_schedule(const SchedulingProblem& problem,
+                       const MeshSchedule& schedule) {
+  if (schedule.link_count() != problem.links.count()) return false;
+  for (LinkId l = 0; l < problem.links.count(); ++l) {
+    const int d = problem.demand[static_cast<std::size_t>(l)];
+    const auto g = schedule.grant(l);
+    if (d == 0) {
+      if (g.has_value()) return false;
+      continue;
+    }
+    if (!g || g->length != d) return false;
+    if (g->start < 0 || g->end() > schedule.frame_slots()) return false;
+  }
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    const auto gl = schedule.grant(problem.conflicts.edge(e).u);
+    const auto gm = schedule.grant(problem.conflicts.edge(e).v);
+    if (gl && gm && gl->overlaps(*gm)) return false;
+  }
+  return true;
+}
+
+int worst_case_delay_slots(const MeshSchedule& schedule, const FlowPath& flow,
+                           int frame_total_slots) {
+  WIMESH_ASSERT(!flow.links.empty());
+  WIMESH_ASSERT(frame_total_slots >= schedule.frame_slots());
+  // Worst case: the packet arrives just as the first block starts and must
+  // wait a full frame for the next occurrence.
+  int delay = frame_total_slots;
+  const auto first = schedule.grant(flow.links.front());
+  WIMESH_ASSERT(first.has_value());
+  delay += first->length;
+  int prev_end = first->end();
+  for (std::size_t i = 1; i < flow.links.size(); ++i) {
+    const auto g = schedule.grant(flow.links[static_cast<std::size_t>(i)]);
+    WIMESH_ASSERT(g.has_value());
+    int gap = g->start - prev_end;
+    if (gap < 0) gap += frame_total_slots;  // waits for the next frame
+    delay += gap + g->length;
+    prev_end = g->end();
+  }
+  return delay;
+}
+
+int count_frame_wraps(const MeshSchedule& schedule, const FlowPath& flow) {
+  int wraps = 0;
+  for (std::size_t i = 1; i < flow.links.size(); ++i) {
+    const auto prev = schedule.grant(flow.links[i - 1]);
+    const auto cur = schedule.grant(flow.links[i]);
+    WIMESH_ASSERT(prev.has_value() && cur.has_value());
+    if (cur->start < prev->end()) ++wraps;
+  }
+  return wraps;
+}
+
+}  // namespace wimesh

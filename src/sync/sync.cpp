@@ -1,0 +1,103 @@
+#include "wimesh/sync/sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wimesh/graph/topology.h"
+
+namespace wimesh {
+
+SimTime SyncConfig::max_error_bound(int max_hops) const {
+  WIMESH_ASSERT(max_hops >= 0);
+  // Per-hop errors are independent, so they accumulate as a random walk:
+  // stddev grows with sqrt(hops). 3 sigma bounds the residual; drift adds
+  // linearly until the next wave. 3 sigma of the drift distribution bounds
+  // the crystal.
+  const double residual_ns =
+      3.0 * static_cast<double>(per_hop_error_stddev.ns()) *
+      std::sqrt(static_cast<double>(max_hops));
+  const double drift_ns = 3.0 * drift_ppm_stddev * 1e-6 *
+                          static_cast<double>(resync_interval.ns());
+  return SimTime::nanoseconds(
+      static_cast<std::int64_t>(std::ceil(residual_ns + drift_ns)));
+}
+
+SyncProtocol::SyncProtocol(Simulator& sim, const Graph& topology,
+                           NodeId master, SyncConfig config, Rng rng,
+                           SimTime initial_offset_bound)
+    : sim_(sim), master_(master), config_(config), rng_(rng) {
+  WIMESH_ASSERT(is_connected(topology));
+  WIMESH_ASSERT(master >= 0 && master < topology.node_count());
+  parent_ = spanning_tree_parents(topology, master);
+  const auto hops = bfs_hops(topology, master);
+  depth_.assign(hops.begin(), hops.end());
+  max_depth_ = *std::max_element(depth_.begin(), depth_.end());
+
+  clocks_.resize(static_cast<std::size_t>(topology.node_count()));
+  for (auto& c : clocks_) {
+    c.drift_ppm = rng_.normal(0.0, config_.drift_ppm_stddev);
+    c.offset = SimTime::nanoseconds(static_cast<std::int64_t>(
+        rng_.uniform(0.0, static_cast<double>(initial_offset_bound.ns()))));
+    c.last_sync = SimTime::zero();
+  }
+  // The master is the time reference: zero error, zero drift by definition
+  // (everyone aligns to it).
+  clocks_[static_cast<std::size_t>(master_)] = ClockState{};
+}
+
+void SyncProtocol::start() {
+  sim_.schedule_at(sim_.now(), [this] { run_wave(); });
+}
+
+void SyncProtocol::run_wave() {
+  const SimTime now = sim_.now();
+  // The wave propagates level by level; each hop contributes an independent
+  // timestamping error, so a node at depth d ends with the sum of d draws.
+  // Propagation happens within one control subframe, which is negligible
+  // next to the resync interval, so the wave is applied atomically at
+  // `now`. Errors are re-drawn per wave.
+  std::vector<SimTime> accumulated(clocks_.size());
+  for (std::size_t n = 0; n < clocks_.size(); ++n) {
+    if (static_cast<NodeId>(n) == master_) continue;
+    // Walk up the tree, summing per-hop errors. Drawing per (node, wave)
+    // rather than per tree edge keeps the random-walk statistics while
+    // staying order-independent.
+    const double hop_sigma =
+        static_cast<double>(config_.per_hop_error_stddev.ns());
+    const double sigma =
+        hop_sigma * std::sqrt(static_cast<double>(
+                        depth_[static_cast<std::size_t>(n)]));
+    accumulated[n] = SimTime::nanoseconds(
+        static_cast<std::int64_t>(rng_.normal(0.0, sigma)));
+  }
+  for (std::size_t n = 0; n < clocks_.size(); ++n) {
+    if (static_cast<NodeId>(n) == master_) continue;
+    clocks_[n].offset = accumulated[n];
+    clocks_[n].last_sync = now;
+  }
+  ++waves_;
+  sim_.schedule_in(config_.resync_interval, [this] { run_wave(); });
+}
+
+SimTime SyncProtocol::error(NodeId n, SimTime t) const {
+  WIMESH_ASSERT(n >= 0 && static_cast<std::size_t>(n) < clocks_.size());
+  const ClockState& c = clocks_[static_cast<std::size_t>(n)];
+  const SimTime since = t - c.last_sync;
+  const double drift_ns =
+      c.drift_ppm * 1e-6 * static_cast<double>(since.ns());
+  return c.offset +
+         SimTime::nanoseconds(static_cast<std::int64_t>(drift_ns));
+}
+
+SimTime SyncProtocol::global_time_for_local(NodeId n,
+                                            SimTime local_target) const {
+  // local(t) = t + offset + drift * (t - last_sync); solve for t.
+  const ClockState& c = clocks_[static_cast<std::size_t>(n)];
+  const double drift = c.drift_ppm * 1e-6;
+  const double rhs = static_cast<double>((local_target - c.offset).ns()) +
+                     drift * static_cast<double>(c.last_sync.ns());
+  return SimTime::nanoseconds(
+      static_cast<std::int64_t>(std::llround(rhs / (1.0 + drift))));
+}
+
+}  // namespace wimesh

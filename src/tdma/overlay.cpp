@@ -1,0 +1,139 @@
+#include "wimesh/tdma/overlay.h"
+
+#include <algorithm>
+
+namespace wimesh {
+
+int packets_per_block(const EmulationParams& params, const PhyMode& phy,
+                      int block_slots, std::size_t payload_bytes) {
+  WIMESH_ASSERT(block_slots >= 0);
+  const SimTime usable =
+      params.frame.slot_duration() * block_slots - params.guard_time;
+  if (usable <= SimTime::zero()) return 0;
+  const SimTime per_packet = DcfMac::overlay_service_time(phy, payload_bytes);
+  return static_cast<int>(usable / per_packet);
+}
+
+int block_for_packets(const EmulationParams& params, const PhyMode& phy,
+                      int packets, std::size_t payload_bytes) {
+  WIMESH_ASSERT(packets > 0);
+  const SimTime per_packet = DcfMac::overlay_service_time(phy, payload_bytes);
+  const SimTime needed = per_packet * packets + params.guard_time;
+  const SimTime slot = params.frame.slot_duration();
+  const auto blocks =
+      static_cast<int>((needed + slot - SimTime::nanoseconds(1)) / slot);
+  if (blocks > params.frame.data_slots) return -1;
+  return blocks;
+}
+
+double emulation_efficiency(const EmulationParams& params, const PhyMode& phy,
+                            std::size_t payload_bytes) {
+  const int packets = packets_per_block(params, phy, params.frame.data_slots,
+                                        payload_bytes);
+  const double delivered_bits =
+      static_cast<double>(packets) * 8.0 * static_cast<double>(payload_bytes);
+  const double nominal_bits =
+      phy.bitrate_bps() * params.frame.frame_duration.to_seconds();
+  return delivered_bits / nominal_bits;
+}
+
+TdmaOverlayNode::TdmaOverlayNode(Simulator& sim, DcfMac& mac,
+                                 const SyncProtocol& sync, NodeId self,
+                                 EmulationParams params)
+    : sim_(sim), mac_(mac), sync_(sync), self_(self), params_(params) {
+  WIMESH_ASSERT(mac.self() == self);
+}
+
+void TdmaOverlayNode::set_grants(std::vector<TxGrant> grants) {
+  for (const TxGrant& g : grants) {
+    WIMESH_ASSERT(g.link != kInvalidLink);
+    WIMESH_ASSERT(g.neighbor != kInvalidNode);
+    WIMESH_ASSERT(g.range.length > 0);
+    queues_.try_emplace(g.link);
+  }
+  grants_ = std::move(grants);
+}
+
+void TdmaOverlayNode::start(SimTime stop) {
+  schedule_frame(params_.frame.frame_index(sim_.now()), stop);
+}
+
+void TdmaOverlayNode::enqueue(LinkId link, MacPacket packet, bool guaranteed) {
+  const auto it = queues_.find(link);
+  WIMESH_ASSERT_MSG(it != queues_.end(),
+                    "enqueue on a link this node has no grant for");
+  if (guaranteed) {
+    it->second.guaranteed.push_back(packet);
+    return;
+  }
+  if (it->second.best_effort.size() >= best_effort_queue_cap_) {
+    ++best_effort_drops_;
+    return;
+  }
+  it->second.best_effort.push_back(packet);
+}
+
+std::size_t TdmaOverlayNode::queue_length(LinkId link) const {
+  const auto it = queues_.find(link);
+  if (it == queues_.end()) return 0;
+  return it->second.guaranteed.size() + it->second.best_effort.size();
+}
+
+std::size_t TdmaOverlayNode::total_queued() const {
+  std::size_t total = 0;
+  for (const auto& [link, q] : queues_) {
+    total += q.guaranteed.size() + q.best_effort.size();
+  }
+  return total;
+}
+
+void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
+  const SimTime frame_start = params_.frame.frame_start(frame_index);
+  if (frame_start >= stop) return;
+  for (const TxGrant& grant : grants_) {
+    // Fire when *this node's clock* reads the block start.
+    const SimTime local_start =
+        frame_start + params_.frame.data_slot_offset(grant.range.start);
+    SimTime fire = sync_.global_time_for_local(self_, local_start);
+    if (fire < sim_.now()) fire = sim_.now();  // clock skew at startup
+    sim_.schedule_at(fire, [this, grant] { on_block_start(grant); });
+  }
+  // Chain the next frame relative to global time; each block start is
+  // re-aligned against the sync clock every frame, so drift cannot
+  // accumulate across frames.
+  sim_.schedule_at(frame_start + params_.frame.frame_duration,
+                   [this, frame_index, stop] {
+                     schedule_frame(frame_index + 1, stop);
+                   });
+}
+
+void TdmaOverlayNode::on_block_start(const TxGrant& grant) {
+  auto& queue = queues_[grant.link];
+  if (mac_.in_service() || mac_.queue_length() > 0) {
+    // Previous work has not drained — a symptom of an undersized guard or
+    // an invalid schedule. Skip the block rather than collide.
+    ++busy_at_slot_start_;
+    return;
+  }
+  // Release exactly the packets whose worst-case (deterministic, in
+  // zero-backoff mode) service times fit the block minus the guard.
+  // Guaranteed traffic drains first; best effort fills what remains.
+  SimTime remaining = params_.frame.slot_duration() * grant.range.length -
+                      params_.guard_time;
+  const auto drain = [&](std::deque<MacPacket>& q) {
+    while (!q.empty()) {
+      MacPacket p = q.front();
+      const SimTime cost = mac_.max_service_time(p.bytes);
+      if (cost > remaining) break;
+      remaining -= cost;
+      q.pop_front();
+      p.to = grant.neighbor;
+      mac_.send(p);
+      ++packets_released_;
+    }
+  };
+  drain(queue.guaranteed);
+  drain(queue.best_effort);
+}
+
+}  // namespace wimesh

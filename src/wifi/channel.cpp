@@ -1,0 +1,163 @@
+#include "wimesh/wifi/channel.h"
+
+#include <algorithm>
+
+namespace wimesh {
+namespace {
+
+constexpr std::size_t kAckBytes = 14;
+constexpr std::size_t kRtsBytes = 20;
+constexpr std::size_t kCtsBytes = 14;
+
+}  // namespace
+
+WifiChannel::WifiChannel(Simulator& sim, std::vector<Point> positions,
+                         RadioModel radio, PhyMode phy, ErrorModel error,
+                         Rng rng, bool deliver_overheard)
+    : sim_(sim),
+      positions_(std::move(positions)),
+      radio_(radio),
+      phy_(std::move(phy)),
+      error_(error),
+      rng_(rng),
+      deliver_overheard_(deliver_overheard),
+      macs_(positions_.size(), nullptr) {}
+
+void WifiChannel::attach(NodeId node, MacInterface* mac) {
+  WIMESH_ASSERT(node >= 0 && node < node_count());
+  WIMESH_ASSERT(mac != nullptr);
+  WIMESH_ASSERT_MSG(macs_[static_cast<std::size_t>(node)] == nullptr,
+                    "node already has a MAC attached");
+  macs_[static_cast<std::size_t>(node)] = mac;
+}
+
+SimTime WifiChannel::frame_airtime(const WifiFrame& frame) const {
+  switch (frame.type) {
+    case WifiFrame::Type::kAck:
+      return phy_.ack_airtime();
+    case WifiFrame::Type::kRts:
+      // Control frames go at the base rate; reuse the ACK path by size
+      // ratio — RTS is 20 B vs ACK's 14 B, both a handful of OFDM symbols.
+      return phy_.ack_airtime() +
+             (phy_.airtime(kRtsBytes) - phy_.airtime(kCtsBytes));
+    case WifiFrame::Type::kCts:
+      return phy_.ack_airtime();
+    case WifiFrame::Type::kData:
+      break;
+  }
+  return phy_.airtime(frame.packet.bytes + kMacOverheadBytes);
+}
+
+bool WifiChannel::node_transmitting(NodeId n) const {
+  return std::any_of(active_.begin(), active_.end(),
+                     [n](const ActiveTx& t) { return t.tx == n; });
+}
+
+SimTime WifiChannel::transmit(const WifiFrame& frame) {
+  const NodeId tx = frame.from;
+  WIMESH_ASSERT(tx >= 0 && tx < node_count());
+  WIMESH_ASSERT_MSG(!node_transmitting(tx),
+                    "node started a second simultaneous transmission");
+  const SimTime duration = frame_airtime(frame);
+  const SimTime end = sim_.now() + duration;
+  ++frames_transmitted_;
+
+  const Point& tx_pos = positions_[static_cast<std::size_t>(tx)];
+
+  // The new transmission corrupts every ongoing reception it is audible at.
+  for (ActiveTx& ongoing : active_) {
+    for (Reception& r : ongoing.receptions) {
+      if (r.corrupted) continue;
+      if (r.rx == tx ||
+          radio_.interferes(tx_pos,
+                            positions_[static_cast<std::size_t>(r.rx)])) {
+        r.corrupted = true;
+        ++receptions_corrupted_;
+      }
+    }
+  }
+
+  ActiveTx record;
+  record.key = next_key_++;
+  record.tx = tx;
+  record.end = end;
+
+  // Receptions begin at every intended receiver in decode range. A
+  // reception starts corrupted if another transmission is already audible
+  // there or the receiver is itself mid-transmission.
+  const auto begin_reception = [&](NodeId rx) {
+    if (rx == tx) return;
+    const Point& rx_pos = positions_[static_cast<std::size_t>(rx)];
+    if (!radio_.can_communicate(tx_pos, rx_pos)) return;
+    if (macs_[static_cast<std::size_t>(rx)] == nullptr) return;
+    Reception r;
+    r.frame = frame;
+    r.rx = rx;
+    for (const ActiveTx& ongoing : active_) {
+      if (ongoing.tx == rx ||
+          radio_.interferes(positions_[static_cast<std::size_t>(ongoing.tx)],
+                            rx_pos)) {
+        r.corrupted = true;
+      }
+    }
+    if (r.corrupted) ++receptions_corrupted_;
+    record.receptions.push_back(std::move(r));
+  };
+
+  if (frame.to == kInvalidNode || deliver_overheard_) {
+    for (NodeId rx = 0; rx < node_count(); ++rx) begin_reception(rx);
+  } else {
+    begin_reception(frame.to);
+  }
+
+  // Carrier sense: every other node in interference range sees busy.
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (n == tx || macs_[static_cast<std::size_t>(n)] == nullptr) continue;
+    if (radio_.interferes(tx_pos, positions_[static_cast<std::size_t>(n)])) {
+      macs_[static_cast<std::size_t>(n)]->on_medium_busy();
+    }
+  }
+
+  const std::uint64_t key = record.key;
+  active_.push_back(std::move(record));
+  sim_.schedule_at(end, [this, key] { finish_transmission(key); });
+  return duration;
+}
+
+void WifiChannel::finish_transmission(std::uint64_t key) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [key](const ActiveTx& t) { return t.key == key; });
+  WIMESH_ASSERT(it != active_.end());
+  ActiveTx done = std::move(*it);
+  active_.erase(it);
+
+  const Point& tx_pos = positions_[static_cast<std::size_t>(done.tx)];
+
+  // Carrier sense falls first so MACs see a consistent idle medium when the
+  // decode callbacks run.
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (n == done.tx || macs_[static_cast<std::size_t>(n)] == nullptr) {
+      continue;
+    }
+    if (radio_.interferes(tx_pos, positions_[static_cast<std::size_t>(n)])) {
+      macs_[static_cast<std::size_t>(n)]->on_medium_idle();
+    }
+  }
+
+  for (const Reception& r : done.receptions) {
+    if (r.corrupted) continue;
+    if (error_.packet_error_rate > 0.0 &&
+        rng_.chance(error_.packet_error_rate)) {
+      ++receptions_corrupted_;
+      continue;
+    }
+    // Overheard copies inform NAV but do not count as deliveries.
+    if (r.frame.to == kInvalidNode || r.frame.to == r.rx) {
+      ++frames_delivered_;
+    }
+    macs_[static_cast<std::size_t>(r.rx)]->on_frame_received(r.frame);
+  }
+}
+
+}  // namespace wimesh

@@ -1,0 +1,110 @@
+#include "wimesh/wimax/control_messages.h"
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] |
+                                    (static_cast<std::uint16_t>(in[at + 1])
+                                     << 8));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint32_t>(get_u16(in, at)) |
+         (static_cast<std::uint32_t>(get_u16(in, at + 2)) << 16);
+}
+
+}  // namespace
+
+std::size_t encoded_size(const MshDschMessage& message) {
+  return kMshDschHeaderBytes + message.grants.size() * kGrantIeBytes;
+}
+
+std::vector<std::uint8_t> encode(const MshDschMessage& message) {
+  WIMESH_ASSERT(message.grants.size() <= 0xffff);
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(message));
+  put_u32(out, message.frame_sequence);
+  put_u16(out, static_cast<std::uint16_t>(message.grants.size()));
+  for (const GrantIe& ie : message.grants) {
+    put_u16(out, ie.link);
+    out.push_back(ie.start);
+    out.push_back(ie.length);
+  }
+  return out;
+}
+
+std::optional<MshDschMessage> decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kMshDschHeaderBytes) return std::nullopt;
+  MshDschMessage msg;
+  msg.frame_sequence = get_u32(bytes, 0);
+  const std::uint16_t count = get_u16(bytes, 4);
+  if (bytes.size() != kMshDschHeaderBytes + count * kGrantIeBytes) {
+    return std::nullopt;
+  }
+  msg.grants.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t at = kMshDschHeaderBytes + i * kGrantIeBytes;
+    GrantIe ie;
+    ie.link = get_u16(bytes, at);
+    ie.start = bytes[at + 2];
+    ie.length = bytes[at + 3];
+    msg.grants.push_back(ie);
+  }
+  return msg;
+}
+
+MshDschMessage build_schedule_message(const MeshSchedule& schedule,
+                                      std::uint32_t frame_sequence) {
+  MshDschMessage msg;
+  msg.frame_sequence = frame_sequence;
+  for (LinkId l = 0; l < schedule.link_count(); ++l) {
+    for (const SlotRange& g : schedule.all_grants(l)) {
+      WIMESH_ASSERT_MSG(g.start < 256 && g.length < 256,
+                        "grant exceeds the IE field width");
+      msg.grants.push_back(GrantIe{static_cast<std::uint16_t>(l),
+                                   static_cast<std::uint8_t>(g.start),
+                                   static_cast<std::uint8_t>(g.length)});
+    }
+  }
+  return msg;
+}
+
+std::size_t control_subframe_capacity_bytes(const FrameConfig& frame,
+                                            const PhyMode& phy) {
+  // The message is broadcast (no ACK) after one DIFS; payload bytes are
+  // whatever airtime fits in the control subframe beyond the preamble.
+  const SimTime budget = frame.slot_duration() * frame.control_slots;
+  // Binary search the largest payload whose airtime + DIFS fits.
+  std::size_t lo = 0, hi = 65536;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (phy.difs() + phy.airtime(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+bool schedule_fits_control_subframe(const MeshSchedule& schedule,
+                                    const FrameConfig& frame,
+                                    const PhyMode& phy) {
+  const MshDschMessage msg = build_schedule_message(schedule, 0);
+  return encoded_size(msg) <= control_subframe_capacity_bytes(frame, phy);
+}
+
+}  // namespace wimesh

@@ -1,0 +1,136 @@
+#include "wimesh/wimax/distributed_scheduler.h"
+
+#include <algorithm>
+
+namespace wimesh {
+
+int DistributedScheduleResult::used_slots() const {
+  int used = 0;
+  for (const SlotRange& g : grants) used = std::max(used, g.end());
+  return used;
+}
+
+namespace {
+
+// First-fit placement of a block of `length` around the busy set.
+std::optional<SlotRange> first_fit(std::vector<SlotRange> busy, int length,
+                                   int frame_slots) {
+  std::sort(busy.begin(), busy.end(),
+            [](const SlotRange& a, const SlotRange& b) {
+              return a.start < b.start;
+            });
+  int cursor = 0;
+  for (const SlotRange& b : busy) {
+    if (b.length == 0) continue;
+    if (cursor + length <= b.start) break;
+    cursor = std::max(cursor, b.end());
+  }
+  if (cursor + length > frame_slots) return std::nullopt;
+  return SlotRange{cursor, length};
+}
+
+}  // namespace
+
+DistributedScheduleResult run_distributed_scheduling(
+    const LinkSet& links, const std::vector<int>& demand,
+    const Graph& conflicts, int frame_slots,
+    const DistributedSchedulerConfig& config) {
+  WIMESH_ASSERT(demand.size() == static_cast<std::size_t>(links.count()));
+  WIMESH_ASSERT(conflicts.node_count() == links.count());
+
+  DistributedScheduleResult out;
+  out.grants.assign(static_cast<std::size_t>(links.count()), SlotRange{});
+  out.unmet = demand;
+
+  // A link's local view: confirmed grants of its conflict neighbors (both
+  // of whose endpoints overheard the handshake) plus its own.
+  const auto local_view = [&](LinkId l) {
+    std::vector<SlotRange> busy;
+    if (out.grants[static_cast<std::size_t>(l)].length > 0) {
+      busy.push_back(out.grants[static_cast<std::size_t>(l)]);
+    }
+    for (EdgeId e : conflicts.incident(l)) {
+      const LinkId m = conflicts.other_end(e, l);
+      const SlotRange& g = out.grants[static_cast<std::size_t>(m)];
+      if (g.length > 0) busy.push_back(g);
+    }
+    return busy;
+  };
+
+  for (out.rounds = 1; out.rounds <= config.max_rounds; ++out.rounds) {
+    // Requests this round are built against the views at round START; the
+    // winners' confirms are then serialized in election order, so a later
+    // confirm that clashes with an earlier same-round grant is rejected
+    // (exactly the stale-view race of the real protocol).
+    struct Tentative {
+      LinkId link;
+      SlotRange range;
+      std::uint32_t hash;
+    };
+    std::vector<Tentative> tentative;
+    for (LinkId l = 0; l < links.count(); ++l) {
+      const int want = out.unmet[static_cast<std::size_t>(l)];
+      if (want <= 0) continue;
+      const auto candidate = first_fit(local_view(l), want, frame_slots);
+      if (!candidate.has_value()) continue;  // no gap in this view; wait
+      tentative.push_back(Tentative{
+          l, *candidate,
+          mesh_election_hash(static_cast<std::uint32_t>(l),
+                             static_cast<std::uint32_t>(out.rounds),
+                             config.election_seed)});
+    }
+    if (tentative.empty()) break;  // stall: nothing can even request
+    std::sort(tentative.begin(), tentative.end(),
+              [](const Tentative& a, const Tentative& b) {
+                if (a.hash != b.hash) return a.hash > b.hash;
+                return a.link < b.link;
+              });
+
+    bool progress = false;
+    for (const Tentative& t : tentative) {
+      ++out.handshakes;
+      // Confirm against the LIVE state (the granter refreshed its view
+      // from everything it overheard this round).
+      bool clash = false;
+      for (EdgeId e : conflicts.incident(t.link)) {
+        const LinkId m = conflicts.other_end(e, t.link);
+        if (out.grants[static_cast<std::size_t>(m)].overlaps(t.range)) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) {
+        ++out.rejections;
+        continue;  // requester retries next round with a fresher view
+      }
+      out.grants[static_cast<std::size_t>(t.link)] = t.range;
+      out.unmet[static_cast<std::size_t>(t.link)] = 0;
+      progress = true;
+    }
+    const bool all_served =
+        std::all_of(out.unmet.begin(), out.unmet.end(),
+                    [](int u) { return u <= 0; });
+    if (all_served) {
+      out.converged = true;
+      return out;
+    }
+    if (!progress) break;  // every request clashed and nothing changed
+  }
+  out.converged = std::all_of(out.unmet.begin(), out.unmet.end(),
+                              [](int u) { return u <= 0; });
+  return out;
+}
+
+bool distributed_schedule_conflict_free(
+    const DistributedScheduleResult& result, const Graph& conflicts) {
+  for (EdgeId e = 0; e < conflicts.edge_count(); ++e) {
+    const SlotRange& a =
+        result.grants[static_cast<std::size_t>(conflicts.edge(e).u)];
+    const SlotRange& b =
+        result.grants[static_cast<std::size_t>(conflicts.edge(e).v)];
+    if (a.overlaps(b)) return false;
+  }
+  return true;
+}
+
+}  // namespace wimesh

@@ -1,0 +1,114 @@
+#include "wimesh/wimax/election.h"
+
+#include <algorithm>
+
+namespace wimesh {
+
+std::uint32_t mesh_election_hash(std::uint32_t competitor, std::uint32_t slot,
+                                 std::uint32_t seed) {
+  // The 802.16 election smears (ID, slot) through an avalanche mix; any
+  // good 32-bit mixer reproduces the behaviour. This is the murmur3
+  // finalizer over the packed inputs.
+  std::uint32_t h = competitor * 0x9e3779b1u ^ (slot + seed) * 0x85ebca6bu;
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+int ElectionSchedule::used_slots() const {
+  int used = 0;
+  for (const auto& list : grants) {
+    for (const SlotRange& g : list) used = std::max(used, g.end());
+  }
+  return used;
+}
+
+int ElectionSchedule::granted_slots(LinkId link) const {
+  int total = 0;
+  for (const SlotRange& g : grants[static_cast<std::size_t>(link)]) {
+    total += g.length;
+  }
+  return total;
+}
+
+int ElectionSchedule::total_unmet() const {
+  int total = 0;
+  for (int u : unmet) total += u;
+  return total;
+}
+
+ElectionSchedule schedule_by_election(const LinkSet& links,
+                                      const std::vector<int>& demand,
+                                      const Graph& conflicts, int frame_slots,
+                                      std::uint32_t seed) {
+  WIMESH_ASSERT(demand.size() == static_cast<std::size_t>(links.count()));
+  WIMESH_ASSERT(conflicts.node_count() == links.count());
+  WIMESH_ASSERT(frame_slots >= 0);
+
+  ElectionSchedule out;
+  out.frame_slots = frame_slots;
+  out.grants.resize(static_cast<std::size_t>(links.count()));
+  out.unmet = demand;
+
+  std::vector<LinkId> contenders;
+  for (int slot = 0; slot < frame_slots; ++slot) {
+    contenders.clear();
+    for (LinkId l = 0; l < links.count(); ++l) {
+      if (out.unmet[static_cast<std::size_t>(l)] > 0) contenders.push_back(l);
+    }
+    if (contenders.empty()) break;
+    // Deterministic total order for this slot: hash desc, id asc on ties.
+    std::sort(contenders.begin(), contenders.end(),
+              [&](LinkId a, LinkId b) {
+                const std::uint32_t ha = mesh_election_hash(
+                    static_cast<std::uint32_t>(a),
+                    static_cast<std::uint32_t>(slot), seed);
+                const std::uint32_t hb = mesh_election_hash(
+                    static_cast<std::uint32_t>(b),
+                    static_cast<std::uint32_t>(slot), seed);
+                if (ha != hb) return ha > hb;
+                return a < b;
+              });
+    // Seat winners greedily; later contenders defer to conflicting seated
+    // winners (each node can evaluate this locally: all its conflicts are
+    // within its extended neighborhood).
+    std::vector<LinkId> seated;
+    for (LinkId cand : contenders) {
+      const bool blocked = std::any_of(
+          seated.begin(), seated.end(), [&](LinkId w) {
+            return conflicts.has_edge(cand, w);
+          });
+      if (blocked) continue;
+      seated.push_back(cand);
+      auto& list = out.grants[static_cast<std::size_t>(cand)];
+      if (!list.empty() && list.back().end() == slot) {
+        ++list.back().length;  // coalesce contiguous wins
+      } else {
+        list.push_back(SlotRange{slot, 1});
+      }
+      --out.unmet[static_cast<std::size_t>(cand)];
+    }
+  }
+  return out;
+}
+
+bool election_conflict_free(const ElectionSchedule& schedule,
+                            const Graph& conflicts) {
+  for (EdgeId e = 0; e < conflicts.edge_count(); ++e) {
+    const auto& a =
+        schedule.grants[static_cast<std::size_t>(conflicts.edge(e).u)];
+    const auto& b =
+        schedule.grants[static_cast<std::size_t>(conflicts.edge(e).v)];
+    for (const SlotRange& ga : a) {
+      for (const SlotRange& gb : b) {
+        if (ga.overlaps(gb)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace wimesh

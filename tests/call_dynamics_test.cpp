@@ -1,0 +1,113 @@
+// Call-level admission dynamics tests: conservation, determinism, and the
+// Erlang-shaped response to offered load.
+
+#include <gtest/gtest.h>
+
+#include "wimesh/qos/call_dynamics.h"
+
+namespace wimesh {
+namespace {
+
+EmulationParams default_params() {
+  EmulationParams p;
+  p.frame.frame_duration = SimTime::milliseconds(10);
+  p.frame.control_slots = 4;
+  p.frame.data_slots = 96;
+  p.guard_time = SimTime::microseconds(50);
+  return p;
+}
+
+CallDynamicsConfig base_config(const Topology& topo) {
+  CallDynamicsConfig cfg;
+  cfg.endpoints.clear();
+  for (NodeId n = 1; n < topo.node_count(); ++n) {
+    cfg.endpoints.push_back({n, 0});
+  }
+  cfg.horizon = SimTime::seconds(600);
+  cfg.arrival_rate_per_s = 0.05;
+  cfg.mean_holding_s = 60.0;
+  return cfg;
+}
+
+TEST(CallDynamicsTest, CountsAreConserved) {
+  const Topology topo = make_chain(4, 100.0);
+  const auto cfg = base_config(topo);
+  const auto r = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  EXPECT_EQ(r.offered, r.admitted + r.blocked);
+  EXPECT_EQ(r.plans_attempted, r.offered);
+  EXPECT_GT(r.offered, 0);
+  EXPECT_GE(r.peak_carried_calls, 1);
+  EXPECT_GE(r.mean_carried_calls, 0.0);
+  EXPECT_LE(r.mean_carried_calls, r.peak_carried_calls);
+}
+
+TEST(CallDynamicsTest, LightLoadIsNeverBlocked) {
+  const Topology topo = make_chain(4, 100.0);
+  auto cfg = base_config(topo);
+  cfg.arrival_rate_per_s = 0.01;  // 0.6 Erlangs on a ~17-call chain
+  cfg.mean_holding_s = 60.0;
+  const auto r = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  EXPECT_GT(r.offered, 0);
+  EXPECT_EQ(r.blocked, 0);
+  EXPECT_DOUBLE_EQ(r.blocking_probability(), 0.0);
+}
+
+TEST(CallDynamicsTest, OverloadBlocksAndCarriedLoadSaturates) {
+  const Topology topo = make_chain(4, 100.0);
+  auto cfg = base_config(topo);
+  cfg.arrival_rate_per_s = 1.0;  // 60 Erlangs offered — far beyond capacity
+  cfg.mean_holding_s = 60.0;
+  cfg.horizon = SimTime::seconds(200);
+  const auto r = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  EXPECT_GT(r.blocking_probability(), 0.4);
+  // The carried load saturates near capacity: ~17 three-hop G.729 calls on
+  // this chain, more when short calls slip in (mixed endpoint draws).
+  EXPECT_GE(r.peak_carried_calls, 10);
+  EXPECT_LE(r.peak_carried_calls, 40);
+}
+
+TEST(CallDynamicsTest, BlockingIsMonotoneInOfferedLoad) {
+  const Topology topo = make_chain(4, 100.0);
+  double prev = -1.0;
+  for (double rate : {0.05, 0.3, 1.5}) {
+    auto cfg = base_config(topo);
+    cfg.arrival_rate_per_s = rate;
+    cfg.horizon = SimTime::seconds(400);
+    const auto r = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                          default_params(),
+                                          PhyMode::ofdm_802_11a(54), cfg);
+    EXPECT_GE(r.blocking_probability(), prev - 0.05)
+        << "rate " << rate;  // allow small statistical wiggle
+    prev = r.blocking_probability();
+  }
+  EXPECT_GT(prev, 0.2);  // the heaviest load must visibly block
+}
+
+TEST(CallDynamicsTest, DeterministicPerSeed) {
+  const Topology topo = make_chain(4, 100.0);
+  auto cfg = base_config(topo);
+  cfg.arrival_rate_per_s = 0.5;
+  cfg.horizon = SimTime::seconds(200);
+  const auto a = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  const auto b = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  cfg.seed = 2;
+  const auto c = simulate_call_dynamics(topo, RadioModel(110.0, 220.0),
+                                        default_params(),
+                                        PhyMode::ofdm_802_11a(54), cfg);
+  EXPECT_NE(a.offered, c.offered);
+}
+
+}  // namespace
+}  // namespace wimesh

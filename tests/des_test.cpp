@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wimesh/des/simulator.h"
+
+namespace wimesh {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::milliseconds(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(30));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::milliseconds(5), [&, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.schedule_at(SimTime::milliseconds(10), [&] {
+    sim.schedule_in(SimTime::milliseconds(5), [&] { fired = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, SimTime::milliseconds(15));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::milliseconds(10), [&] { ++count; });
+  sim.schedule_at(SimTime::milliseconds(20), [&] { ++count; });
+  sim.schedule_at(SimTime::milliseconds(30), [&] { ++count; });
+  sim.run_until(SimTime::milliseconds(20));
+  EXPECT_EQ(count, 2);  // events at exactly the horizon run
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(20));
+  sim.run_until(SimTime::milliseconds(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(100));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h =
+      sim.schedule_at(SimTime::milliseconds(10), [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(SimTime::milliseconds(1), [] {});
+  sim.run_all();
+  sim.cancel(h);  // must not crash or affect anything
+  sim.cancel(h);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) sim.schedule_in(SimTime::microseconds(1), step);
+  };
+  sim.schedule_at(SimTime::zero(), step);
+  sim.run_all();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(sim.now(), SimTime::microseconds(99));
+}
+
+TEST(SimulatorTest, StopHaltsTheLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::milliseconds(1), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(SimTime::milliseconds(2), [&] { ++count; });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+  sim.run_all();  // resumes with remaining events
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(SimTime::milliseconds(1), [] {});
+  sim.schedule_at(SimTime::milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle later =
+      sim.schedule_at(SimTime::milliseconds(10), [&] { fired = true; });
+  sim.schedule_at(SimTime::milliseconds(5), [&] { sim.cancel(later); });
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime::microseconds((i * 7919) % 100), [&trace, &sim] {
+        trace.push_back(sim.now().ns());
+      });
+    }
+    sim.run_all();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -1,0 +1,234 @@
+// Parameterized property suite for the LP/ILP stack on randomized
+// instances: optimality certificates by cross-checking against exhaustive
+// search, feasibility of every returned point, and invariance under model
+// transformations that must not change the optimum (row scaling, variable
+// order permutation, redundant rows).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/ilp/ilp.h"
+
+namespace wimesh {
+namespace {
+
+struct RandomLp {
+  LpModel model;
+  std::vector<double> feasible_point;  // by construction
+};
+
+RandomLp make_random_lp(Rng& rng, int n, int rows) {
+  RandomLp out;
+  for (int j = 0; j < n; ++j) {
+    const double lo = std::floor(rng.uniform(-4.0, 0.0));
+    const double up = std::floor(rng.uniform(1.0, 8.0));
+    out.model.add_variable(lo, up, std::floor(rng.uniform(-5.0, 6.0)));
+    out.feasible_point.push_back(std::floor(rng.uniform(lo, up)));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<LpTerm> terms;
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.chance(0.7)) continue;
+      const double c = std::floor(rng.uniform(-4.0, 5.0));
+      if (c == 0.0) continue;
+      terms.push_back({j, c});
+      lhs += c * out.feasible_point[static_cast<std::size_t>(j)];
+    }
+    if (terms.empty()) continue;
+    out.model.add_constraint(terms, RowSense::kLessEqual,
+                             lhs + std::floor(rng.uniform(0.0, 5.0)));
+  }
+  return out;
+}
+
+class LpRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpRandomSweep, OptimalPointIsFeasibleAndBeatsConstruction) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(6));
+    const int rows = 1 + static_cast<int>(rng.next_below(10));
+    RandomLp lp = make_random_lp(rng, n, rows);
+    const LpResult r = solve_lp(lp.model);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_LE(lp.model.max_violation(r.x), 1e-6);
+    EXPECT_LE(r.objective, lp.model.objective_value(lp.feasible_point) + 1e-6);
+  }
+}
+
+TEST_P(LpRandomSweep, RowScalingDoesNotChangeTheOptimum) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(4));
+    RandomLp lp = make_random_lp(rng, n, 6);
+    const LpResult base = solve_lp(lp.model);
+    ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+    // Rebuild with every row scaled by a positive constant.
+    LpModel scaled;
+    for (int j = 0; j < lp.model.variable_count(); ++j) {
+      scaled.add_variable(lp.model.lower_bound(j), lp.model.upper_bound(j),
+                          lp.model.objective_coef(j));
+    }
+    for (int i = 0; i < lp.model.constraint_count(); ++i) {
+      const auto& row = lp.model.row(i);
+      const double k = 0.5 + rng.uniform() * 4.0;
+      std::vector<LpTerm> terms;
+      for (const LpTerm& t : row.terms) terms.push_back({t.var, t.coef * k});
+      scaled.add_constraint(terms, row.sense, row.rhs * k);
+    }
+    const LpResult r = solve_lp(scaled);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, base.objective, 1e-6);
+  }
+}
+
+TEST_P(LpRandomSweep, RedundantRowsDoNotChangeTheOptimum) {
+  Rng rng(GetParam() ^ 0x123456);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomLp lp = make_random_lp(rng, 4, 5);
+    const LpResult base = solve_lp(lp.model);
+    ASSERT_EQ(base.status, LpStatus::kOptimal);
+    // Duplicate each row with a slacker rhs — cannot bind.
+    LpModel loose = lp.model;
+    for (int i = 0; i < lp.model.constraint_count(); ++i) {
+      const auto& row = lp.model.row(i);
+      loose.add_constraint(row.terms, row.sense, row.rhs + 10.0);
+    }
+    const LpResult r = solve_lp(loose);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, base.objective, 1e-6);
+  }
+}
+
+TEST_P(LpRandomSweep, MaximizeIsNegatedMinimize) {
+  Rng rng(GetParam() ^ 0x777);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomLp lp = make_random_lp(rng, 4, 5);
+    lp.model.set_objective_sense(ObjSense::kMaximize);
+    const LpResult maxr = solve_lp(lp.model);
+    ASSERT_EQ(maxr.status, LpStatus::kOptimal);
+
+    LpModel negated;
+    for (int j = 0; j < lp.model.variable_count(); ++j) {
+      negated.add_variable(lp.model.lower_bound(j), lp.model.upper_bound(j),
+                           -lp.model.objective_coef(j));
+    }
+    for (int i = 0; i < lp.model.constraint_count(); ++i) {
+      const auto& row = lp.model.row(i);
+      negated.add_constraint(row.terms, row.sense, row.rhs);
+    }
+    const LpResult minr = solve_lp(negated);
+    ASSERT_EQ(minr.status, LpStatus::kOptimal);
+    EXPECT_NEAR(maxr.objective, -minr.objective, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomSweep,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+class IlpRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpRandomSweep, MatchesExhaustiveSearchOnMixedPrograms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    // Small mixed program: binaries plus one bounded integer.
+    const int nb = 5;
+    IlpModel m;
+    m.set_objective_sense(ObjSense::kMaximize);
+    std::vector<double> obj;
+    for (int j = 0; j < nb; ++j) {
+      obj.push_back(std::floor(rng.uniform(-4.0, 8.0)));
+      m.add_binary(obj.back());
+    }
+    const double int_obj = std::floor(rng.uniform(-2.0, 4.0));
+    const VarId z = m.add_integer(0, 3, int_obj, "z");
+    std::vector<std::vector<double>> rows;
+    std::vector<double> zcoef, rhs;
+    const int nrows = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < nrows; ++i) {
+      std::vector<LpTerm> terms;
+      std::vector<double> crow(nb, 0.0);
+      for (int j = 0; j < nb; ++j) {
+        const double c = std::floor(rng.uniform(-3.0, 5.0));
+        if (c == 0.0) continue;
+        crow[static_cast<std::size_t>(j)] = c;
+        terms.push_back({j, c});
+      }
+      const double zc = std::floor(rng.uniform(0.0, 3.0));
+      if (zc != 0.0) terms.push_back({z, zc});
+      if (terms.empty()) continue;
+      const double b = std::floor(rng.uniform(1.0, 10.0));
+      m.add_constraint(terms, RowSense::kLessEqual, b);
+      rows.push_back(crow);
+      zcoef.push_back(zc);
+      rhs.push_back(b);
+    }
+
+    double best = -1e100;
+    for (int mask = 0; mask < (1 << nb); ++mask) {
+      for (int zv = 0; zv <= 3; ++zv) {
+        bool ok = true;
+        for (std::size_t i = 0; i < rows.size() && ok; ++i) {
+          double lhs = zcoef[i] * zv;
+          for (int j = 0; j < nb; ++j) {
+            if (mask & (1 << j)) lhs += rows[i][static_cast<std::size_t>(j)];
+          }
+          ok = lhs <= rhs[i] + 1e-9;
+        }
+        if (!ok) continue;
+        double val = int_obj * zv;
+        for (int j = 0; j < nb; ++j) {
+          if (mask & (1 << j)) val += obj[static_cast<std::size_t>(j)];
+        }
+        best = std::max(best, val);
+      }
+    }
+
+    const IlpResult r = solve_ilp(m);
+    if (best < -1e99) {
+      EXPECT_EQ(r.status, IlpStatus::kInfeasible);
+      continue;
+    }
+    ASSERT_EQ(r.status, IlpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    EXPECT_LE(m.lp().max_violation(r.x), 1e-6);
+  }
+}
+
+TEST_P(IlpRandomSweep, BranchPriorityDoesNotChangeTheOptimum) {
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 8; ++trial) {
+    IlpModel a;
+    a.set_objective_sense(ObjSense::kMaximize);
+    std::vector<VarId> vars;
+    for (int j = 0; j < 6; ++j) {
+      vars.push_back(a.add_binary(std::floor(rng.uniform(-3.0, 6.0))));
+    }
+    std::vector<LpTerm> terms;
+    for (VarId v : vars) {
+      terms.push_back({v, std::floor(rng.uniform(1.0, 4.0))});
+    }
+    a.add_constraint(terms, RowSense::kLessEqual, 7.0);
+
+    IlpModel b = a;
+    for (VarId v : vars) b.set_branch_priority(v, rng.uniform(0.0, 10.0));
+
+    const IlpResult ra = solve_ilp(a);
+    const IlpResult rb = solve_ilp(b);
+    ASSERT_EQ(ra.status, IlpStatus::kOptimal);
+    ASSERT_EQ(rb.status, IlpStatus::kOptimal);
+    EXPECT_NEAR(ra.objective, rb.objective, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRandomSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace wimesh

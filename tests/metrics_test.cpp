@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/metrics/flow_stats.h"
+#include "wimesh/metrics/stats.h"
+
+namespace wimesh {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleSampleVarianceIsZero) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatTest, MatchesNaiveComputationOnRandomData) {
+  Rng rng(4242);
+  RunningStat s;
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(rng.uniform(-50.0, 50.0));
+    s.add(data.back());
+  }
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+TEST(SampleSetTest, QuantilesExact) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(SampleSetTest, UnsortedInsertOrderIrrelevant) {
+  SampleSet a, b;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) a.add(v);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) b.add(v);
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+  EXPECT_DOUBLE_EQ(a.quantile(0.9), b.quantile(0.9));
+}
+
+TEST(SampleSetTest, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleSetTest, CdfMonotoneAndCorrect) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  const auto cdf = s.cdf({0.0, 5.0, 5.5, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(SampleSetTest, AddAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  s.add(0.0);  // resorting must kick in
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(5), 5.0);
+}
+
+TEST(HistogramTest, CsvHasOneRowPerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const auto csv = h.to_csv();
+  EXPECT_NE(csv.find("0.000000,1"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000,0"), std::string::npos);
+}
+
+TEST(FlowStatsTest, CountsAndLoss) {
+  FlowStats f;
+  for (int i = 0; i < 10; ++i) f.on_sent(100);
+  for (int i = 0; i < 8; ++i) {
+    f.on_delivered(100, SimTime::milliseconds(5));
+  }
+  EXPECT_EQ(f.sent_packets(), 10u);
+  EXPECT_EQ(f.delivered_packets(), 8u);
+  EXPECT_NEAR(f.loss_rate(), 0.2, 1e-12);
+  EXPECT_EQ(f.delivered_bytes(), 800u);
+}
+
+TEST(FlowStatsTest, ThroughputOverInterval) {
+  FlowStats f;
+  f.on_sent(1000);
+  f.on_delivered(1000, SimTime::milliseconds(1));
+  // 1000 bytes in 1 second = 8000 bps.
+  EXPECT_DOUBLE_EQ(f.throughput_bps(SimTime::seconds(1)), 8000.0);
+  EXPECT_DOUBLE_EQ(f.throughput_bps(SimTime::zero()), 0.0);
+}
+
+TEST(FlowStatsTest, DelayAndJitter) {
+  FlowStats f;
+  f.on_sent(100);
+  f.on_sent(100);
+  f.on_sent(100);
+  f.on_delivered(100, SimTime::milliseconds(10));
+  f.on_delivered(100, SimTime::milliseconds(14));
+  f.on_delivered(100, SimTime::milliseconds(12));
+  EXPECT_DOUBLE_EQ(f.delays_ms().mean(), 12.0);
+  // Jitter samples: |14-10| = 4, |12-14| = 2 → mean 3.
+  EXPECT_DOUBLE_EQ(f.mean_jitter_ms(), 3.0);
+}
+
+TEST(FlowStatsTest, NoTrafficMeansZeroLoss) {
+  FlowStats f;
+  EXPECT_DOUBLE_EQ(f.loss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -1,0 +1,134 @@
+// Tests for the load-aware routing extension.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wimesh/core/mesh_network.h"
+#include "wimesh/qos/planner.h"
+
+namespace wimesh {
+namespace {
+
+EmulationParams default_params() {
+  EmulationParams p;
+  p.frame.frame_duration = SimTime::milliseconds(10);
+  p.frame.control_slots = 4;
+  p.frame.data_slots = 96;
+  p.guard_time = SimTime::microseconds(50);
+  return p;
+}
+
+TEST(RoutingPolicyTest, HopCountAndLoadAwareAgreeOnAChain) {
+  // Only one path exists: policies must coincide.
+  const Topology topo = make_chain(5, 100.0);
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kHopCount, RoutingPolicy::kLoadAware}) {
+    QosPlanner planner(topo, RadioModel(110.0, 220.0), default_params(),
+                       PhyMode::ofdm_802_11a(54), policy);
+    const auto plan = planner.plan({FlowSpec::voip(0, 0, 4, VoipCodec::g729())},
+                                   SchedulerKind::kGreedy);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->guaranteed[0].node_path,
+              (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(RoutingPolicyTest, LoadAwareUsesShortestPathsWhenUnloaded) {
+  const Topology topo = make_grid(3, 3, 100.0);
+  QosPlanner planner(topo, RadioModel(110.0, 220.0), default_params(),
+                     PhyMode::ofdm_802_11a(54), RoutingPolicy::kLoadAware);
+  const auto plan = planner.plan({FlowSpec::voip(0, 0, 8, VoipCodec::g729())},
+                                 SchedulerKind::kGreedy);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->guaranteed[0].node_path.size(), 5u);  // 4 hops on a grid
+}
+
+TEST(RoutingPolicyTest, LoadAwareSpreadsParallelFlows) {
+  // Ring: two node-disjoint paths of equal length between opposite nodes.
+  // Hop-count routing puts every flow on the same (tie-broken) side; the
+  // load-aware router must move later flows to the other side.
+  const Topology topo = make_ring(8, 160.0);
+  const RadioModel radio(130.0, 260.0);
+  std::vector<FlowSpec> flows;
+  for (int c = 0; c < 4; ++c) {
+    flows.push_back(FlowSpec::voip(c, 0, 4, VoipCodec::g711()));
+  }
+
+  QosPlanner hop(topo, radio, default_params(), PhyMode::ofdm_802_11a(54),
+                 RoutingPolicy::kHopCount);
+  QosPlanner load(topo, radio, default_params(), PhyMode::ofdm_802_11a(54),
+                  RoutingPolicy::kLoadAware);
+
+  const auto hop_plan = hop.plan(flows, SchedulerKind::kGreedy);
+  const auto load_plan = load.plan(flows, SchedulerKind::kGreedy);
+  ASSERT_TRUE(hop_plan.has_value());
+  ASSERT_TRUE(load_plan.has_value());
+
+  const auto distinct_second_hops = [](const MeshPlan& plan) {
+    std::set<NodeId> hops;
+    for (const FlowPlan& f : plan.guaranteed) hops.insert(f.node_path[1]);
+    return hops.size();
+  };
+  EXPECT_EQ(distinct_second_hops(*hop_plan), 1u);   // all piled on one side
+  EXPECT_EQ(distinct_second_hops(*load_plan), 2u);  // split across the ring
+}
+
+TEST(RoutingPolicyTest, LoadAwareNeverLengthensBeyondReason) {
+  // With the +1 base weight, a detour is taken only to dodge congestion;
+  // single unloaded flows stay on shortest paths across topologies.
+  Rng rng(99);
+  const Topology topo = make_random_geometric(12, 450.0, 170.0, rng);
+  const RadioModel radio(170.0, 340.0);
+  QosPlanner planner(topo, radio, default_params(),
+                     PhyMode::ofdm_802_11a(54), RoutingPolicy::kLoadAware);
+  QosPlanner hop_planner(topo, radio, default_params(),
+                         PhyMode::ofdm_802_11a(54), RoutingPolicy::kHopCount);
+  for (NodeId dst = 1; dst < 12; ++dst) {
+    const std::vector<FlowSpec> flows{
+        FlowSpec::voip(0, 0, dst, VoipCodec::g729())};
+    const auto a = planner.plan(flows, SchedulerKind::kGreedy);
+    const auto b = hop_planner.plan(flows, SchedulerKind::kGreedy);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->guaranteed[0].node_path.size(),
+              b->guaranteed[0].node_path.size())
+        << "dst " << dst;
+  }
+}
+
+TEST(RoutingPolicyTest, GuaranteedFlowsRoutedBeforeBestEffort) {
+  // A heavy BE flow declared FIRST must not push the voice flow off the
+  // short side of the ring (guaranteed class routes first).
+  const Topology topo = make_ring(8, 160.0);
+  const RadioModel radio(130.0, 260.0);
+  QosPlanner planner(topo, radio, default_params(),
+                     PhyMode::ofdm_802_11a(54), RoutingPolicy::kLoadAware);
+  const std::vector<FlowSpec> flows{
+      FlowSpec::best_effort(100, 0, 4, 1500, 8e6),
+      FlowSpec::voip(0, 0, 4, VoipCodec::g729()),
+  };
+  const auto plan = planner.plan(flows, SchedulerKind::kGreedy);
+  ASSERT_TRUE(plan.has_value());
+  // Voice keeps a 4-hop path (one of the two sides).
+  EXPECT_EQ(plan->guaranteed[0].node_path.size(), 5u);
+}
+
+TEST(RoutingPolicyTest, CoreConfigPlumbsThePolicy) {
+  MeshConfig cfg;
+  cfg.topology = make_ring(8, 160.0);
+  cfg.comm_range = 130.0;
+  cfg.interference_range = 260.0;
+  cfg.routing = RoutingPolicy::kLoadAware;
+  MeshNetwork net(cfg);
+  for (int c = 0; c < 2; ++c) {
+    net.add_voip_call(2 * c, 0, 4, VoipCodec::g729());
+  }
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r = net.run(MacMode::kTdmaOverlay, SimTime::seconds(2));
+  for (const FlowResult& f : r.flows) {
+    EXPECT_LT(f.stats.loss_rate(), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -1,0 +1,137 @@
+// Scenario parser tests: grammar coverage, defaults, and precise error
+// reporting (a typo must fail loudly, never silently change a run).
+
+#include <gtest/gtest.h>
+
+#include "wimesh/core/scenario.h"
+
+namespace wimesh {
+namespace {
+
+constexpr const char* kMinimal =
+    "topology = chain 4 100\n"
+    "voip 0 0 3 g729 100\n";
+
+TEST(ScenarioParserTest, MinimalScenarioWithDefaults) {
+  const auto sc = parse_scenario(kMinimal);
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  EXPECT_EQ(sc->config.topology.node_count(), 4);
+  EXPECT_EQ(sc->flows.size(), 2u);  // a call is two flows
+  EXPECT_EQ(sc->mac, MacMode::kTdmaOverlay);
+  EXPECT_EQ(sc->duration, SimTime::seconds(10));
+  EXPECT_EQ(sc->config.scheduler, SchedulerKind::kIlpDelayAware);
+}
+
+TEST(ScenarioParserTest, FullGrammarRoundTrip) {
+  const auto sc = parse_scenario(
+      "# full scenario\n"
+      "topology = grid 2 3 120\n"
+      "comm_range = 130\n"
+      "interference_range = 260\n"
+      "phy = dsss11\n"
+      "frame_ms = 20\n"
+      "control_slots = 8\n"
+      "data_slots = 192\n"
+      "guard_us = 75\n"
+      "scheduler = greedy\n"
+      "routing = load-aware\n"
+      "mac = edca\n"
+      "duration_s = 2.5\n"
+      "seed = 99\n"
+      "packet_error_rate = 0.01\n"
+      "voip 0 0 5 g711 80\n"
+      "video 10 5 0 500000\n"
+      "bulk 20 1 4 1000 1000000\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  EXPECT_EQ(sc->config.topology.node_count(), 6);
+  EXPECT_DOUBLE_EQ(sc->config.comm_range, 130.0);
+  EXPECT_EQ(sc->config.phy.name(), "802.11b-11Mbps");
+  EXPECT_EQ(sc->config.emulation.frame.frame_duration,
+            SimTime::milliseconds(20));
+  EXPECT_EQ(sc->config.emulation.frame.control_slots, 8);
+  EXPECT_EQ(sc->config.emulation.frame.data_slots, 192);
+  EXPECT_FALSE(sc->config.auto_guard);
+  EXPECT_EQ(sc->config.emulation.guard_time, SimTime::microseconds(75));
+  EXPECT_EQ(sc->config.scheduler, SchedulerKind::kGreedy);
+  EXPECT_EQ(sc->config.routing, RoutingPolicy::kLoadAware);
+  EXPECT_EQ(sc->mac, MacMode::kEdca);
+  EXPECT_EQ(sc->duration, SimTime::from_seconds(2.5));
+  EXPECT_EQ(sc->config.seed, 99u);
+  EXPECT_DOUBLE_EQ(sc->config.packet_error_rate, 0.01);
+  ASSERT_EQ(sc->flows.size(), 4u);  // voip pair + video + bulk
+  EXPECT_EQ(sc->flows[2].shape, TrafficShape::kVbrVideo);
+  EXPECT_EQ(sc->flows[3].service, ServiceClass::kBestEffort);
+}
+
+TEST(ScenarioParserTest, GuardAuto) {
+  const auto sc = parse_scenario(
+      "topology = chain 3 100\nguard_us = auto\nvoip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_TRUE(sc->config.auto_guard);
+}
+
+TEST(ScenarioParserTest, AllTopologyKinds) {
+  for (const char* t :
+       {"chain 5 100", "grid 2 2 100", "ring 6 150", "random 8 400 170 7",
+        "tree 2 2 100"}) {
+    const auto sc = parse_scenario(
+        std::string("topology = ") + t + "\nvoip 0 0 1 g729 100\n");
+    EXPECT_TRUE(sc.has_value()) << t << ": "
+                                << (sc.has_value() ? "" : sc.error());
+  }
+}
+
+TEST(ScenarioParserTest, ErrorsNameTheOffendingLine) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "bogus_key = 3\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_FALSE(sc.has_value());
+  EXPECT_NE(sc.error().find("line 2"), std::string::npos);
+  EXPECT_NE(sc.error().find("bogus_key"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsBadValues) {
+  EXPECT_FALSE(parse_scenario("topology = blob 1\nvoip 0 0 1 g729 1\n")
+                   .has_value());
+  EXPECT_FALSE(parse_scenario(
+                   "topology = chain 4 100\nphy = ofdm7\nvoip 0 0 3 g729 1\n")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_scenario(
+          "topology = chain 4 100\nscheduler = magic\nvoip 0 0 3 g729 1\n")
+          .has_value());
+  EXPECT_FALSE(parse_scenario(
+                   "topology = chain 4 100\nvoip 0 0 3 g999 100\n")
+                   .has_value());
+  EXPECT_FALSE(parse_scenario("topology = chain 4 100\nfrobnicate 1 2\n")
+                   .has_value());
+}
+
+TEST(ScenarioParserTest, RequiresTopologyAndTraffic) {
+  EXPECT_FALSE(parse_scenario("voip 0 0 1 g729 100\n").has_value());
+  EXPECT_FALSE(parse_scenario("topology = chain 4 100\n").has_value());
+}
+
+TEST(ScenarioParserTest, ParsedScenarioActuallyRuns) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "duration_s = 1\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_TRUE(sc.has_value());
+  MeshNetwork net(sc->config);
+  for (const FlowSpec& f : sc->flows) net.add_flow(f);
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r = net.run(sc->mac, sc->duration);
+  EXPECT_EQ(r.flows.size(), 2u);
+  for (const FlowResult& f : r.flows) {
+    EXPECT_LT(f.stats.loss_rate(), 0.01);
+  }
+  // The report mentions every flow id.
+  const std::string report = format_report(*sc, r);
+  EXPECT_NE(report.find("voip"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -1,0 +1,468 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/graph/shortest_path.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/sched/conflict_graph.h"
+#include "wimesh/sched/scheduler.h"
+
+namespace wimesh {
+namespace {
+
+// Builds a SchedulingProblem from node paths: each path contributes
+// `slots_per_hop` demand on every hop and a FlowPath with the given budget.
+SchedulingProblem make_problem(const Topology& topo, const RadioModel& radio,
+                               const std::vector<std::vector<NodeId>>& paths,
+                               int slots_per_hop, int budget_frames) {
+  SchedulingProblem p;
+  for (const auto& nodes : paths) {
+    FlowPath flow;
+    flow.delay_budget_frames = budget_frames;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      const LinkId l = p.links.add({nodes[i - 1], nodes[i]});
+      if (static_cast<std::size_t>(l) >= p.demand.size()) {
+        p.demand.resize(static_cast<std::size_t>(l) + 1, 0);
+      }
+      p.demand[static_cast<std::size_t>(l)] += slots_per_hop;
+      flow.links.push_back(l);
+    }
+    p.flows.push_back(std::move(flow));
+  }
+  p.demand.resize(static_cast<std::size_t>(p.links.count()), 0);
+  p.conflicts = build_conflict_graph(p.links, topo.positions, radio);
+  return p;
+}
+
+// ---------------------------------------------------------- conflict graph
+
+TEST(ConflictGraphTest, SharedNodeAlwaysConflicts) {
+  const Topology t = make_chain(3, 100.0);
+  const RadioModel radio(100.0, 100.0);  // no extra interference reach
+  LinkSet ls;
+  const LinkId a = ls.add({0, 1});
+  const LinkId b = ls.add({1, 2});
+  const LinkId c = ls.add({1, 0});  // reverse of a
+  const Graph g = build_conflict_graph(ls, t.positions, radio);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_TRUE(g.has_edge(a, c));
+  EXPECT_TRUE(g.has_edge(b, c));
+}
+
+TEST(ConflictGraphTest, InterferenceRangeCreatesTwoHopConflicts) {
+  const Topology t = make_chain(6, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  LinkSet ls;
+  const LinkId l01 = ls.add({0, 1});
+  const LinkId l23 = ls.add({2, 3});
+  const LinkId l34 = ls.add({3, 4});
+  const LinkId l45 = ls.add({4, 5});
+  const Graph g = build_conflict_graph(ls, t.positions, radio);
+  // tx 2 is 100m from rx 1 → conflict.
+  EXPECT_TRUE(g.has_edge(l01, l23));
+  // tx 3 is 200m from rx 1 → still conflicts (boundary inclusive).
+  EXPECT_TRUE(g.has_edge(l01, l34));
+  // tx 4 is 300m from rx 1, tx 0 is 500m from rx 5 → no conflict.
+  EXPECT_FALSE(g.has_edge(l01, l45));
+}
+
+TEST(ConflictGraphTest, ConnectivityVariantMatchesUnitInterference) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 100.0);
+  LinkSet ls;
+  ls.add({0, 1});
+  ls.add({1, 2});
+  ls.add({2, 3});
+  ls.add({3, 4});
+  const Graph geo = build_conflict_graph(ls, t.positions, radio);
+  const Graph con = build_conflict_graph(ls, t.graph);
+  ASSERT_EQ(geo.node_count(), con.node_count());
+  for (LinkId a = 0; a < ls.count(); ++a) {
+    for (LinkId b = a + 1; b < ls.count(); ++b) {
+      EXPECT_EQ(geo.has_edge(a, b), con.has_edge(a, b))
+          << "links " << a << "," << b;
+    }
+  }
+}
+
+TEST(ConflictGraphTest, LowerBoundIsNodeCliqueLoad) {
+  LinkSet ls;
+  ls.add({0, 1});
+  ls.add({1, 2});
+  ls.add({3, 1});
+  const std::vector<int> demand{2, 3, 4};  // all touch node 1 → 9
+  EXPECT_EQ(schedule_length_lower_bound(ls, demand), 9);
+}
+
+TEST(ConflictGraphTest, LowerBoundZeroWhenNoDemand) {
+  LinkSet ls;
+  ls.add({0, 1});
+  EXPECT_EQ(schedule_length_lower_bound(ls, {0}), 0);
+}
+
+// ------------------------------------------------------------- baselines
+
+TEST(GreedySchedulerTest, ChainScheduleIsValid) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 2, 10);
+  const auto r = schedule_greedy(p, 64);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_GE(r->schedule.used_slots(),
+            schedule_length_lower_bound(p.links, p.demand));
+}
+
+TEST(GreedySchedulerTest, FailsWhenFrameTooSmall) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3}}, 4, 10);
+  // 3 links, all mutually conflicting on a 4-chain → needs 12 slots.
+  EXPECT_FALSE(schedule_greedy(p, 11).has_value());
+  EXPECT_TRUE(schedule_greedy(p, 12).has_value());
+}
+
+TEST(RoundRobinSchedulerTest, ValidButNoTighterThanGreedy) {
+  const Topology t = make_grid(3, 3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p =
+      make_problem(t, radio, {{0, 1, 2, 5}, {6, 7, 8}, {0, 3, 6}}, 1, 10);
+  const auto rr = schedule_round_robin(p, 64);
+  const auto gr = schedule_greedy(p, 64);
+  ASSERT_TRUE(rr.has_value());
+  ASSERT_TRUE(gr.has_value());
+  EXPECT_TRUE(validate_schedule(p, rr->schedule));
+  EXPECT_GE(rr->schedule.used_slots(), gr->schedule.used_slots() > 0 ? 1 : 0);
+}
+
+// --------------------------------------------------- order reconstruction
+
+TEST(OrderToScheduleTest, RespectsImposedOrder) {
+  const Topology t = make_chain(3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2}}, 3, 10);
+  // Force link1 (1→2) before link0 (0→1).
+  TransmissionOrder order(p.links.count());
+  order.set_before(1, 0);
+  const auto s = order_to_schedule(p, order, 16);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(validate_schedule(p, *s));
+  EXPECT_GE(s->grant(0)->start, s->grant(1)->end());
+}
+
+TEST(OrderToScheduleTest, ProducesCompactSchedules) {
+  const Topology t = make_chain(3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2}}, 3, 10);
+  TransmissionOrder order(p.links.count());
+  order.set_before(0, 1);
+  const auto s = order_to_schedule(p, order, 64);
+  ASSERT_TRUE(s.has_value());
+  // Bellman–Ford pushes starts as late as the constraints allow relative to
+  // the virtual zero, but the shift normalizes the earliest start to >= 0
+  // and the pair must be adjacent-or-later; total span >= 6 slots.
+  EXPECT_GE(s->grant(1)->start, s->grant(0)->end());
+}
+
+TEST(OrderToScheduleTest, TooSmallFrameFails) {
+  const Topology t = make_chain(3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2}}, 3, 10);
+  TransmissionOrder order(p.links.count());
+  order.set_before(0, 1);
+  EXPECT_FALSE(order_to_schedule(p, order, 5).has_value());
+  EXPECT_TRUE(order_to_schedule(p, order, 6).has_value());
+}
+
+TEST(OrderFromScheduleTest, RoundTripsThroughReconstruction) {
+  const Topology t = make_grid(2, 3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2}, {3, 4, 5}}, 2, 10);
+  const auto g = schedule_greedy(p, 64);
+  ASSERT_TRUE(g.has_value());
+  const TransmissionOrder order = order_from_schedule(p, g->schedule);
+  const auto rebuilt = order_to_schedule(p, order, 64);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_TRUE(validate_schedule(p, *rebuilt));
+  // The rebuilt schedule can only be as long or shorter (BF compacts).
+  EXPECT_LE(rebuilt->used_slots(), 64);
+}
+
+// ------------------------------------------------------------------- ILP
+
+TEST(IlpSchedulerTest, ChainFeasibleAtLowerBound) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3}}, 2, 10);
+  // All three links mutually conflict → lower bound = 3 links * 2 = 6.
+  const auto r = schedule_ilp(p, 6);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_LE(r->schedule.used_slots(), 6);
+}
+
+TEST(IlpSchedulerTest, InfeasibleWhenFrameTooSmall) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3}}, 2, 10);
+  const auto r = schedule_ilp(p, 5);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "infeasible");
+}
+
+TEST(IlpSchedulerTest, MinSlotsSearchFindsLowerBoundOnChain) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3}}, 2, 10);
+  const auto r = min_slots_search(p, 64);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_EQ(r->frame_slots, 6);
+  // All three links are mutually conflicting (2-hop interference), so the
+  // greedy-clique lower bound is 3 * 2 = 6 and the search succeeds at its
+  // very first stage.
+  EXPECT_EQ(r->stages, 1);
+  EXPECT_TRUE(r->proven_minimal);
+}
+
+TEST(IlpSchedulerTest, ZeroDelayBudgetForcesMonotoneOrder) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 1, 0);
+  const auto r = min_slots_search(p, 64);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_TRUE(validate_schedule(p, r->result.schedule));
+  EXPECT_EQ(count_frame_wraps(r->result.schedule, p.flows[0]), 0);
+  // Starts strictly increase along the path.
+  for (std::size_t i = 1; i < p.flows[0].links.size(); ++i) {
+    EXPECT_GE(r->result.schedule.grant(p.flows[0].links[i])->start,
+              r->result.schedule.grant(p.flows[0].links[i - 1])->end());
+  }
+}
+
+TEST(IlpSchedulerTest, DelayUnawareMayWrapButStillValid) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 1, 0);
+  IlpSchedulerOptions opt;
+  opt.delay_aware = false;
+  const auto r = min_slots_search(p, 64, opt);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_TRUE(validate_schedule(p, r->result.schedule));
+}
+
+TEST(IlpSchedulerTest, BudgetIsRespectedExactly) {
+  const Topology t = make_chain(6, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  for (int budget = 0; budget <= 3; ++budget) {
+    const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4, 5}}, 1, budget);
+    const auto r = min_slots_search(p, 64);
+    ASSERT_TRUE(r.has_value()) << "budget " << budget << ": " << r.error();
+    EXPECT_LE(count_frame_wraps(r->result.schedule, p.flows[0]), budget);
+  }
+}
+
+TEST(IlpSchedulerTest, TwoOpposingFlowsWithTightBudgets) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p =
+      make_problem(t, radio, {{0, 1, 2, 3}, {3, 2, 1, 0}}, 1, 0);
+  const auto r = min_slots_search(p, 64);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  for (const auto& flow : p.flows) {
+    EXPECT_EQ(count_frame_wraps(r->result.schedule, flow), 0);
+  }
+}
+
+TEST(IlpSchedulerTest, IlpNeverWorseThanGreedy) {
+  Rng rng(555);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng topo_rng = rng.split();
+    const Topology t = make_random_geometric(8, 400.0, 180.0, topo_rng);
+    const RadioModel radio(180.0, 360.0);
+    // One flow along a BFS path between two random nodes.
+    const NodeId src = static_cast<NodeId>(rng.next_below(8));
+    NodeId dst = static_cast<NodeId>(rng.next_below(8));
+    if (dst == src) dst = (dst + 1) % 8;
+    // Recover a path from BFS parents.
+    const auto parents = spanning_tree_parents(t.graph, src);
+    std::vector<NodeId> path{dst};
+    while (path.back() != src) {
+      path.push_back(parents[static_cast<std::size_t>(path.back())]);
+    }
+    std::reverse(path.begin(), path.end());
+    const auto p = make_problem(t, radio, {path}, 1, 10);
+
+    const auto greedy = schedule_greedy(p, 64);
+    ASSERT_TRUE(greedy.has_value());
+    const auto ilp = min_slots_search(p, 64);
+    ASSERT_TRUE(ilp.has_value()) << ilp.error();
+    EXPECT_LE(ilp->frame_slots, greedy->schedule.used_slots())
+        << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------ min-max delay ILP
+
+TEST(MinMaxDelayIlpTest, AchievesZeroWrapsWhenSlackAllows) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 1, 10);
+  // Plenty of slots: a monotone order exists, so the optimum is 0 wraps.
+  const auto r = schedule_ilp_min_max_delay(p, 64);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_EQ(r->max_wraps, 0);
+  EXPECT_TRUE(r->proven);
+  EXPECT_TRUE(validate_schedule(p, r->result.schedule));
+  EXPECT_EQ(count_frame_wraps(r->result.schedule, p.flows[0]), 0);
+}
+
+TEST(MinMaxDelayIlpTest, TightFrameForcesWrapsAndFindsTheMinimum) {
+  // At the minimal schedule length, spatial reuse forces some wrap; the
+  // min-max solver must find the smallest such count and the realized
+  // schedule must match it.
+  const Topology t = make_chain(6, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4, 5}}, 2, 10);
+  const auto min_s = min_slots_search(p, 64);
+  ASSERT_TRUE(min_s.has_value());
+  const auto r = schedule_ilp_min_max_delay(p, min_s->frame_slots);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_TRUE(validate_schedule(p, r->result.schedule));
+  int realized = 0;
+  for (const auto& f : p.flows) {
+    realized = std::max(realized,
+                        count_frame_wraps(r->result.schedule, f));
+  }
+  EXPECT_LE(realized, r->max_wraps);
+  // And a slightly longer frame must not need more wraps.
+  const auto relaxed = schedule_ilp_min_max_delay(p, min_s->frame_slots + 6);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_LE(relaxed->max_wraps, r->max_wraps);
+}
+
+TEST(MinMaxDelayIlpTest, NeverWorseThanFeasibilitySolution) {
+  const Topology t = make_chain(6, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p =
+      make_problem(t, radio, {{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}}, 1, 10);
+  const auto s = min_slots_search(p, 64);
+  ASSERT_TRUE(s.has_value());
+  int feas_worst = 0;
+  for (const auto& f : p.flows) {
+    feas_worst =
+        std::max(feas_worst, count_frame_wraps(s->result.schedule, f));
+  }
+  const auto mm = schedule_ilp_min_max_delay(p, s->frame_slots);
+  ASSERT_TRUE(mm.has_value()) << mm.error();
+  EXPECT_LE(mm->max_wraps, feas_worst);
+}
+
+TEST(MinMaxDelayIlpTest, RespectsExplicitBudgetsToo) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 1, 0);
+  const auto r = schedule_ilp_min_max_delay(p, 64);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_EQ(r->max_wraps, 0);  // budget 0 forces it regardless of objective
+}
+
+// ---------------------------------------------------------- delay metrics
+
+TEST(DelayMetricsTest, WorstCaseDelayHandComputed) {
+  // Two-link flow, frame of 10 total slots. Grants: l0 = [0,2), l1 = [4,6).
+  LinkSet ls;
+  const LinkId l0 = ls.add({0, 1});
+  const LinkId l1 = ls.add({1, 2});
+  MeshSchedule s(ls, 8);
+  s.set_grant(l0, SlotRange{0, 2});
+  s.set_grant(l1, SlotRange{4, 2});
+  FlowPath flow;
+  flow.links = {l0, l1};
+  // initial wait 10 + d0 (2) + gap (4-2=2) + d1 (2) = 16.
+  EXPECT_EQ(worst_case_delay_slots(s, flow, 10), 16);
+  EXPECT_EQ(count_frame_wraps(s, flow), 0);
+}
+
+TEST(DelayMetricsTest, WrapAddsAFrame) {
+  // Grants reversed: l1 before l0 → the relay waits a frame.
+  LinkSet ls;
+  const LinkId l0 = ls.add({0, 1});
+  const LinkId l1 = ls.add({1, 2});
+  MeshSchedule s(ls, 8);
+  s.set_grant(l0, SlotRange{4, 2});
+  s.set_grant(l1, SlotRange{0, 2});
+  FlowPath flow;
+  flow.links = {l0, l1};
+  // initial wait 10 + d0 (2) + gap ((0-6) mod 10 = 4) + d1 (2) = 18.
+  EXPECT_EQ(worst_case_delay_slots(s, flow, 10), 18);
+  EXPECT_EQ(count_frame_wraps(s, flow), 1);
+}
+
+TEST(DelayMetricsTest, DelayAwareBeatsUnawareOnLongChain) {
+  const Topology t = make_chain(7, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto aware_p = make_problem(t, radio, {{0, 1, 2, 3, 4, 5, 6}}, 1, 0);
+  const auto r_aware = min_slots_search(aware_p, 64);
+  ASSERT_TRUE(r_aware.has_value()) << r_aware.error();
+
+  IlpSchedulerOptions unaware_opt;
+  unaware_opt.delay_aware = false;
+  // Round robin in *reverse* path order maximizes wraps.
+  SchedulingProblem reversed = aware_p;
+  const auto rr = schedule_round_robin(reversed, 64);
+  ASSERT_TRUE(rr.has_value());
+
+  const int total = 70;  // frame slots incl. control
+  const int aware_delay =
+      worst_case_delay_slots(r_aware->result.schedule, aware_p.flows[0], total);
+  const int rr_delay =
+      worst_case_delay_slots(rr->schedule, aware_p.flows[0], total);
+  EXPECT_LE(aware_delay, rr_delay);
+  EXPECT_EQ(count_frame_wraps(r_aware->result.schedule, aware_p.flows[0]), 0);
+}
+
+// ------------------------------------------------------------- properties
+
+TEST(SchedulerPropertyTest, RandomProblemsAllSchedulersValid) {
+  Rng rng(808);
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng topo_rng = rng.split();
+    const Topology t = make_random_geometric(10, 500.0, 200.0, topo_rng);
+    const RadioModel radio(200.0, 400.0);
+    // 2 random BFS-path flows.
+    std::vector<std::vector<NodeId>> paths;
+    for (int f = 0; f < 2; ++f) {
+      const NodeId src = static_cast<NodeId>(rng.next_below(10));
+      NodeId dst = static_cast<NodeId>(rng.next_below(10));
+      if (dst == src) dst = (dst + 1) % 10;
+      const auto parents = spanning_tree_parents(t.graph, src);
+      std::vector<NodeId> path{dst};
+      while (path.back() != src) {
+        path.push_back(parents[static_cast<std::size_t>(path.back())]);
+      }
+      std::reverse(path.begin(), path.end());
+      paths.push_back(std::move(path));
+    }
+    const auto p = make_problem(t, radio, paths, 1, 2);
+
+    const auto greedy = schedule_greedy(p, 96);
+    ASSERT_TRUE(greedy.has_value()) << "trial " << trial;
+    EXPECT_TRUE(validate_schedule(p, greedy->schedule));
+
+    const auto ilp = min_slots_search(p, 96);
+    ASSERT_TRUE(ilp.has_value()) << "trial " << trial << ": " << ilp.error();
+    EXPECT_TRUE(validate_schedule(p, ilp->result.schedule));
+    for (const auto& flow : p.flows) {
+      EXPECT_LE(count_frame_wraps(ilp->result.schedule, flow),
+                flow.delay_budget_frames)
+          << "trial " << trial;
+    }
+    EXPECT_GE(ilp->frame_slots,
+              schedule_length_lower_bound(p.links, p.demand));
+  }
+}
+
+}  // namespace
+}  // namespace wimesh

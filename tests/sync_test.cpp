@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wimesh/graph/topology.h"
+#include "wimesh/sync/sync.h"
+
+namespace wimesh {
+namespace {
+
+TEST(SyncConfigTest, ErrorBoundGrowsWithHopsAndDrift) {
+  SyncConfig cfg;
+  const SimTime b1 = cfg.max_error_bound(1);
+  const SimTime b4 = cfg.max_error_bound(4);
+  EXPECT_GT(b4, b1);
+  EXPECT_GT(b1, SimTime::zero());
+
+  SyncConfig fast = cfg;
+  fast.resync_interval = cfg.resync_interval / 10;
+  EXPECT_LT(fast.max_error_bound(4), cfg.max_error_bound(4));
+
+  SyncConfig stable = cfg;
+  stable.drift_ppm_stddev = 0.0;
+  stable.per_hop_error_stddev = SimTime::zero();
+  EXPECT_EQ(stable.max_error_bound(10), SimTime::zero());
+}
+
+TEST(SyncConfigTest, GuardIsTwiceTheBound) {
+  SyncConfig cfg;
+  EXPECT_EQ(cfg.recommended_guard(3), cfg.max_error_bound(3) * 2);
+}
+
+TEST(SyncProtocolTest, MasterHasZeroError) {
+  Simulator sim;
+  const Topology t = make_chain(5, 100.0);
+  SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(sync.error(0, sim.now()), SimTime::zero());
+  EXPECT_EQ(sync.local_time(0, sim.now()), sim.now());
+}
+
+TEST(SyncProtocolTest, TreeDepthMatchesTopology) {
+  Simulator sim;
+  const Topology t = make_chain(6, 100.0);
+  SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(7));
+  EXPECT_EQ(sync.max_tree_depth(), 5);
+  const Topology star = make_tree(5, 1);
+  Simulator sim2;
+  SyncProtocol sync2(sim2, star.graph, 0, SyncConfig{}, Rng(7));
+  EXPECT_EQ(sync2.max_tree_depth(), 1);
+}
+
+TEST(SyncProtocolTest, WavesRunPeriodically) {
+  Simulator sim;
+  const Topology t = make_chain(4, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(100);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(450));
+  // Waves at 0, 100, 200, 300, 400 ms.
+  EXPECT_EQ(sync.waves_completed(), 5u);
+}
+
+TEST(SyncProtocolTest, ErrorsStayWithinBoundAfterSync) {
+  Simulator sim;
+  const Topology t = make_chain(8, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(200);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(11));
+  sync.start();
+  const SimTime bound = cfg.max_error_bound(sync.max_tree_depth());
+  int violations = 0;
+  int samples = 0;
+  for (int step = 1; step <= 50; ++step) {
+    const SimTime when = SimTime::milliseconds(step * 37);
+    sim.run_until(when);
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      const SimTime e = sync.error(n, sim.now());
+      ++samples;
+      if (e > bound || e < -bound) ++violations;
+    }
+  }
+  // 3-sigma bound: violations must be rare (< 1%).
+  EXPECT_LT(violations, samples / 100 + 1);
+}
+
+TEST(SyncProtocolTest, ErrorGrowsLinearlyBetweenWaves) {
+  Simulator sim;
+  const Topology t = make_chain(3, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::seconds(10);  // one wave only
+  cfg.per_hop_error_stddev = SimTime::zero();  // isolate drift
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(13));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(1));
+  const SimTime e1 = sync.error(1, SimTime::milliseconds(100));
+  const SimTime e2 = sync.error(1, SimTime::milliseconds(200));
+  const SimTime e3 = sync.error(1, SimTime::milliseconds(300));
+  // Equal spacing → equal increments (pure linear drift).
+  EXPECT_NEAR(static_cast<double>((e2 - e1).ns()),
+              static_cast<double>((e3 - e2).ns()), 2.0);
+}
+
+TEST(SyncProtocolTest, GlobalTimeForLocalInvertsLocalTime) {
+  Simulator sim;
+  const Topology t = make_chain(5, 100.0);
+  SyncConfig cfg;
+  cfg.drift_ppm_stddev = 20.0;
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(17));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(50));
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    const SimTime target_local = SimTime::milliseconds(120);
+    const SimTime g = sync.global_time_for_local(n, target_local);
+    const SimTime roundtrip = sync.local_time(n, g);
+    EXPECT_NEAR(static_cast<double>((roundtrip - target_local).ns()), 0.0,
+                2.0)
+        << "node " << n;
+  }
+}
+
+TEST(SyncProtocolTest, ZeroNoiseConfigKeepsPerfectClocks) {
+  Simulator sim;
+  const Topology t = make_grid(3, 3, 100.0);
+  SyncConfig cfg;
+  cfg.per_hop_error_stddev = SimTime::zero();
+  cfg.drift_ppm_stddev = 0.0;
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(19),
+                    /*initial_offset_bound=*/SimTime::zero());
+  sync.start();
+  sim.run_until(SimTime::seconds(1));
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(sync.error(n, sim.now()), SimTime::zero());
+  }
+}
+
+TEST(SyncProtocolTest, DeterministicForSameSeed) {
+  auto sample = [](std::uint64_t seed) {
+    Simulator sim;
+    const Topology t = make_chain(6, 100.0);
+    SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(seed));
+    sync.start();
+    sim.run_until(SimTime::seconds(1));
+    std::vector<std::int64_t> errors;
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      errors.push_back(sync.error(n, sim.now()).ns());
+    }
+    return errors;
+  };
+  EXPECT_EQ(sample(5), sample(5));
+  EXPECT_NE(sample(5), sample(6));
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -1,0 +1,267 @@
+// Tests for the 802.16 mesh extensions: distributed election scheduling
+// and MSH-DSCH control-message encoding.
+
+#include <gtest/gtest.h>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/phy/radio_model.h"
+#include "wimesh/sched/conflict_graph.h"
+#include "wimesh/sched/scheduler.h"
+#include "wimesh/wimax/control_messages.h"
+#include "wimesh/wimax/distributed_scheduler.h"
+#include "wimesh/wimax/election.h"
+
+namespace wimesh {
+namespace {
+
+// ---------------------------------------------------------------- election
+
+TEST(MeshElectionHashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(mesh_election_hash(3, 7, 1), mesh_election_hash(3, 7, 1));
+  EXPECT_NE(mesh_election_hash(3, 7, 1), mesh_election_hash(3, 7, 2));
+  EXPECT_NE(mesh_election_hash(3, 7, 1), mesh_election_hash(4, 7, 1));
+  EXPECT_NE(mesh_election_hash(3, 7, 1), mesh_election_hash(3, 8, 1));
+}
+
+TEST(MeshElectionHashTest, WinnerVariesAcrossSlots) {
+  // The point of the election: no competitor wins every slot.
+  int wins_a = 0;
+  for (std::uint32_t slot = 0; slot < 64; ++slot) {
+    if (mesh_election_hash(1, slot, 0) > mesh_election_hash(2, slot, 0)) {
+      ++wins_a;
+    }
+  }
+  EXPECT_GT(wins_a, 16);
+  EXPECT_LT(wins_a, 48);
+}
+
+struct ElectionFixture {
+  LinkSet links;
+  std::vector<int> demand;
+  Graph conflicts;
+
+  explicit ElectionFixture(NodeId chain_n, int per_link) {
+    const Topology topo = make_chain(chain_n, 100.0);
+    const RadioModel radio(110.0, 220.0);
+    for (NodeId i = 0; i + 1 < chain_n; ++i) {
+      links.add({i, i + 1});
+      links.add({i + 1, i});
+    }
+    demand.assign(static_cast<std::size_t>(links.count()), per_link);
+    conflicts = build_conflict_graph(links, topo.positions, radio);
+  }
+};
+
+TEST(ElectionSchedulerTest, ConflictFreeAndDemandMetWithAmpleSlots) {
+  ElectionFixture fx(5, 2);
+  const auto s = schedule_by_election(fx.links, fx.demand, fx.conflicts, 96);
+  EXPECT_TRUE(election_conflict_free(s, fx.conflicts));
+  EXPECT_EQ(s.total_unmet(), 0);
+  for (LinkId l = 0; l < fx.links.count(); ++l) {
+    EXPECT_EQ(s.granted_slots(l), 2) << "link " << l;
+  }
+}
+
+TEST(ElectionSchedulerTest, ReportsUnmetDemandWhenFrameTooSmall) {
+  ElectionFixture fx(4, 4);
+  // All six links mutually conflict on a 4-chain: need 24 slots, give 10.
+  const auto s = schedule_by_election(fx.links, fx.demand, fx.conflicts, 10);
+  EXPECT_TRUE(election_conflict_free(s, fx.conflicts));
+  EXPECT_GT(s.total_unmet(), 0);
+  int granted = 0;
+  for (LinkId l = 0; l < fx.links.count(); ++l) granted += s.granted_slots(l);
+  EXPECT_EQ(granted + s.total_unmet(), 24);
+}
+
+TEST(ElectionSchedulerTest, DeterministicPerSeedAndDifferentAcrossSeeds) {
+  ElectionFixture fx(5, 2);
+  const auto a = schedule_by_election(fx.links, fx.demand, fx.conflicts, 96, 1);
+  const auto b = schedule_by_election(fx.links, fx.demand, fx.conflicts, 96, 1);
+  const auto c = schedule_by_election(fx.links, fx.demand, fx.conflicts, 96, 2);
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_NE(a.grants, c.grants);
+}
+
+TEST(ElectionSchedulerTest, NeverBeatsTheCentralizedOptimum) {
+  // The election's span is at least the ILP minimum (it cannot do better
+  // than optimal) — and in practice worse: that gap is the value of
+  // centralized scheduling (ablation R-A2).
+  for (NodeId n : {4, 5, 6}) {
+    ElectionFixture fx(n, 2);
+    SchedulingProblem p;
+    p.links = fx.links;
+    p.demand = fx.demand;
+    p.conflicts = fx.conflicts;
+    const auto ilp = min_slots_search(p, 96);
+    ASSERT_TRUE(ilp.has_value());
+    const auto el = schedule_by_election(fx.links, fx.demand, fx.conflicts, 96);
+    ASSERT_EQ(el.total_unmet(), 0);
+    EXPECT_GE(el.used_slots(), ilp->frame_slots) << "chain-" << n;
+  }
+}
+
+TEST(ElectionSchedulerTest, CoalescesContiguousWins) {
+  LinkSet ls;
+  ls.add({0, 1});
+  Graph conflicts(1);
+  const auto s = schedule_by_election(ls, {5}, conflicts, 96);
+  // A lone link wins every slot: one coalesced block of 5.
+  ASSERT_EQ(s.grants[0].size(), 1u);
+  EXPECT_EQ(s.grants[0][0], (SlotRange{0, 5}));
+}
+
+// ------------------------------------------- distributed 3-way handshake
+
+TEST(DistributedSchedulerTest, ConvergesConflictFreeOnChains) {
+  for (NodeId n : {4, 6, 8}) {
+    ElectionFixture fx(n, 2);
+    const auto r =
+        run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96);
+    EXPECT_TRUE(r.converged) << "chain-" << n;
+    EXPECT_TRUE(distributed_schedule_conflict_free(r, fx.conflicts));
+    for (LinkId l = 0; l < fx.links.count(); ++l) {
+      EXPECT_EQ(r.grants[static_cast<std::size_t>(l)].length, 2);
+    }
+    EXPECT_GE(r.rounds, 1);
+    EXPECT_GE(r.handshakes, fx.links.count());
+  }
+}
+
+TEST(DistributedSchedulerTest, RejectionsHappenAndAreRetried) {
+  // Mutually-conflicting links all request the same first-fit range in
+  // round one; only the election winner confirms, the rest are rejected
+  // and succeed in later rounds.
+  ElectionFixture fx(4, 3);  // 6 links, full clique on a 4-chain
+  const auto r =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.rejections, 0);
+  EXPECT_GT(r.rounds, 1);
+  EXPECT_EQ(r.handshakes, fx.links.count() + r.rejections);
+}
+
+TEST(DistributedSchedulerTest, ReportsNonConvergenceWhenFrameTooSmall) {
+  ElectionFixture fx(4, 4);  // needs 24 slots in a clique
+  const auto r =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 10);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(distributed_schedule_conflict_free(r, fx.conflicts));
+  int unmet = 0;
+  for (int u : r.unmet) unmet += u;
+  EXPECT_GT(unmet, 0);
+}
+
+TEST(DistributedSchedulerTest, MatchesCentralizedSlotUsageOnCliques) {
+  // On a clique every schedule is a permutation: the handshake must land
+  // on the same span the centralized optimum uses.
+  ElectionFixture fx(4, 2);
+  SchedulingProblem p;
+  p.links = fx.links;
+  p.demand = fx.demand;
+  p.conflicts = fx.conflicts;
+  const auto central = min_slots_search(p, 96);
+  ASSERT_TRUE(central.has_value());
+  const auto dist =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96);
+  ASSERT_TRUE(dist.converged);
+  EXPECT_EQ(dist.used_slots(), central->frame_slots);
+}
+
+TEST(DistributedSchedulerTest, DeterministicPerSeed) {
+  ElectionFixture fx(6, 2);
+  DistributedSchedulerConfig cfg;
+  const auto a =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  const auto b =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_EQ(a.rounds, b.rounds);
+  cfg.election_seed = 77;
+  const auto c =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_TRUE(c.converged);
+}
+
+// ---------------------------------------------------- control messages
+
+TEST(ControlMessagesTest, EncodedSizeArithmetic) {
+  MshDschMessage msg;
+  msg.grants.resize(3);
+  EXPECT_EQ(encoded_size(msg), kMshDschHeaderBytes + 3 * kGrantIeBytes);
+}
+
+TEST(ControlMessagesTest, RoundTripsExactly) {
+  MshDschMessage msg;
+  msg.frame_sequence = 0xdeadbeef;
+  msg.grants = {GrantIe{7, 0, 12}, GrantIe{300, 200, 255}, GrantIe{0, 1, 1}};
+  const auto bytes = encode(msg);
+  EXPECT_EQ(bytes.size(), encoded_size(msg));
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ControlMessagesTest, DecodeRejectsTruncation) {
+  MshDschMessage msg;
+  msg.grants = {GrantIe{1, 2, 3}};
+  auto bytes = encode(msg);
+  bytes.pop_back();
+  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_FALSE(decode({1, 2, 3}).has_value());  // shorter than the header
+}
+
+TEST(ControlMessagesTest, DecodeRejectsCountMismatch) {
+  MshDschMessage msg;
+  msg.grants = {GrantIe{1, 2, 3}};
+  auto bytes = encode(msg);
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(ControlMessagesTest, BuildFromScheduleCoversAllGrants) {
+  LinkSet ls;
+  const LinkId a = ls.add({0, 1});
+  const LinkId b = ls.add({1, 2});
+  MeshSchedule s(ls, 64);
+  s.set_grant(a, SlotRange{0, 4});
+  s.set_grant(b, SlotRange{4, 2});
+  s.add_extra_grant(a, SlotRange{10, 3});
+  const auto msg = build_schedule_message(s, 42);
+  EXPECT_EQ(msg.frame_sequence, 42u);
+  ASSERT_EQ(msg.grants.size(), 3u);
+  // Round trip preserves everything.
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ControlMessagesTest, ControlSubframeCapacityIsSane) {
+  FrameConfig frame;
+  frame.frame_duration = SimTime::milliseconds(10);
+  frame.control_slots = 4;
+  frame.data_slots = 96;
+  const PhyMode phy = PhyMode::ofdm_802_11a(6);  // control at base rate
+  const std::size_t cap = control_subframe_capacity_bytes(frame, phy);
+  // 4 slots of 100us = 400us at 6 Mbps ≈ 300 B minus preamble/DIFS.
+  EXPECT_GT(cap, 100u);
+  EXPECT_LT(cap, 300u);
+  // Capacity grows with the subframe.
+  frame.control_slots = 8;
+  EXPECT_GT(control_subframe_capacity_bytes(frame, phy), cap);
+}
+
+TEST(ControlMessagesTest, TypicalScheduleFitsTheControlSubframe) {
+  FrameConfig frame;
+  frame.frame_duration = SimTime::milliseconds(10);
+  frame.control_slots = 4;
+  frame.data_slots = 96;
+  LinkSet ls;
+  MeshSchedule s(ls, 96);
+  // Empty schedule always fits.
+  EXPECT_TRUE(
+      schedule_fits_control_subframe(s, frame, PhyMode::ofdm_802_11a(6)));
+}
+
+}  // namespace
+}  // namespace wimesh
