@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bf_vs_ilp.dir/bench_bf_vs_ilp.cpp.o"
+  "CMakeFiles/bench_bf_vs_ilp.dir/bench_bf_vs_ilp.cpp.o.d"
+  "bench_bf_vs_ilp"
+  "bench_bf_vs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bf_vs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_call_blocking.dir/bench_call_blocking.cpp.o"
+  "CMakeFiles/bench_call_blocking.dir/bench_call_blocking.cpp.o.d"
+  "bench_call_blocking"
+  "bench_call_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_call_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

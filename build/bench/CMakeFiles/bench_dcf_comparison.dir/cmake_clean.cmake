@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcf_comparison.dir/bench_dcf_comparison.cpp.o"
+  "CMakeFiles/bench_dcf_comparison.dir/bench_dcf_comparison.cpp.o.d"
+  "bench_dcf_comparison"
+  "bench_dcf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

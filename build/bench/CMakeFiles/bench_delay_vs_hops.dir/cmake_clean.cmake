@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_vs_hops.dir/bench_delay_vs_hops.cpp.o"
+  "CMakeFiles/bench_delay_vs_hops.dir/bench_delay_vs_hops.cpp.o.d"
+  "bench_delay_vs_hops"
+  "bench_delay_vs_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

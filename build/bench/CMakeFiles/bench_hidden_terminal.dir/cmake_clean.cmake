@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hidden_terminal.dir/bench_hidden_terminal.cpp.o"
+  "CMakeFiles/bench_hidden_terminal.dir/bench_hidden_terminal.cpp.o.d"
+  "bench_hidden_terminal"
+  "bench_hidden_terminal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hidden_terminal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_solvetime.dir/bench_ilp_solvetime.cpp.o"
+  "CMakeFiles/bench_ilp_solvetime.dir/bench_ilp_solvetime.cpp.o.d"
+  "bench_ilp_solvetime"
+  "bench_ilp_solvetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_solvetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

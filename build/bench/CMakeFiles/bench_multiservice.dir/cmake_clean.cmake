@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiservice.dir/bench_multiservice.cpp.o"
+  "CMakeFiles/bench_multiservice.dir/bench_multiservice.cpp.o.d"
+  "bench_multiservice"
+  "bench_multiservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

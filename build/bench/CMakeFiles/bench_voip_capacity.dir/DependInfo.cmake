@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_voip_capacity.cpp" "bench/CMakeFiles/bench_voip_capacity.dir/bench_voip_capacity.cpp.o" "gcc" "bench/CMakeFiles/bench_voip_capacity.dir/bench_voip_capacity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wimesh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_tdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_wimax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_mesh.dir/community_mesh.cpp.o"
+  "CMakeFiles/community_mesh.dir/community_mesh.cpp.o.d"
+  "community_mesh"
+  "community_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

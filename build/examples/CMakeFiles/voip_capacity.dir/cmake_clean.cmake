@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_capacity.dir/voip_capacity.cpp.o"
+  "CMakeFiles/voip_capacity.dir/voip_capacity.cpp.o.d"
+  "voip_capacity"
+  "voip_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

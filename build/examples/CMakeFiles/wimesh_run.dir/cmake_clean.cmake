@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_run.dir/wimesh_run.cpp.o"
+  "CMakeFiles/wimesh_run.dir/wimesh_run.cpp.o.d"
+  "wimesh_run"
+  "wimesh_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

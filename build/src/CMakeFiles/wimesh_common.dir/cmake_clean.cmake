@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_common.dir/common/assert.cpp.o"
+  "CMakeFiles/wimesh_common.dir/common/assert.cpp.o.d"
+  "CMakeFiles/wimesh_common.dir/common/log.cpp.o"
+  "CMakeFiles/wimesh_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/wimesh_common.dir/common/rng.cpp.o"
+  "CMakeFiles/wimesh_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/wimesh_common.dir/common/strings.cpp.o"
+  "CMakeFiles/wimesh_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/wimesh_common.dir/common/time.cpp.o"
+  "CMakeFiles/wimesh_common.dir/common/time.cpp.o.d"
+  "libwimesh_common.a"
+  "libwimesh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_core.dir/core/mesh_network.cpp.o"
+  "CMakeFiles/wimesh_core.dir/core/mesh_network.cpp.o.d"
+  "CMakeFiles/wimesh_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/wimesh_core.dir/core/scenario.cpp.o.d"
+  "libwimesh_core.a"
+  "libwimesh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

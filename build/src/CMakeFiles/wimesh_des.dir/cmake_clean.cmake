@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_des.dir/des/simulator.cpp.o"
+  "CMakeFiles/wimesh_des.dir/des/simulator.cpp.o.d"
+  "libwimesh_des.a"
+  "libwimesh_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwimesh_des.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/wimesh_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/wimesh_graph.dir/graph/shortest_path.cpp.o"
+  "CMakeFiles/wimesh_graph.dir/graph/shortest_path.cpp.o.d"
+  "CMakeFiles/wimesh_graph.dir/graph/topology.cpp.o"
+  "CMakeFiles/wimesh_graph.dir/graph/topology.cpp.o.d"
+  "libwimesh_graph.a"
+  "libwimesh_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

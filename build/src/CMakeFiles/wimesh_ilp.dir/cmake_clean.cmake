@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_ilp.dir/ilp/ilp.cpp.o"
+  "CMakeFiles/wimesh_ilp.dir/ilp/ilp.cpp.o.d"
+  "libwimesh_ilp.a"
+  "libwimesh_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

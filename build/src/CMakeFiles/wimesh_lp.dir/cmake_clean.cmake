@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_lp.dir/lp/lp.cpp.o"
+  "CMakeFiles/wimesh_lp.dir/lp/lp.cpp.o.d"
+  "libwimesh_lp.a"
+  "libwimesh_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/wimesh_metrics.dir/metrics/stats.cpp.o.d"
+  "libwimesh_metrics.a"
+  "libwimesh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_phy.dir/phy/phy.cpp.o"
+  "CMakeFiles/wimesh_phy.dir/phy/phy.cpp.o.d"
+  "CMakeFiles/wimesh_phy.dir/phy/radio_model.cpp.o"
+  "CMakeFiles/wimesh_phy.dir/phy/radio_model.cpp.o.d"
+  "libwimesh_phy.a"
+  "libwimesh_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_qos.dir/qos/call_dynamics.cpp.o"
+  "CMakeFiles/wimesh_qos.dir/qos/call_dynamics.cpp.o.d"
+  "CMakeFiles/wimesh_qos.dir/qos/flow.cpp.o"
+  "CMakeFiles/wimesh_qos.dir/qos/flow.cpp.o.d"
+  "CMakeFiles/wimesh_qos.dir/qos/planner.cpp.o"
+  "CMakeFiles/wimesh_qos.dir/qos/planner.cpp.o.d"
+  "libwimesh_qos.a"
+  "libwimesh_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_sched.dir/sched/conflict_graph.cpp.o"
+  "CMakeFiles/wimesh_sched.dir/sched/conflict_graph.cpp.o.d"
+  "CMakeFiles/wimesh_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/wimesh_sched.dir/sched/scheduler.cpp.o.d"
+  "libwimesh_sched.a"
+  "libwimesh_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

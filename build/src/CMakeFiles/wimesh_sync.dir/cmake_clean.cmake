@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_sync.dir/sync/sync.cpp.o"
+  "CMakeFiles/wimesh_sync.dir/sync/sync.cpp.o.d"
+  "libwimesh_sync.a"
+  "libwimesh_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

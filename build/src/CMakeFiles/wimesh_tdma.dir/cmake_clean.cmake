@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_tdma.dir/tdma/overlay.cpp.o"
+  "CMakeFiles/wimesh_tdma.dir/tdma/overlay.cpp.o.d"
+  "libwimesh_tdma.a"
+  "libwimesh_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

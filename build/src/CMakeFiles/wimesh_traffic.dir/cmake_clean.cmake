@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_traffic.dir/traffic/sources.cpp.o"
+  "CMakeFiles/wimesh_traffic.dir/traffic/sources.cpp.o.d"
+  "libwimesh_traffic.a"
+  "libwimesh_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

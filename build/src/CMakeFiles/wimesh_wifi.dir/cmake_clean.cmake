@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_wifi.dir/wifi/channel.cpp.o"
+  "CMakeFiles/wimesh_wifi.dir/wifi/channel.cpp.o.d"
+  "CMakeFiles/wimesh_wifi.dir/wifi/dcf_mac.cpp.o"
+  "CMakeFiles/wimesh_wifi.dir/wifi/dcf_mac.cpp.o.d"
+  "CMakeFiles/wimesh_wifi.dir/wifi/edca_mac.cpp.o"
+  "CMakeFiles/wimesh_wifi.dir/wifi/edca_mac.cpp.o.d"
+  "libwimesh_wifi.a"
+  "libwimesh_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

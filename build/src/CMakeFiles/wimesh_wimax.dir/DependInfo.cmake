@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wimax/control_messages.cpp" "src/CMakeFiles/wimesh_wimax.dir/wimax/control_messages.cpp.o" "gcc" "src/CMakeFiles/wimesh_wimax.dir/wimax/control_messages.cpp.o.d"
+  "/root/repo/src/wimax/distributed_scheduler.cpp" "src/CMakeFiles/wimesh_wimax.dir/wimax/distributed_scheduler.cpp.o" "gcc" "src/CMakeFiles/wimesh_wimax.dir/wimax/distributed_scheduler.cpp.o.d"
+  "/root/repo/src/wimax/election.cpp" "src/CMakeFiles/wimesh_wimax.dir/wimax/election.cpp.o" "gcc" "src/CMakeFiles/wimesh_wimax.dir/wimax/election.cpp.o.d"
+  "/root/repo/src/wimax/mesh_frame.cpp" "src/CMakeFiles/wimesh_wimax.dir/wimax/mesh_frame.cpp.o" "gcc" "src/CMakeFiles/wimesh_wimax.dir/wimax/mesh_frame.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wimesh_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wimesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

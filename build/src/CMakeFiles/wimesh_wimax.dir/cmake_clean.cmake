@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimesh_wimax.dir/wimax/control_messages.cpp.o"
+  "CMakeFiles/wimesh_wimax.dir/wimax/control_messages.cpp.o.d"
+  "CMakeFiles/wimesh_wimax.dir/wimax/distributed_scheduler.cpp.o"
+  "CMakeFiles/wimesh_wimax.dir/wimax/distributed_scheduler.cpp.o.d"
+  "CMakeFiles/wimesh_wimax.dir/wimax/election.cpp.o"
+  "CMakeFiles/wimesh_wimax.dir/wimax/election.cpp.o.d"
+  "CMakeFiles/wimesh_wimax.dir/wimax/mesh_frame.cpp.o"
+  "CMakeFiles/wimesh_wimax.dir/wimax/mesh_frame.cpp.o.d"
+  "libwimesh_wimax.a"
+  "libwimesh_wimax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimesh_wimax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

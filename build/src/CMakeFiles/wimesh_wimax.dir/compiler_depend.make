@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wimesh_wimax.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_dynamics_test.dir/call_dynamics_test.cpp.o"
+  "CMakeFiles/call_dynamics_test.dir/call_dynamics_test.cpp.o.d"
+  "call_dynamics_test"
+  "call_dynamics_test.pdb"
+  "call_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

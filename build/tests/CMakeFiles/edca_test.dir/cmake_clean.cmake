@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edca_test.dir/edca_test.cpp.o"
+  "CMakeFiles/edca_test.dir/edca_test.cpp.o.d"
+  "edca_test"
+  "edca_test.pdb"
+  "edca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

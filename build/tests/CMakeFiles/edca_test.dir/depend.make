@@ -1,0 +1,2 @@
+# Empty dependencies file for edca_test.
+# This may be replaced when dependencies are built.

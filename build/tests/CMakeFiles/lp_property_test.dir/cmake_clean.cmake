@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_property_test.dir/lp_property_test.cpp.o"
+  "CMakeFiles/lp_property_test.dir/lp_property_test.cpp.o.d"
+  "lp_property_test"
+  "lp_property_test.pdb"
+  "lp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimax_ext_test.dir/wimax_ext_test.cpp.o"
+  "CMakeFiles/wimax_ext_test.dir/wimax_ext_test.cpp.o.d"
+  "wimax_ext_test"
+  "wimax_ext_test.pdb"
+  "wimax_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimax_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

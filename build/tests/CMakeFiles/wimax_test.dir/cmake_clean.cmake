@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimax_test.dir/wimax_test.cpp.o"
+  "CMakeFiles/wimax_test.dir/wimax_test.cpp.o.d"
+  "wimax_test"
+  "wimax_test.pdb"
+  "wimax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
