@@ -6,16 +6,26 @@
 // shape: the overlay's CDF is a steep near-step bounded by the analytic
 // worst case (delay is set by slot positions, not queueing); DCF's CDF has
 // a long right tail once the BE load contends.
+//
+// The two MAC runs are independent and execute on the batch executor
+// (--jobs K); output is identical for any K.
 
 #include "bench_util.h"
+#include "wimesh/batch/executor.h"
+#include "wimesh/batch/json.h"
+#include "wimesh/sched/schedule_cache.h"
 
 using namespace wimesh;
 using namespace wimesh::bench;
 
 namespace {
 
-MeshNetwork build() {
+constexpr double kQuantiles[] = {0.10, 0.25, 0.50, 0.75, 0.90,
+                                 0.95, 0.99, 0.999, 1.0};
+
+MeshNetwork build(ScheduleCache* cache) {
   MeshConfig cfg = base_config(make_chain(5, 100.0));
+  cfg.ilp.cache = cache;
   MeshNetwork net(cfg);
   net.add_voip_call(0, 0, 4, VoipCodec::g729(), SimTime::milliseconds(120));
   net.add_flow(FlowSpec::best_effort(100, 4, 0, 1200, 3e6));
@@ -35,23 +45,33 @@ SampleSet voip_delays(const SimulationResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
   heading("R-F4", "VoIP delay CDF: TDMA overlay vs 802.11 DCF (chain-5 + BE)");
 
-  MeshNetwork tdma_net = build();
-  WIMESH_ASSERT(tdma_net.compute_plan().has_value());
-  const SimulationResult tdma =
-      tdma_net.run(MacMode::kTdmaOverlay, SimTime::seconds(20));
-  MeshNetwork dcf_net = build();
-  WIMESH_ASSERT(dcf_net.compute_plan().has_value());
-  const SimulationResult dcf = dcf_net.run(MacMode::kDcf, SimTime::seconds(20));
+  constexpr MacMode kModes[] = {MacMode::kTdmaOverlay, MacMode::kDcf};
+  ScheduleCache cache;
+  SimulationResult runs[2];
+  double analytic = 0.0;
+  batch::run_indexed(args.jobs, 2, [&](std::size_t i) {
+    MeshNetwork net = build(&cache);
+    WIMESH_ASSERT(net.compute_plan().has_value());
+    runs[i] = net.run(kModes[i], SimTime::seconds(20));
+    if (kModes[i] == MacMode::kTdmaOverlay) {
+      for (const FlowPlan& f : net.plan().guaranteed) {
+        analytic = std::max(analytic, f.worst_case_delay.to_ms());
+      }
+    }
+  });
+  const SimulationResult& tdma = runs[0];
+  const SimulationResult& dcf = runs[1];
 
   const SampleSet td = voip_delays(tdma);
   const SampleSet dd = voip_delays(dcf);
   WIMESH_ASSERT(!td.empty() && !dd.empty());
 
   row("%-10s %12s %12s", "quantile", "tdma_ms", "dcf_ms");
-  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+  for (double q : kQuantiles) {
     row("%-10.3f %12.3f %12.3f", q, td.quantile(q), dd.quantile(q));
   }
   row("%-10s %12.3f %12.3f", "mean", td.mean(), dd.mean());
@@ -59,10 +79,46 @@ int main() {
       mean_voip_jitter_ms(dcf));
   row("%-10s %12.4f %12.4f", "loss", worst_voip_loss(tdma),
       worst_voip_loss(dcf));
-  double analytic = 0.0;
-  for (const FlowPlan& f : tdma_net.plan().guaranteed) {
-    analytic = std::max(analytic, f.worst_case_delay.to_ms());
-  }
   row("%-10s %12.3f %12s", "analytic", analytic, "-");
+  std::printf("%s\n", cache.report().c_str());
+
+  if (!args.json_path.empty()) {
+    batch::JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("delay_cdf");
+    w.key("quantiles");
+    w.begin_array();
+    for (double q : kQuantiles) {
+      w.begin_object();
+      w.key("q");
+      w.value(q);
+      w.key("tdma_ms");
+      w.value(td.quantile(q));
+      w.key("dcf_ms");
+      w.value(dd.quantile(q));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("tdma_mean_ms");
+    w.value(td.mean());
+    w.key("dcf_mean_ms");
+    w.value(dd.mean());
+    w.key("tdma_jitter_ms");
+    w.value(mean_voip_jitter_ms(tdma));
+    w.key("dcf_jitter_ms");
+    w.value(mean_voip_jitter_ms(dcf));
+    w.key("tdma_loss");
+    w.value(worst_voip_loss(tdma));
+    w.key("dcf_loss");
+    w.value(worst_voip_loss(dcf));
+    w.key("analytic_worst_ms");
+    w.value(analytic);
+    w.end_object();
+    if (!write_text_file(args.json_path, w.str())) {
+      std::fprintf(stderr, "cannot write '%s'\n", args.json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -7,12 +7,48 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "wimesh/core/mesh_network.h"
 
 namespace wimesh::bench {
+
+// Common CLI surface of the batch-runner benches: --jobs K runs the
+// bench's independent simulations on the work-stealing pool (output is
+// identical for any K), --json OUT writes the machine-readable results
+// next to the text table.
+struct BenchArgs {
+  int jobs = 1;
+  std::string json_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      out.jobs = std::atoi(argv[++i]);
+      if (out.jobs < 1) out.jobs = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      out.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs K] [--json OUT]\n", argv[0]);
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+inline bool write_text_file(const std::string& path,
+                            const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
 
 // The canonical emulation parameters used across experiments unless a
 // bench sweeps them: 10 ms frame, 4 control + 96 data minislots (100 us

@@ -1,14 +1,27 @@
 // wimesh_run — scenario-file driven simulation CLI.
 //
-//   wimesh_run <scenario-file>        run a scenario from disk
-//   wimesh_run --demo                 run a built-in demo scenario
+//   wimesh_run <scenario-file>                     run a scenario from disk
+//   wimesh_run --demo                              run a built-in demo scenario
+//   wimesh_run --sweep seed=LO..HI [--jobs K] [--json OUT] <scenario>|--demo
+//                                                  parallel multi-seed sweep
+//   wimesh_run --json OUT <scenario>|--demo        single run + JSON dump
+//
+// Sweep runs execute on a work-stealing thread pool; run i uses the RNG
+// stream derived from (scenario seed, i), so the aggregated output —
+// including the JSON file — is byte-identical for any --jobs value. A
+// shared schedule cache memoizes the ILP solve across runs (the topology
+// and demands do not change within a seed sweep) and its hit rate is
+// reported after the table.
 //
 // The scenario grammar is documented in include/wimesh/core/scenario.h.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "wimesh/batch/runner.h"
 #include "wimesh/core/scenario.h"
 
 using namespace wimesh;
@@ -34,30 +47,111 @@ voip 2 6 0 g711 100
 bulk 50 2 6 1200 2000000
 )";
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
+               "<scenario-file> | --demo\n",
+               argv0);
+  return 1;
+}
+
+// Parses "seed=LO..HI" (HI >= LO >= 0). Returns false on malformed input.
+bool parse_sweep(const std::string& arg, std::uint64_t* lo,
+                 std::uint64_t* hi) {
+  if (arg.rfind("seed=", 0) != 0) return false;
+  const std::string range = arg.substr(5);
+  const auto dots = range.find("..");
+  if (dots == std::string::npos) return false;
+  char* end = nullptr;
+  const std::string lo_s = range.substr(0, dots);
+  const std::string hi_s = range.substr(dots + 2);
+  *lo = std::strtoull(lo_s.c_str(), &end, 10);
+  if (end == lo_s.c_str() || *end != '\0') return false;
+  *hi = std::strtoull(hi_s.c_str(), &end, 10);
+  if (end == hi_s.c_str() || *end != '\0') return false;
+  return *lo <= *hi;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string scenario_arg;
+  std::string json_path;
+  bool sweep = false;
+  std::uint64_t sweep_lo = 0, sweep_hi = 0;
+  int jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sweep" && i + 1 < argc) {
+      if (!parse_sweep(argv[++i], &sweep_lo, &sweep_hi)) {
+        std::fprintf(stderr, "bad --sweep range '%s' (want seed=LO..HI)\n",
+                     argv[i]);
+        return 1;
+      }
+      sweep = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--demo" || (!arg.empty() && arg[0] != '-')) {
+      if (!scenario_arg.empty()) return usage(argv[0]);
+      scenario_arg = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (scenario_arg.empty()) return usage(argv[0]);
+
   std::string text;
-  if (argc == 2 && std::string(argv[1]) == "--demo") {
+  if (scenario_arg == "--demo") {
     text = kDemoScenario;
-  } else if (argc == 2) {
-    std::ifstream in(argv[1]);
+  } else {
+    std::ifstream in(scenario_arg);
     if (!in) {
-      std::fprintf(stderr, "cannot open scenario file '%s'\n", argv[1]);
+      std::fprintf(stderr, "cannot open scenario file '%s'\n",
+                   scenario_arg.c_str());
       return 1;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
     text = buf.str();
-  } else {
-    std::fprintf(stderr, "usage: %s <scenario-file> | --demo\n", argv[0]);
-    return 1;
   }
 
   auto scenario = parse_scenario(text);
   if (!scenario.has_value()) {
     std::fprintf(stderr, "scenario error: %s\n", scenario.error().c_str());
     return 1;
+  }
+
+  if (sweep) {
+    ScheduleCache cache;
+    batch::BatchOptions options;
+    options.jobs = jobs;
+    options.schedule_cache = &cache;
+    const auto specs = batch::seed_sweep(*scenario, sweep_lo, sweep_hi);
+    const auto outcomes = batch::run_batch(specs, options);
+    std::fputs(batch::results_table(outcomes).c_str(), stdout);
+    std::printf("%s\n", cache.report().c_str());
+    int failures = 0;
+    for (const auto& o : outcomes) failures += o.ok ? 0 : 1;
+    if (!json_path.empty() &&
+        !write_file(json_path, batch::results_json(outcomes))) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   MeshNetwork net(scenario->config);
@@ -75,5 +169,19 @@ int main(int argc, char** argv) {
 
   const SimulationResult result = net.run(scenario->mac, scenario->duration);
   std::fputs(format_report(*scenario, result).c_str(), stdout);
+  if (!json_path.empty()) {
+    // Single-run JSON: same document shape as a sweep of one, preserving
+    // the scenario's literal seed (no stream derivation).
+    batch::RunOutcome outcome;
+    outcome.run_index = 0;
+    outcome.derived_seed = scenario->config.seed;
+    outcome.label = "single";
+    outcome.ok = true;
+    outcome.result = result;
+    if (!write_file(json_path, batch::results_json({outcome}))) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

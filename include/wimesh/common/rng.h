@@ -24,6 +24,14 @@ class Rng {
 
   void reseed(std::uint64_t seed);
 
+  // Derives the root seed of an independent stream from (base_seed,
+  // stream_index) — the batch runner's per-run streams. Pure function of
+  // its arguments, so run i of a sweep draws the same stream no matter
+  // which thread executes it or in what order runs complete; distinct
+  // indices yield decorrelated streams (SplitMix64 mixing).
+  static std::uint64_t derive_stream(std::uint64_t base_seed,
+                                     std::uint64_t stream_index);
+
   // Derives an independent child stream; successive calls yield distinct
   // streams. Deterministic in (parent seed, call order).
   Rng split();

@@ -29,6 +29,8 @@
 
 namespace wimesh {
 
+class ScheduleCache;  // sched/schedule_cache.h
+
 // A flow's path through the mesh, as orderered LinkIds, plus how many extra
 // frame-boundary waits ("wraps") its delay bound tolerates end-to-end.
 struct FlowPath {
@@ -98,6 +100,11 @@ struct IlpSchedulerOptions {
   // any feasible schedule at the stage's S — just cheaper to find.
   // Disable to measure pure ILP behaviour.
   bool try_heuristics = true;
+  // Optional memoizing cache consulted by the QoS planner's scheduling
+  // step (all scheduler kinds, not just the ILPs — the policy is part of
+  // the key). Shared across runs by the batch runner so fixed-topology
+  // sweeps solve each distinct problem once. Not owned; may be null.
+  ScheduleCache* cache = nullptr;
 };
 
 // Feasibility ILP at a fixed schedule length (data subframe size) of

@@ -65,9 +65,6 @@ class TrafficSource {
   int flow_id_;
   EmitFn emit_;
   std::uint64_t emitted_ = 0;
-
- private:
-  static std::uint64_t next_packet_id_;
 };
 
 // Constant bit rate: fixed-size packets at a fixed interval, with an

@@ -1,0 +1,121 @@
+#include "wimesh/batch/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh::batch {
+
+int effective_jobs(int requested, std::size_t count) {
+  const int clamped = std::max(1, requested);
+  if (count == 0) return 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(clamped), count));
+}
+
+namespace {
+
+// One worker's job queue. The owner pops from the front; thieves take from
+// the back, so an owner working down a cold stripe and a thief relieving it
+// rarely contend on the same end.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> jobs;
+
+  bool pop_front(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    *out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    *out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+
+  std::size_t approx_size() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return jobs.size();
+  }
+};
+
+}  // namespace
+
+void run_indexed(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  const int n_workers = effective_jobs(jobs, count);
+  if (count == 0) return;
+  if (n_workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Seed each worker with a contiguous stripe so cache-friendly neighbors
+  // start together; stealing rebalances from there.
+  std::vector<WorkerQueue> queues(static_cast<std::size_t>(n_workers));
+  for (std::size_t i = 0; i < count; ++i) {
+    queues[i * static_cast<std::size_t>(n_workers) / count].jobs.push_back(i);
+  }
+
+  std::atomic<std::size_t> remaining{count};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&](std::size_t self) {
+    std::size_t job = 0;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      bool got = queues[self].pop_front(&job);
+      if (!got) {
+        // Steal from the victim with the most queued work; ties go to the
+        // lowest index so the scan is deterministic.
+        std::size_t victim = self;
+        std::size_t best = 0;
+        for (std::size_t v = 0; v < queues.size(); ++v) {
+          if (v == self) continue;
+          const std::size_t size = queues[v].approx_size();
+          if (size > best) {
+            best = size;
+            victim = v;
+          }
+        }
+        got = victim != self && queues[victim].steal_back(&job);
+      }
+      if (!got) {
+        // Nothing queued anywhere; in-flight jobs may still fail over or
+        // finish. Yield until `remaining` settles.
+        std::this_thread::yield();
+        continue;
+      }
+      try {
+        fn(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      remaining.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_workers - 1));
+  for (int t = 1; t < n_workers; ++t) {
+    threads.emplace_back(worker, static_cast<std::size_t>(t));
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  WIMESH_ASSERT(remaining.load() == 0);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wimesh::batch

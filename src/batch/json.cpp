@@ -1,0 +1,113 @@
+#include "wimesh/batch/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wimesh::batch {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": already emitted the separator
+  }
+  if (!scope_has_item_.empty()) {
+    if (scope_has_item_.back()) out_ += ',';
+    scope_has_item_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  scope_has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  scope_has_item_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  scope_has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  scope_has_item_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& s) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(double d) {
+  if (!std::isfinite(d)) {
+    null();
+    return;
+  }
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  comma();
+  out_ += std::to_string(i);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  comma();
+  out_ += std::to_string(u);
+}
+
+void JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+}  // namespace wimesh::batch

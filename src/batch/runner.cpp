@@ -1,0 +1,191 @@
+#include "wimesh/batch/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "wimesh/batch/executor.h"
+#include "wimesh/batch/json.h"
+#include "wimesh/common/rng.h"
+#include "wimesh/common/strings.h"
+
+namespace wimesh::batch {
+
+std::vector<RunSpec> seed_sweep(const Scenario& base, std::uint64_t index_lo,
+                                std::uint64_t index_hi) {
+  WIMESH_ASSERT(index_lo <= index_hi);
+  std::vector<RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(index_hi - index_lo + 1));
+  for (std::uint64_t i = index_lo; i <= index_hi; ++i) {
+    RunSpec spec;
+    spec.scenario = base;
+    spec.base_seed = base.config.seed;
+    spec.run_index = i;
+    spec.label = str_cat("seed=", i);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<RunOutcome> run_batch(const std::vector<RunSpec>& specs,
+                                  const BatchOptions& options) {
+  std::vector<RunOutcome> outcomes(specs.size());
+  run_indexed(options.jobs, specs.size(), [&](std::size_t i) {
+    const RunSpec& spec = specs[i];
+    RunOutcome& out = outcomes[i];
+    out.run_index = spec.run_index;
+    out.derived_seed = Rng::derive_stream(spec.base_seed, spec.run_index);
+    out.label = spec.label;
+
+    MeshConfig config = spec.scenario.config;
+    config.seed = out.derived_seed;
+    config.ilp.cache = options.schedule_cache;
+    MeshNetwork net(std::move(config));
+    for (const FlowSpec& f : spec.scenario.flows) net.add_flow(f);
+    if (spec.scenario.mac == MacMode::kTdmaOverlay) {
+      const auto plan = net.compute_plan();
+      if (!plan.has_value()) {
+        out.ok = false;
+        out.error = plan.error();
+        return;
+      }
+    }
+    out.result = net.run(spec.scenario.mac, spec.scenario.duration);
+    out.ok = true;
+  });
+  return outcomes;
+}
+
+namespace {
+
+const char* class_name(const FlowSpec& spec) {
+  if (spec.shape == TrafficShape::kVbrVideo) return "video";
+  return spec.service == ServiceClass::kGuaranteed ? "voip" : "best-effort";
+}
+
+void flow_json(JsonWriter& w, const FlowResult& f, SimTime interval) {
+  w.begin_object();
+  w.key("id");
+  w.value(f.spec.id);
+  w.key("class");
+  w.value(class_name(f.spec));
+  w.key("src");
+  w.value(f.spec.src);
+  w.key("dst");
+  w.value(f.spec.dst);
+  w.key("sent_packets");
+  w.value(f.stats.sent_packets());
+  w.key("delivered_packets");
+  w.value(f.stats.delivered_packets());
+  w.key("delivered_bytes");
+  w.value(f.stats.delivered_bytes());
+  w.key("loss_rate");
+  w.value(f.stats.loss_rate());
+  w.key("throughput_bps");
+  w.value(f.stats.throughput_bps(interval));
+  const SampleSet& delays = f.stats.delays_ms();
+  if (delays.empty()) {
+    w.key("delay_ms");
+    w.null();
+  } else {
+    w.key("delay_ms");
+    w.begin_object();
+    w.key("mean");
+    w.value(delays.mean());
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1.0}};
+    for (const auto& [name, q] : kQuantiles) {
+      w.key(name);
+      w.value(delays.quantile(q));
+    }
+    w.end_object();
+    w.key("jitter_ms");
+    w.value(f.stats.mean_jitter_ms());
+  }
+  if (f.spec.service == ServiceClass::kGuaranteed) {
+    w.key("planned_worst_delay_ms");
+    w.value(f.planned_worst_delay.to_ms());
+    w.key("delay_bound_met");
+    w.value(f.delay_bound_met);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string results_json(const std::vector<RunOutcome>& outcomes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("runs");
+  w.begin_array();
+  for (const RunOutcome& run : outcomes) {
+    w.begin_object();
+    w.key("run_index");
+    w.value(run.run_index);
+    w.key("seed");
+    w.value(run.derived_seed);
+    w.key("label");
+    w.value(run.label);
+    w.key("ok");
+    w.value(run.ok);
+    if (!run.ok) {
+      w.key("error");
+      w.value(run.error);
+      w.end_object();
+      continue;
+    }
+    const SimulationResult& r = run.result;
+    w.key("interval_s");
+    w.value(r.measured_interval.to_seconds());
+    w.key("aggregate_throughput_bps");
+    w.value(r.aggregate_throughput_bps());
+    w.key("mean_delay_ms");
+    w.value(r.mean_delay_ms());
+    w.key("max_loss_rate");
+    w.value(r.max_loss_rate());
+    w.key("frames_transmitted");
+    w.value(r.frames_transmitted);
+    w.key("receptions_corrupted");
+    w.value(r.receptions_corrupted);
+    w.key("mac_drops");
+    w.value(r.mac_drops);
+    w.key("flows");
+    w.begin_array();
+    for (const FlowResult& f : r.flows) flow_json(w, f, r.measured_interval);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string results_table(const std::vector<RunOutcome>& outcomes) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-12s %8s %10s %10s %9s %12s\n", "run",
+                "ok", "mean_ms", "p99_ms", "loss", "tput_kbps");
+  out += line;
+  for (const RunOutcome& run : outcomes) {
+    if (!run.ok) {
+      std::snprintf(line, sizeof line, "%-12s %8s %s\n", run.label.c_str(),
+                    "FAIL", run.error.c_str());
+      out += line;
+      continue;
+    }
+    const SimulationResult& r = run.result;
+    double p99 = 0.0;
+    for (const FlowResult& f : r.flows) {
+      if (f.stats.delays_ms().empty()) continue;
+      p99 = std::max(p99, f.stats.delays_ms().quantile(0.99));
+    }
+    std::snprintf(line, sizeof line,
+                  "%-12s %8s %10.3f %10.3f %9.4f %12.1f\n", run.label.c_str(),
+                  "ok", r.mean_delay_ms(), p99, r.max_loss_rate(),
+                  r.aggregate_throughput_bps() / 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wimesh::batch

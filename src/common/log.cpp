@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace wimesh {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes whole lines so concurrent batch workers cannot interleave
+// their output mid-line.
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +31,7 @@ LogLevel log_level() { return g_level.load(); }
 void log(LogLevel level, const std::string& component,
          const std::string& message) {
   if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

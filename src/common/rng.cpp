@@ -20,6 +20,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t Rng::derive_stream(std::uint64_t base_seed,
+                                 std::uint64_t stream_index) {
+  // Two SplitMix64 rounds over a mix of both inputs; a plain xor would
+  // alias (base, index) pairs along the diagonal.
+  std::uint64_t x = base_seed;
+  const std::uint64_t a = splitmix64(x);
+  x = stream_index ^ 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t b = splitmix64(x);
+  std::uint64_t mixed = a ^ (b + 0x2545f4914f6cdd1dULL + (a << 6) + (a >> 2));
+  return splitmix64(mixed);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   seed_ = seed;
   split_count_ = 0;

@@ -6,6 +6,7 @@
 #include "wimesh/common/strings.h"
 #include "wimesh/graph/shortest_path.h"
 #include "wimesh/sched/conflict_graph.h"
+#include "wimesh/sched/schedule_cache.h"
 
 namespace wimesh {
 
@@ -205,70 +206,101 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
   }
 
   const int data_slots = params_.frame.data_slots;
-  switch (kind) {
-    case SchedulerKind::kIlpDelayAware:
-    case SchedulerKind::kIlpDelayUnaware: {
-      IlpSchedulerOptions opt = ilp_options;
-      opt.delay_aware = kind == SchedulerKind::kIlpDelayAware;
-      MeshSchedule found;
-      if (objective == PlanObjective::kFeasibility) {
-        // Single feasibility question at the full data subframe. The
-        // greedy-clique lower bound rejects most over-capacity requests
-        // instantly (admission control under overload hits this path for
-        // nearly every arrival); then cheap heuristics, then the ILP.
-        if (schedule_length_lower_bound(problem.links, problem.demand,
-                                        problem.conflicts) > data_slots) {
-          return make_error("infeasible: clique bound exceeds the subframe");
-        }
-        std::optional<ScheduleResult> heuristic;
-        if (opt.try_heuristics) {
-          for (auto h : {&schedule_flow_order_greedy, &schedule_greedy}) {
-            auto attempt = h(problem, data_slots);
-            if (attempt.has_value() &&
-                (!opt.delay_aware ||
-                 budgets_satisfied(problem, attempt->schedule))) {
-              heuristic = std::move(attempt);
-              break;
+  // Resolved options actually fed to the solvers; also serialized into the
+  // cache key so a cached answer can never cross option boundaries.
+  IlpSchedulerOptions opt = ilp_options;
+  opt.delay_aware = kind == SchedulerKind::kIlpDelayAware;
+  const auto solve = [&]() -> CachedSchedule {
+    CachedSchedule out;
+    switch (kind) {
+      case SchedulerKind::kIlpDelayAware:
+      case SchedulerKind::kIlpDelayUnaware: {
+        if (objective == PlanObjective::kFeasibility) {
+          // Single feasibility question at the full data subframe. The
+          // greedy-clique lower bound rejects most over-capacity requests
+          // instantly (admission control under overload hits this path for
+          // nearly every arrival); then cheap heuristics, then the ILP.
+          if (schedule_length_lower_bound(problem.links, problem.demand,
+                                          problem.conflicts) > data_slots) {
+            out.error = "infeasible: clique bound exceeds the subframe";
+            return out;
+          }
+          std::optional<ScheduleResult> heuristic;
+          if (opt.try_heuristics) {
+            for (auto h : {&schedule_flow_order_greedy, &schedule_greedy}) {
+              auto attempt = h(problem, data_slots);
+              if (attempt.has_value() &&
+                  (!opt.delay_aware ||
+                   budgets_satisfied(problem, attempt->schedule))) {
+                heuristic = std::move(attempt);
+                break;
+              }
             }
           }
-        }
-        if (heuristic.has_value()) {
-          found = std::move(heuristic->schedule);
+          if (heuristic.has_value()) {
+            out.schedule = std::move(heuristic->schedule);
+          } else {
+            auto r = schedule_ilp(problem, data_slots, opt);
+            if (!r.has_value()) {
+              out.error = r.error();
+              return out;
+            }
+            out.schedule = std::move(r->schedule);
+            out.ilp_nodes = r->ilp_nodes;
+          }
+          out.search_stages = 1;
         } else {
-          auto r = schedule_ilp(problem, data_slots, opt);
-          if (!r.has_value()) return make_error(r.error());
-          found = std::move(r->schedule);
-          plan.ilp_nodes = r->ilp_nodes;
+          auto r = min_slots_search(problem, data_slots, opt);
+          if (!r.has_value()) {
+            out.error = r.error();
+            return out;
+          }
+          out.schedule = std::move(r->result.schedule);
+          out.ilp_nodes = r->result.ilp_nodes;
+          out.search_stages = r->stages;
         }
-        plan.search_stages = 1;
-      } else {
-        auto r = min_slots_search(problem, data_slots, opt);
-        if (!r.has_value()) return make_error(r.error());
-        found = std::move(r->result.schedule);
-        plan.ilp_nodes = r->result.ilp_nodes;
-        plan.search_stages = r->stages;
+        break;
       }
-      // The schedule may be sized to the minimal S; re-house the grants in
-      // the full data subframe so the leftover slots exist for best-effort
-      // placement.
-      plan.schedule = MeshSchedule(plan.links, data_slots);
-      for (LinkId l = 0; l < plan.links.count(); ++l) {
-        if (const auto g = found.grant(l)) plan.schedule.set_grant(l, *g);
+      case SchedulerKind::kGreedy: {
+        auto r = schedule_greedy(problem, data_slots);
+        if (!r.has_value()) {
+          out.error = "greedy: infeasible";
+          return out;
+        }
+        out.schedule = std::move(r->schedule);
+        break;
       }
-      break;
+      case SchedulerKind::kRoundRobin: {
+        auto r = schedule_round_robin(problem, data_slots);
+        if (!r.has_value()) {
+          out.error = "round-robin: infeasible";
+          return out;
+        }
+        out.schedule = std::move(r->schedule);
+        break;
+      }
     }
-    case SchedulerKind::kGreedy: {
-      auto r = schedule_greedy(problem, data_slots);
-      if (!r.has_value()) return make_error("greedy: infeasible");
-      plan.schedule = std::move(r->schedule);
-      break;
-    }
-    case SchedulerKind::kRoundRobin: {
-      auto r = schedule_round_robin(problem, data_slots);
-      if (!r.has_value()) return make_error("round-robin: infeasible");
-      plan.schedule = std::move(r->schedule);
-      break;
-    }
+    out.feasible = true;
+    return out;
+  };
+
+  CachedSchedule solved =
+      ilp_options.cache != nullptr
+          ? ilp_options.cache->get_or_compute(
+                schedule_cache_key(problem, data_slots,
+                                   static_cast<int>(kind),
+                                   static_cast<int>(objective), opt),
+                solve)
+          : solve();
+  if (!solved.feasible) return make_error(std::move(solved.error));
+  plan.ilp_nodes = solved.ilp_nodes;
+  plan.search_stages = solved.search_stages;
+  // The solved schedule may be sized to the minimal S; re-house the grants
+  // in the full data subframe so the leftover slots exist for best-effort
+  // placement.
+  plan.schedule = MeshSchedule(plan.links, data_slots);
+  for (LinkId l = 0; l < plan.links.count(); ++l) {
+    if (const auto g = solved.schedule.grant(l)) plan.schedule.set_grant(l, *g);
   }
   plan.guaranteed_slots_used = plan.schedule.used_slots();
 

@@ -1,0 +1,171 @@
+#include "wimesh/sched/schedule_cache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "wimesh/common/strings.h"
+
+namespace wimesh {
+namespace {
+
+void append_i32(std::string& out, std::int32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string schedule_cache_key(const SchedulingProblem& problem,
+                               int frame_slots, int policy_tag,
+                               int objective_tag,
+                               const IlpSchedulerOptions& options) {
+  std::string key;
+  key.reserve(64 + static_cast<std::size_t>(problem.links.count()) * 12);
+  append_i32(key, frame_slots);
+  append_i32(key, policy_tag);
+  append_i32(key, objective_tag);
+  append_i32(key, options.delay_aware ? 1 : 0);
+  append_i32(key, options.try_heuristics ? 1 : 0);
+  append_i64(key, options.max_nodes);
+  append_f64(key, options.time_limit_seconds);
+
+  append_i32(key, problem.links.count());
+  for (const Link& l : problem.links.links()) {
+    append_i32(key, l.from);
+    append_i32(key, l.to);
+  }
+  append_i32(key, static_cast<std::int32_t>(problem.demand.size()));
+  for (int d : problem.demand) append_i32(key, d);
+  append_i32(key, problem.conflicts.edge_count());
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    append_i32(key, problem.conflicts.edge(e).u);
+    append_i32(key, problem.conflicts.edge(e).v);
+  }
+  append_i32(key, static_cast<std::int32_t>(problem.flows.size()));
+  for (const FlowPath& f : problem.flows) {
+    append_i32(key, f.delay_budget_frames);
+    append_i32(key, static_cast<std::int32_t>(f.links.size()));
+    for (LinkId l : f.links) append_i32(key, l);
+  }
+  return key;
+}
+
+struct ScheduleCache::Impl {
+  // One entry per distinct key. `ready` flips exactly once, under the
+  // shard mutex, after the owning thread finishes the solve.
+  struct Cell {
+    std::condition_variable ready_cv;
+    bool ready = false;
+    CachedSchedule value;
+  };
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<Cell>> map;
+  };
+  Shard shards[kShards];
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+
+  Shard& shard_for(const std::string& key) {
+    return shards[fnv1a(key) % kShards];
+  }
+};
+
+ScheduleCache::ScheduleCache() : impl_(new Impl) {}
+ScheduleCache::~ScheduleCache() { delete impl_; }
+
+CachedSchedule ScheduleCache::get_or_compute(
+    const std::string& key,
+    const std::function<CachedSchedule()>& compute) {
+  Impl::Shard& shard = impl_->shard_for(key);
+  std::shared_ptr<Impl::Cell> cell;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    auto [it, inserted] =
+        shard.map.try_emplace(key, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<Impl::Cell>();
+      owner = true;
+    }
+    cell = it->second;
+    if (!owner) {
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      cell->ready_cv.wait(lock, [&] { return cell->ready; });
+      return cell->value;
+    }
+  }
+  // Sole computer for this key; solve outside the lock so other shard
+  // entries stay available.
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  CachedSchedule value = compute();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    cell->value = value;
+    cell->ready = true;
+  }
+  cell->ready_cv.notify_all();
+  return value;
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  Stats s;
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::size_t n = 0;
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void ScheduleCache::clear() {
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  impl_->hits.store(0, std::memory_order_relaxed);
+  impl_->misses.store(0, std::memory_order_relaxed);
+}
+
+std::string ScheduleCache::report() const {
+  const Stats s = stats();
+  return str_cat("schedule cache: ", s.hits, " hits / ", s.lookups(),
+                 " lookups (", fmt_double(100.0 * s.hit_rate(), 1),
+                 "% hit rate, ", size(), " entries)");
+}
+
+}  // namespace wimesh

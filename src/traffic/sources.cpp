@@ -7,8 +7,6 @@
 
 namespace wimesh {
 
-std::uint64_t TrafficSource::next_packet_id_ = 1;
-
 VoipCodec VoipCodec::g711() {
   return VoipCodec{"G.711", 160, SimTime::milliseconds(20)};
 }
@@ -21,7 +19,14 @@ VoipCodec VoipCodec::g723() {
 
 void TrafficSource::emit_packet(std::size_t bytes) {
   MacPacket p;
-  p.id = next_packet_id_++;
+  // Ids only need to tell packets apart (MAC duplicate-retry detection),
+  // so (flow, sequence) suffices: flow ids are unique per simulation and
+  // each flow has one source. Keeping the counter per-source — instead of
+  // a process-wide static — makes ids a pure function of the run, which
+  // the batch runner's cross-thread determinism guarantee depends on.
+  p.id = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow_id_))
+          << 32) |
+         (emitted_ + 1);
   p.flow_id = flow_id_;
   p.bytes = bytes;
   p.created_at = sim_.now();

@@ -1,0 +1,182 @@
+// Golden-schedule regression tests: the exact grant tables produced by
+// each scheduler on two canonical problems are pinned byte-for-byte. The
+// schedulers are deterministic, so any change to these outputs is either a
+// deliberate algorithm change (update the goldens, explain why in the
+// commit) or an accidental behaviour change (a real regression). The
+// batch runner's cross-run memoization relies on this determinism: a
+// cache hit must be indistinguishable from a fresh solve.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wimesh/common/strings.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/sched/conflict_graph.h"
+#include "wimesh/sched/schedule_cache.h"
+#include "wimesh/sched/scheduler.h"
+
+namespace wimesh {
+namespace {
+
+constexpr int kFrameSlots = 48;
+
+// The default wall-clock ILP limit makes results depend on machine load
+// (a loaded CI box could hit it mid-solve and change the schedule); golden
+// tests must be a pure function of the problem, so only the deterministic
+// node budget may bound the search here.
+IlpSchedulerOptions golden_options() {
+  IlpSchedulerOptions opt;
+  opt.time_limit_seconds = 600.0;
+  return opt;
+}
+
+// Chain-6 gateway pattern: two opposite end-to-end flows, 2 slots/hop each
+// direction, tight budget — exercises spatial reuse and wrap accounting.
+SchedulingProblem chain6_problem() {
+  const Topology topo = make_chain(6, 100.0);
+  SchedulingProblem p;
+  FlowPath down, up;
+  down.delay_budget_frames = 1;
+  up.delay_budget_frames = 1;
+  for (NodeId n = 0; n < 5; ++n) {
+    down.links.push_back(p.links.add({n, n + 1}));
+  }
+  for (NodeId n = 5; n > 0; --n) {
+    up.links.push_back(p.links.add({n, n - 1}));
+  }
+  p.demand.assign(static_cast<std::size_t>(p.links.count()), 2);
+  p.flows.push_back(down);
+  p.flows.push_back(up);
+  p.conflicts =
+      build_conflict_graph(p.links, topo.positions, RadioModel(110.0, 220.0));
+  return p;
+}
+
+// Grid-3x3 gateway pattern: a 4-hop flow from the far corner and a 2-hop
+// flow along the top row, mixed demands and budgets.
+SchedulingProblem grid3x3_problem() {
+  const Topology topo = make_grid(3, 3, 100.0);
+  SchedulingProblem p;
+  FlowPath corner, edge;
+  corner.delay_budget_frames = 2;
+  edge.delay_budget_frames = 0;
+  const NodeId corner_path[] = {8, 7, 6, 3, 0};  // bottom row, left column
+  for (std::size_t i = 1; i < std::size(corner_path); ++i) {
+    corner.links.push_back(
+        p.links.add({corner_path[i - 1], corner_path[i]}));
+  }
+  const NodeId edge_path[] = {2, 1, 0};  // along the top row
+  for (std::size_t i = 1; i < std::size(edge_path); ++i) {
+    edge.links.push_back(p.links.add({edge_path[i - 1], edge_path[i]}));
+  }
+  p.demand.assign(static_cast<std::size_t>(p.links.count()), 0);
+  for (LinkId l : corner.links) p.demand[static_cast<std::size_t>(l)] = 1;
+  for (LinkId l : edge.links) p.demand[static_cast<std::size_t>(l)] = 3;
+  p.flows.push_back(corner);
+  p.flows.push_back(edge);
+  p.conflicts =
+      build_conflict_graph(p.links, topo.positions, RadioModel(110.0, 220.0));
+  return p;
+}
+
+// Canonical text form of a schedule: per-link "id:start+length" for every
+// demanded link, then per-flow wrap counts. This is what the goldens pin.
+std::string render(const SchedulingProblem& p, const MeshSchedule& s) {
+  std::string out;
+  for (LinkId l = 0; l < p.links.count(); ++l) {
+    if (p.demand[static_cast<std::size_t>(l)] == 0) continue;
+    const auto g = s.grant(l);
+    out += str_cat("l", l, ":");
+    out += g.has_value() ? str_cat(g->start, "+", g->length) : "none";
+    out += " ";
+  }
+  out += "| wraps";
+  for (const FlowPath& f : p.flows) {
+    out += str_cat(" ", count_frame_wraps(s, f));
+  }
+  return out;
+}
+
+TEST(GoldenSchedule, GreedyChain6) {
+  const SchedulingProblem p = chain6_problem();
+  const auto r = schedule_greedy(p, kFrameSlots);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:0+2 l1:2+2 l2:4+2 l3:6+2 l4:0+2 l5:8+2 l6:10+2 l7:12+2 l8:14+2 l9:8+2 | wraps 1 1");
+}
+
+TEST(GoldenSchedule, RoundRobinChain6) {
+  const SchedulingProblem p = chain6_problem();
+  const auto r = schedule_round_robin(p, kFrameSlots);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:0+2 l1:2+2 l2:4+2 l3:6+2 l4:8+2 l5:10+2 l6:12+2 l7:14+2 l8:16+2 l9:18+2 | wraps 0 0");
+}
+
+TEST(GoldenSchedule, IlpChain6) {
+  const SchedulingProblem p = chain6_problem();
+  const auto r = schedule_ilp(p, kFrameSlots, golden_options());
+  ASSERT_TRUE(r.has_value()) << r.error();
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_TRUE(budgets_satisfied(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:6+2 l1:14+2 l2:16+2 l3:18+2 l4:0+2 l5:2+2 l6:10+2 l7:12+2 l8:4+2 l9:8+2 | wraps 1 1");
+}
+
+TEST(GoldenSchedule, GreedyGrid3x3) {
+  const SchedulingProblem p = grid3x3_problem();
+  const auto r = schedule_greedy(p, kFrameSlots);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:6+1 l1:7+1 l2:8+1 l3:9+1 l4:0+3 l5:3+3 | wraps 0 0");
+}
+
+TEST(GoldenSchedule, RoundRobinGrid3x3) {
+  const SchedulingProblem p = grid3x3_problem();
+  const auto r = schedule_round_robin(p, kFrameSlots);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:0+1 l1:1+1 l2:2+1 l3:3+1 l4:4+3 l5:7+3 | wraps 0 0");
+}
+
+TEST(GoldenSchedule, IlpGrid3x3) {
+  const SchedulingProblem p = grid3x3_problem();
+  const auto r = schedule_ilp(p, kFrameSlots, golden_options());
+  ASSERT_TRUE(r.has_value()) << r.error();
+  ASSERT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_TRUE(budgets_satisfied(p, r->schedule));
+  EXPECT_EQ(render(p, r->schedule), "l0:8+1 l1:9+1 l2:7+1 l3:6+1 l4:0+3 l5:3+3 | wraps 2 0");
+}
+
+// A cache hit must reproduce the solver's grants exactly — same key, same
+// rendered schedule, one computation.
+TEST(GoldenSchedule, CacheHitReproducesSolve) {
+  const SchedulingProblem p = chain6_problem();
+  const IlpSchedulerOptions options = golden_options();
+  ScheduleCache cache;
+  const std::string key = schedule_cache_key(p, kFrameSlots, 0, 0, options);
+  int computed = 0;
+  auto solve = [&] {
+    ++computed;
+    CachedSchedule out;
+    const auto r = schedule_ilp(p, kFrameSlots, options);
+    out.feasible = r.has_value();
+    if (r.has_value()) out.schedule = r->schedule;
+    return out;
+  };
+  const CachedSchedule first = cache.get_or_compute(key, solve);
+  const CachedSchedule second = cache.get_or_compute(key, solve);
+  ASSERT_TRUE(first.feasible);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(render(p, first.schedule), render(p, second.schedule));
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A different policy tag or a different problem must change the key.
+  EXPECT_NE(key, schedule_cache_key(p, kFrameSlots, 1, 0, options));
+  EXPECT_NE(key, schedule_cache_key(grid3x3_problem(), kFrameSlots, 0, 0,
+                                    options));
+  EXPECT_NE(key, schedule_cache_key(p, kFrameSlots + 1, 0, 0, options));
+}
+
+}  // namespace
+}  // namespace wimesh

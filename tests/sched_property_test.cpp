@@ -154,6 +154,35 @@ TEST_P(SchedulerSweep, OrderRoundTripPreservesValidity) {
   }
 }
 
+TEST_P(SchedulerSweep, OrderRoundTripPreservesWrapCountsExactly) {
+  // Stronger than OrderRoundTripPreservesValidity: consecutive hops of a
+  // flow share a node, so their links conflict and their relative order is
+  // part of order_from_schedule's output. A hop wraps iff the outbound
+  // block precedes the inbound one, and order_to_schedule enforces exactly
+  // those precedences — so the rebuilt schedule must reproduce every
+  // flow's wrap count EXACTLY, for every scheduler's output. The batch
+  // runner's cached order→schedule replays depend on this.
+  const SchedulingProblem p = build();
+  const auto check = [&](const MeshSchedule& s) {
+    const TransmissionOrder order = order_from_schedule(p, s);
+    const auto rebuilt = order_to_schedule(p, order, kFrameSlots);
+    ASSERT_TRUE(rebuilt.has_value());
+    EXPECT_TRUE(validate_schedule(p, *rebuilt));
+    for (const FlowPath& f : p.flows) {
+      EXPECT_EQ(count_frame_wraps(*rebuilt, f), count_frame_wraps(s, f));
+    }
+  };
+  const auto greedy = schedule_greedy(p, kFrameSlots);
+  ASSERT_TRUE(greedy.has_value());
+  check(greedy->schedule);
+  const auto rr = schedule_round_robin(p, kFrameSlots);
+  ASSERT_TRUE(rr.has_value());
+  check(rr->schedule);
+  const auto ilp = min_slots_search(p, kFrameSlots);
+  ASSERT_TRUE(ilp.has_value()) << ilp.error();
+  check(ilp->result.schedule);
+}
+
 TEST_P(SchedulerSweep, DelayMetricIsConsistentWithWraps) {
   const SchedulingProblem p = build();
   const auto r = min_slots_search(p, kFrameSlots);
