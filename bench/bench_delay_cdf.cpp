@@ -23,9 +23,10 @@ namespace {
 constexpr double kQuantiles[] = {0.10, 0.25, 0.50, 0.75, 0.90,
                                  0.95, 0.99, 0.999, 1.0};
 
-MeshNetwork build(ScheduleCache* cache) {
+MeshNetwork build(ScheduleCache* cache, bool audit) {
   MeshConfig cfg = base_config(make_chain(5, 100.0));
   cfg.ilp.cache = cache;
+  cfg.audit = audit;
   MeshNetwork net(cfg);
   net.add_voip_call(0, 0, 4, VoipCodec::g729(), SimTime::milliseconds(120));
   net.add_flow(FlowSpec::best_effort(100, 4, 0, 1200, 3e6));
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
   SimulationResult runs[2];
   double analytic = 0.0;
   batch::run_indexed(args.jobs, 2, [&](std::size_t i) {
-    MeshNetwork net = build(&cache);
+    MeshNetwork net = build(&cache, args.audit);
     WIMESH_ASSERT(net.compute_plan().has_value());
     runs[i] = net.run(kModes[i], SimTime::seconds(20));
     if (kModes[i] == MacMode::kTdmaOverlay) {
@@ -120,5 +121,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  std::uint64_t violations = 0;
+  violations += audit_violations("tdma", tdma);
+  violations += audit_violations("dcf", dcf);
+  return violations == 0 ? 0 : 1;
 }

@@ -12,7 +12,9 @@
 using namespace wimesh;
 using namespace wimesh::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  std::uint64_t violations = 0;
   heading("R-F7",
           "best-effort goodput vs number of guaranteed VoIP calls (grid-3x3)");
   row("%-7s %10s %12s %11s %11s %11s", "calls", "admitted", "voip_slots",
@@ -21,6 +23,7 @@ int main() {
     MeshConfig cfg = base_config(make_grid(3, 3, 100.0));
     cfg.emulation.frame.frame_duration = SimTime::milliseconds(20);
     cfg.emulation.frame.data_slots = 196;
+    cfg.audit = args.audit;
     MeshNetwork net(cfg);
     int id = 0;
     for (int c = 0; c < calls; ++c) {
@@ -43,6 +46,7 @@ int main() {
     row("%-7d %10d %12d %11.2f %11.2f %11.4f", calls, calls,
         (*plan)->guaranteed_slots_used, best_effort_goodput_mbps(r),
         worst_voip_p99_ms(r), worst_voip_loss(r));
+    violations += audit_violations("calls=" + std::to_string(calls), r);
   }
-  return 0;
+  return violations == 0 ? 0 : 1;
 }

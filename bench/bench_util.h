@@ -19,10 +19,12 @@ namespace wimesh::bench {
 // Common CLI surface of the batch-runner benches: --jobs K runs the
 // bench's independent simulations on the work-stealing pool (output is
 // identical for any K), --json OUT writes the machine-readable results
-// next to the text table.
+// next to the text table, --audit runs every simulation under the runtime
+// invariant auditor and fails the bench on any violation.
 struct BenchArgs {
   int jobs = 1;
   std::string json_path;
+  bool audit = false;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -34,12 +36,30 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       if (out.jobs < 1) out.jobs = 1;
     } else if (arg == "--json" && i + 1 < argc) {
       out.json_path = argv[++i];
+    } else if (arg == "--audit") {
+      out.audit = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs K] [--json OUT]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--jobs K] [--json OUT] [--audit]\n",
+                   argv[0]);
       std::exit(1);
     }
   }
   return out;
+}
+
+// Checks one audited result and prints any violation summary; returns the
+// number of violations (0 when the audit is off or clean). Benches
+// accumulate this and exit nonzero — making every experiment double as an
+// invariant regression test.
+inline std::uint64_t audit_violations(const std::string& where,
+                                      const SimulationResult& r) {
+  if (!r.audit.enabled) return 0;
+  const std::uint64_t v = r.audit.total_violations();
+  if (v != 0) {
+    std::fprintf(stderr, "%s: %s\n", where.c_str(),
+                 r.audit.summary().c_str());
+  }
+  return v;
 }
 
 inline bool write_text_file(const std::string& path,

@@ -28,11 +28,12 @@ constexpr SchedulerKind kKinds[] = {
     SchedulerKind::kIlpDelayAware, SchedulerKind::kIlpDelayUnaware,
     SchedulerKind::kGreedy, SchedulerKind::kRoundRobin};
 
-std::size_t capacity(Topology topo, SchedulerKind kind,
-                     ScheduleCache* cache) {
+std::size_t capacity(Topology topo, SchedulerKind kind, ScheduleCache* cache,
+                     bool audit, std::uint64_t* violations) {
   MeshConfig cfg = base_config(std::move(topo));
   cfg.scheduler = kind;
   cfg.ilp.cache = cache;
+  cfg.audit = audit;
   MeshNetwork net(cfg);
   int id = 0;
   for (int round = 0; round < 10; ++round) {
@@ -42,7 +43,18 @@ std::size_t capacity(Topology topo, SchedulerKind kind,
       id += 2;
     }
   }
-  return net.admit_incrementally() / 2;  // flows → calls
+  const std::size_t calls = net.admit_incrementally() / 2;  // flows → calls
+  if (audit && calls > 0) {
+    // Simulate the admitted set under the auditor: the claimed capacity
+    // must actually run conflict-free at full load.
+    const SimulationResult r = net.run(MacMode::kTdmaOverlay,
+                                       SimTime::seconds(2));
+    *violations = r.audit.total_violations();
+    if (*violations != 0) {
+      std::fprintf(stderr, "%s\n", r.audit.summary().c_str());
+    }
+  }
+  return calls;
 }
 
 }  // namespace
@@ -67,9 +79,10 @@ int main(int argc, char** argv) {
   ScheduleCache cache;
   constexpr std::size_t kNumKinds = std::size(kKinds);
   std::vector<std::size_t> cells(entries.size() * kNumKinds, 0);
+  std::vector<std::uint64_t> violations(cells.size(), 0);
   batch::run_indexed(args.jobs, cells.size(), [&](std::size_t i) {
     cells[i] = capacity(entries[i / kNumKinds].topo, kKinds[i % kNumKinds],
-                        &cache);
+                        &cache, args.audit, &violations[i]);
   });
 
   for (std::size_t e = 0; e < entries.size(); ++e) {
@@ -105,5 +118,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  std::uint64_t total_violations = 0;
+  for (std::uint64_t v : violations) total_violations += v;
+  return total_violations == 0 ? 0 : 1;
 }

@@ -50,7 +50,7 @@ bulk 50 2 6 1200 2000000
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
-               "<scenario-file> | --demo\n",
+               "[--audit [fail-fast]] <scenario-file> | --demo\n",
                argv0);
   return 1;
 }
@@ -85,12 +85,20 @@ int main(int argc, char** argv) {
   std::string scenario_arg;
   std::string json_path;
   bool sweep = false;
+  bool audit = false;
+  bool audit_fail_fast = false;
   std::uint64_t sweep_lo = 0, sweep_hi = 0;
   int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--sweep" && i + 1 < argc) {
+    if (arg == "--audit") {
+      audit = true;
+      if (i + 1 < argc && std::string(argv[i + 1]) == "fail-fast") {
+        audit_fail_fast = true;
+        ++i;
+      }
+    } else if (arg == "--sweep" && i + 1 < argc) {
       if (!parse_sweep(argv[++i], &sweep_lo, &sweep_hi)) {
         std::fprintf(stderr, "bad --sweep range '%s' (want seed=LO..HI)\n",
                      argv[i]);
@@ -134,6 +142,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scenario error: %s\n", scenario.error().c_str());
     return 1;
   }
+  if (audit) {
+    scenario->config.audit = true;
+    scenario->config.audit_fail_fast = audit_fail_fast;
+  }
 
   if (sweep) {
     ScheduleCache cache;
@@ -145,13 +157,22 @@ int main(int argc, char** argv) {
     std::fputs(batch::results_table(outcomes).c_str(), stdout);
     std::printf("%s\n", cache.report().c_str());
     int failures = 0;
-    for (const auto& o : outcomes) failures += o.ok ? 0 : 1;
+    std::uint64_t violations = 0;
+    for (const auto& o : outcomes) {
+      failures += o.ok ? 0 : 1;
+      if (o.ok) violations += o.result.audit.total_violations();
+    }
+    if (audit) {
+      std::printf("audit: %llu violation(s) across %zu run(s)\n",
+                  static_cast<unsigned long long>(violations),
+                  outcomes.size());
+    }
     if (!json_path.empty() &&
         !write_file(json_path, batch::results_json(outcomes))) {
       std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
       return 1;
     }
-    return failures == 0 ? 0 : 1;
+    return failures == 0 && violations == 0 ? 0 : 1;
   }
 
   MeshNetwork net(scenario->config);
@@ -183,5 +204,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return result.audit.total_violations() == 0 ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "wimesh/audit/auditor.h"
 #include "wimesh/common/expected.h"
 #include "wimesh/metrics/flow_stats.h"
 #include "wimesh/qos/planner.h"
@@ -46,6 +47,12 @@ struct MeshConfig {
   RoutingPolicy routing = RoutingPolicy::kHopCount;
   IlpSchedulerOptions ilp;
   std::uint64_t seed = 1;
+  // Runtime invariant auditing (wimesh/audit): conflict monitor against the
+  // deployed schedule, packet-conservation ledger, slot-boundary monitor.
+  // Observation only — results are bit-identical with auditing on or off.
+  bool audit = false;
+  // Abort via WIMESH_ASSERT on the first violation instead of reporting.
+  bool audit_fail_fast = false;
 };
 
 struct FlowResult {
@@ -63,6 +70,8 @@ struct SimulationResult {
   std::uint64_t receptions_corrupted = 0;
   std::uint64_t mac_drops = 0;
   std::uint64_t overlay_busy_at_slot_start = 0;
+  // Invariant audit outcome (enabled == false unless MeshConfig::audit).
+  audit::AuditReport audit;
 
   double aggregate_throughput_bps() const;
   double mean_delay_ms() const;

@@ -2,7 +2,9 @@
 
 // Streaming and sample-based statistics used by every experiment.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,8 +37,36 @@ class RunningStat {
 
 // Stores samples for exact quantiles; suitable for per-flow delay series at
 // simulation scale (millions of samples at 8 bytes each).
+//
+// Quantile queries sort lazily into a separate cache, so `samples()` always
+// returns the series in insertion order. The cache is built under a mutex
+// with double-checked locking: concurrent const readers (e.g. parallel
+// batch workers aggregating shared results) are safe. Mutation (`add`) is
+// not synchronized against readers — same contract as std::vector.
 class SampleSet {
  public:
+  SampleSet() = default;
+  SampleSet(const SampleSet& o) : samples_(o.samples_) {
+    cache_valid_.store(samples_.empty(), std::memory_order_release);
+  }
+  SampleSet(SampleSet&& o) noexcept : samples_(std::move(o.samples_)) {
+    cache_valid_.store(samples_.empty(), std::memory_order_release);
+  }
+  SampleSet& operator=(const SampleSet& o) {
+    if (this != &o) {
+      samples_ = o.samples_;
+      invalidate_cache();
+    }
+    return *this;
+  }
+  SampleSet& operator=(SampleSet&& o) noexcept {
+    if (this != &o) {
+      samples_ = std::move(o.samples_);
+      invalidate_cache();
+    }
+    return *this;
+  }
+
   void add(double x);
 
   std::size_t count() const { return samples_.size(); }
@@ -52,16 +82,26 @@ class SampleSet {
   // Empirical CDF evaluated at the given points: fraction of samples <= x.
   std::vector<double> cdf(const std::vector<double>& points) const;
 
+  // Samples in insertion order.
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  void ensure_sorted() const;
+  const std::vector<double>& sorted() const;
+  void invalidate_cache() {
+    sorted_cache_.clear();
+    cache_valid_.store(false, std::memory_order_release);
+  }
+
   std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_valid_{true};  // empty cache matches empty
+  mutable std::vector<double> sorted_cache_;
 };
 
-// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
-// the edge bins so nothing is dropped.
+// Fixed-width-bin histogram over [lo, hi). Out-of-range samples are counted
+// in dedicated underflow/overflow counters instead of being silently folded
+// into the edge bins, so the edge bins mean what their bounds say and a
+// mis-sized range is visible in the output.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -73,9 +113,13 @@ class Histogram {
   double bin_lower(std::size_t i) const {
     return lo_ + width_ * static_cast<double>(i);
   }
+  // All samples ever added, including out-of-range ones.
   std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
 
-  // Rows of "bin_lower,count" for CSV output.
+  // Rows of "bin_lower,count" for CSV output, followed by "underflow,N" /
+  // "overflow,N" rows when either counter is nonzero.
   std::string to_csv() const;
 
  private:
@@ -83,6 +127,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace wimesh

@@ -49,7 +49,8 @@ class SyncProtocol {
  public:
   // `topology` must be connected; the spanning tree is rooted at `master`.
   // Until the first wave completes, nodes run on their initial (unsynced)
-  // offsets, which are drawn uniform in [0, initial_offset_bound).
+  // offsets, drawn uniform in (-initial_offset_bound, initial_offset_bound)
+  // — a cold clock is equally likely to be ahead of or behind true time.
   SyncProtocol(Simulator& sim, const Graph& topology, NodeId master,
                SyncConfig config, Rng rng,
                SimTime initial_offset_bound = SimTime::microseconds(50));

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -54,11 +55,21 @@ class TdmaOverlayNode {
     SlotRange range;
   };
 
+  // Observation hooks for events the counters alone cannot attribute
+  // (which packet was dropped, which block was skipped). Optional; used by
+  // the runtime invariant auditor.
+  struct Hooks {
+    std::function<void(NodeId, LinkId, const MacPacket&)> on_best_effort_drop;
+    std::function<void(NodeId, LinkId)> on_block_skipped;
+  };
+
   TdmaOverlayNode(Simulator& sim, DcfMac& mac, const SyncProtocol& sync,
                   NodeId self, EmulationParams params);
 
   // Installs this node's transmit grants (links with link.from == self).
   void set_grants(std::vector<TxGrant> grants);
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
   // Starts the per-frame slot loop; frames begin at global t = 0.
   void start(SimTime stop);
@@ -92,6 +103,7 @@ class TdmaOverlayNode {
   const SyncProtocol& sync_;
   NodeId self_;
   EmulationParams params_;
+  Hooks hooks_;
   std::vector<TxGrant> grants_;
   std::unordered_map<LinkId, LinkQueues> queues_;
   std::size_t best_effort_queue_cap_ = 256;

@@ -33,6 +33,16 @@ struct WifiFrame {
   SimTime nav{};
 };
 
+// Passive observer of every transmission the channel carries. Used by the
+// runtime invariant auditor (wimesh/audit) to check the deployed schedule's
+// conflict-freedom; the probe must not re-enter the channel.
+class ChannelProbe {
+ public:
+  virtual ~ChannelProbe() = default;
+  // `frame` just started transmitting; it leaves the air at `end`.
+  virtual void on_transmission_start(const WifiFrame& frame, SimTime end) = 0;
+};
+
 // The channel's view of a MAC.
 class MacInterface {
  public:
@@ -58,6 +68,9 @@ class WifiChannel {
   // Registers the MAC entity for a node; required before it can transmit
   // or hear anything.
   void attach(NodeId node, MacInterface* mac);
+
+  // Installs a transmission observer (nullptr to remove). Not owned.
+  void set_probe(ChannelProbe* probe) { probe_ = probe; }
 
   // Starts a transmission now; the caller must itself respect CSMA timing.
   // Returns the on-air duration (caller schedules its own tx-end handling).
@@ -98,6 +111,7 @@ class WifiChannel {
   ErrorModel error_;
   Rng rng_;
   bool deliver_overheard_ = false;
+  ChannelProbe* probe_ = nullptr;
   std::vector<MacInterface*> macs_;
   std::vector<ActiveTx> active_;
   std::uint64_t next_key_ = 1;

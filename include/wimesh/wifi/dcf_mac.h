@@ -36,9 +36,9 @@ class DcfMac : public MacInterface {
     // Fires at the RECEIVING MAC when a data frame addressed to it (or a
     // broadcast) is decoded.
     std::function<void(const MacPacket&)> on_delivered;
-    // Fires at the sender when a packet is abandoned (retry limit or queue
-    // overflow).
-    std::function<void(const MacPacket&)> on_dropped;
+    // Fires at the sender when a packet is abandoned; the cause says
+    // whether the queue overflowed or the retry limit was exhausted.
+    std::function<void(const MacPacket&, MacDropCause)> on_dropped;
     // Fires at the sender when a packet's ACK arrives (or, for broadcast,
     // when the transmission completes).
     std::function<void(const MacPacket&)> on_sent;
@@ -72,6 +72,11 @@ class DcfMac : public MacInterface {
   NodeId self() const { return self_; }
   std::size_t queue_length() const { return queue_.size(); }
   bool in_service() const { return current_.has_value(); }
+  // Packets this MAC still holds: queued plus the one in service. Used by
+  // the auditor's packet-conservation check at simulation end.
+  std::size_t pending_packets() const {
+    return queue_.size() + (current_.has_value() ? 1 : 0);
+  }
 
   // Worst-case service time of one packet on a contention-free medium:
   // DIFS + backoff slots (zero in zero_backoff mode, CWmin otherwise) +

@@ -39,7 +39,8 @@ class EdcaMac : public MacInterface {
  public:
   struct Callbacks {
     std::function<void(const MacPacket&)> on_delivered;
-    std::function<void(const MacPacket&, AccessCategory)> on_dropped;
+    std::function<void(const MacPacket&, AccessCategory, MacDropCause)>
+        on_dropped;
     std::function<void(const MacPacket&, AccessCategory)> on_sent;
   };
 
@@ -60,6 +61,15 @@ class EdcaMac : public MacInterface {
   NodeId self() const { return self_; }
   std::size_t queue_length(AccessCategory ac) const {
     return entity(ac).queue.size();
+  }
+  // Packets this MAC still holds across both categories (queued + in
+  // service). Used by the auditor's conservation check at simulation end.
+  std::size_t pending_packets() const {
+    std::size_t total = 0;
+    for (const Entity& e : entities_) {
+      total += e.queue.size() + (e.current.has_value() ? 1 : 0);
+    }
+    return total;
   }
 
   std::uint64_t tx_attempts(AccessCategory ac) const {

@@ -21,4 +21,11 @@ struct MacPacket {
 // MAC header + FCS added to every data payload on the air.
 inline constexpr std::size_t kMacOverheadBytes = 34;
 
+// Why a MAC abandoned a packet, reported through the on_dropped callback
+// so owners (and the invariant auditor) can account losses by cause.
+enum class MacDropCause : std::uint8_t {
+  kQueueOverflow,  // transmit queue full at send()
+  kRetryLimit,     // retry limit exhausted without an ACK
+};
+
 }  // namespace wimesh

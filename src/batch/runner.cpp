@@ -111,6 +111,36 @@ void flow_json(JsonWriter& w, const FlowResult& f, SimTime interval) {
   w.end_object();
 }
 
+void audit_json(JsonWriter& w, const audit::AuditReport& a) {
+  w.key("audit");
+  w.begin_object();
+  w.key("violations");
+  w.begin_object();
+  for (std::size_t k = 0; k < audit::kViolationKindCount; ++k) {
+    w.key(audit::violation_kind_name(static_cast<audit::ViolationKind>(k)));
+    w.value(a.violations[k]);
+  }
+  w.end_object();
+  w.key("drops");
+  w.begin_object();
+  for (std::size_t r = 0; r < audit::kDropReasonCount; ++r) {
+    w.key(audit::drop_reason_name(static_cast<audit::DropReason>(r)));
+    w.value(a.drops[r]);
+  }
+  w.end_object();
+  w.key("packets_created");
+  w.value(a.packets_created);
+  w.key("packets_delivered");
+  w.value(a.packets_delivered);
+  w.key("packets_dropped");
+  w.value(a.packets_dropped);
+  w.key("packets_residual");
+  w.value(a.packets_residual);
+  w.key("blocks_skipped");
+  w.value(a.blocks_skipped);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string results_json(const std::vector<RunOutcome>& outcomes) {
@@ -149,6 +179,9 @@ std::string results_json(const std::vector<RunOutcome>& outcomes) {
     w.value(r.receptions_corrupted);
     w.key("mac_drops");
     w.value(r.mac_drops);
+    // Only present when the run was audited, so non-audit output is
+    // byte-identical to pre-audit builds.
+    if (r.audit.enabled) audit_json(w, r.audit);
     w.key("flows");
     w.begin_array();
     for (const FlowResult& f : r.flows) flow_json(w, f, r.measured_interval);
@@ -163,8 +196,8 @@ std::string results_json(const std::vector<RunOutcome>& outcomes) {
 std::string results_table(const std::vector<RunOutcome>& outcomes) {
   std::string out;
   char line[160];
-  std::snprintf(line, sizeof line, "%-12s %8s %10s %10s %9s %12s\n", "run",
-                "ok", "mean_ms", "p99_ms", "loss", "tput_kbps");
+  std::snprintf(line, sizeof line, "%-12s %8s %10s %10s %9s %12s %6s\n",
+                "run", "ok", "mean_ms", "p99_ms", "loss", "tput_kbps", "viol");
   out += line;
   for (const RunOutcome& run : outcomes) {
     if (!run.ok) {
@@ -179,10 +212,19 @@ std::string results_table(const std::vector<RunOutcome>& outcomes) {
       if (f.stats.delays_ms().empty()) continue;
       p99 = std::max(p99, f.stats.delays_ms().quantile(0.99));
     }
+    char viol[16];
+    if (r.audit.enabled) {
+      std::snprintf(viol, sizeof viol, "%llu",
+                    static_cast<unsigned long long>(
+                        r.audit.total_violations()));
+    } else {
+      std::snprintf(viol, sizeof viol, "-");
+    }
     std::snprintf(line, sizeof line,
-                  "%-12s %8s %10.3f %10.3f %9.4f %12.1f\n", run.label.c_str(),
-                  "ok", r.mean_delay_ms(), p99, r.max_loss_rate(),
-                  r.aggregate_throughput_bps() / 1000.0);
+                  "%-12s %8s %10.3f %10.3f %9.4f %12.1f %6s\n",
+                  run.label.c_str(), "ok", r.mean_delay_ms(), p99,
+                  r.max_loss_rate(), r.aggregate_throughput_bps() / 1000.0,
+                  viol);
     out += line;
   }
   return out;

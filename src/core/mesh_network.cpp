@@ -140,6 +140,22 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
                       ErrorModel{config_.packet_error_rate}, root.split(),
                       /*deliver_overheard=*/rts_mode);
 
+  // Invariant auditor (opt-in). Pure observer: it draws no randomness and
+  // schedules no events, so results are identical with auditing on or off.
+  std::unique_ptr<audit::InvariantAuditor> auditor;
+  if (config_.audit) {
+    audit::AuditConfig audit_cfg;
+    audit_cfg.fail_fast = config_.audit_fail_fast;
+    auditor = std::make_unique<audit::InvariantAuditor>(sim, audit_cfg);
+    if (mode == MacMode::kTdmaOverlay) {
+      // Arm the conflict and slot monitors against the deployed schedule.
+      auditor->install_schedule(plan_.links, plan_.conflicts, plan_.schedule,
+                                config_.emulation.frame,
+                                config_.emulation.guard_time);
+    }
+    channel.set_probe(auditor.get());
+  }
+
   SimulationResult result;
   result.measured_interval = duration;
   std::unordered_map<int, std::size_t> flow_index;
@@ -178,6 +194,7 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     if (it == flow_index.end()) return;
     FlowResult& fr = result.flows[it->second];
     if (fr.spec.dst == at) {
+      if (auditor) auditor->on_packet_delivered(packet, at);
       if (packet.created_at <= duration) {
         fr.stats.on_delivered(packet.bytes, sim.now() - packet.created_at);
       }
@@ -185,10 +202,20 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     }
     // Forward to the next hop.
     const NodeId next = plan_.next_hop(packet.flow_id, at);
-    if (next == kInvalidNode) return;  // stale route; drop
+    if (next == kInvalidNode) {  // stale route; drop
+      if (auditor) {
+        auditor->on_packet_dropped(packet, audit::DropReason::kNoRoute);
+      }
+      return;
+    }
     if (mode == MacMode::kTdmaOverlay) {
       const LinkId link = plan_.out_link(packet.flow_id, at);
-      if (plan_.schedule.all_grants(link).empty()) return;  // no capacity
+      if (plan_.schedule.all_grants(link).empty()) {  // no capacity
+        if (auditor) {
+          auditor->on_packet_dropped(packet, audit::DropReason::kNoCapacity);
+        }
+        return;
+      }
       overlays[static_cast<std::size_t>(at)]->enqueue(
           link, packet, fr.spec.service == ServiceClass::kGuaranteed);
     } else {
@@ -205,8 +232,15 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       cb.on_delivered = [&, node](const MacPacket& p) {
         on_delivered(node, p);
       };
-      cb.on_dropped = [&result](const MacPacket&, AccessCategory) {
+      cb.on_dropped = [&](const MacPacket& p, AccessCategory,
+                          MacDropCause cause) {
         ++result.mac_drops;
+        if (auditor) {
+          auditor->on_packet_dropped(
+              p, cause == MacDropCause::kQueueOverflow
+                     ? audit::DropReason::kMacQueueOverflow
+                     : audit::DropReason::kRetryExhausted);
+        }
       };
       edca_macs.push_back(std::make_unique<EdcaMac>(sim, channel, node,
                                                     root.split(), std::move(cb)));
@@ -214,7 +248,15 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     }
     DcfMac::Callbacks cb;
     cb.on_delivered = [&, node](const MacPacket& p) { on_delivered(node, p); };
-    cb.on_dropped = [&result](const MacPacket&) { ++result.mac_drops; };
+    cb.on_dropped = [&](const MacPacket& p, MacDropCause cause) {
+      ++result.mac_drops;
+      if (auditor) {
+        auditor->on_packet_dropped(
+            p, cause == MacDropCause::kQueueOverflow
+                   ? audit::DropReason::kMacQueueOverflow
+                   : audit::DropReason::kRetryExhausted);
+      }
+    };
     DcfMac::Config mac_cfg;
     mac_cfg.zero_backoff = mode == MacMode::kTdmaOverlay;
     mac_cfg.rts_cts = rts_mode;
@@ -246,9 +288,21 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       }
     }
     for (NodeId node = 0; node < n; ++node) {
-      overlays[static_cast<std::size_t>(node)]->set_grants(
-          std::move(grants[static_cast<std::size_t>(node)]));
-      overlays[static_cast<std::size_t>(node)]->start(duration + drain);
+      TdmaOverlayNode& overlay = *overlays[static_cast<std::size_t>(node)];
+      overlay.set_grants(std::move(grants[static_cast<std::size_t>(node)]));
+      if (auditor) {
+        TdmaOverlayNode::Hooks hooks;
+        hooks.on_best_effort_drop = [&](NodeId, LinkId,
+                                        const MacPacket& p) {
+          auditor->on_packet_dropped(
+              p, audit::DropReason::kBestEffortOverflow);
+        };
+        hooks.on_block_skipped = [&](NodeId at, LinkId link) {
+          auditor->on_block_skipped(at, link);
+        };
+        overlay.set_hooks(std::move(hooks));
+      }
+      overlay.start(duration + drain);
     }
   }
 
@@ -261,10 +315,15 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       FlowResult& stats_entry = result.flows[it->second];
       if (p.created_at <= duration) stats_entry.stats.on_sent(p.bytes);
       p.from = src;
+      if (auditor) auditor->on_packet_created(p);
       if (mode == MacMode::kTdmaOverlay) {
         const LinkId link = plan_.out_link(spec_id, src);
         if (link == kInvalidLink || plan_.schedule.all_grants(link).empty()) {
-          return;  // no capacity granted; counts as loss
+          // No capacity granted; counts as loss.
+          if (auditor) {
+            auditor->on_packet_dropped(p, audit::DropReason::kNoCapacity);
+          }
+          return;
         }
         overlays[static_cast<std::size_t>(src)]->enqueue(
             link, p,
@@ -318,6 +377,16 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
   result.receptions_corrupted = channel.receptions_corrupted();
   for (const auto& overlay : overlays) {
     result.overlay_busy_at_slot_start += overlay->busy_at_slot_start();
+  }
+  if (auditor) {
+    // Everything the ledger has not seen delivered or dropped must still be
+    // queued somewhere; count what the components actually hold.
+    std::uint64_t residual = 0;
+    for (const auto& overlay : overlays) residual += overlay->total_queued();
+    for (const auto& mac : macs) residual += mac->pending_packets();
+    for (const auto& mac : edca_macs) residual += mac->pending_packets();
+    auditor->finalize(residual);
+    result.audit = auditor->report();
   }
   return result;
 }

@@ -283,6 +283,20 @@ Expected<Scenario> parse_scenario(const std::string& text) {
         return make_error(str_cat("line ", line_no,
                                   ": rts_cts must be on|off"));
       }
+    } else if (key == "audit") {
+      if (value == "on") {
+        sc.config.audit = true;
+        sc.config.audit_fail_fast = false;
+      } else if (value == "fail-fast") {
+        sc.config.audit = true;
+        sc.config.audit_fail_fast = true;
+      } else if (value == "off") {
+        sc.config.audit = false;
+        sc.config.audit_fail_fast = false;
+      } else {
+        return make_error(str_cat("line ", line_no,
+                                  ": audit must be on|off|fail-fast"));
+      }
     } else {
       return make_error(str_cat("line ", line_no, ": unknown key '", key,
                                 "'"));
@@ -303,6 +317,13 @@ std::string format_report(const Scenario& scenario,
   out += str_cat("frames on air: ", result.frames_transmitted,
                  "  corrupted receptions: ", result.receptions_corrupted,
                  "  mac drops: ", result.mac_drops, "\n");
+  if (result.audit.enabled) {
+    out += result.audit.summary() + "\n";
+    for (const audit::ViolationRecord& r : result.audit.records) {
+      out += str_cat("  [", audit::violation_kind_name(r.kind), " @ ",
+                     r.time.to_string(), "] ", r.detail, "\n");
+    }
+  }
   out += "flow  class       loss     mean_ms  p99_ms    tput_kbps\n";
   for (const FlowResult& f : result.flows) {
     const char* cls =

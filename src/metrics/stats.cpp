@@ -30,7 +30,7 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 void SampleSet::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  invalidate_cache();
 }
 
 double SampleSet::mean() const {
@@ -40,36 +40,44 @@ double SampleSet::mean() const {
   return sum / static_cast<double>(samples_.size());
 }
 
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    auto& mut = const_cast<std::vector<double>&>(samples_);
-    std::sort(mut.begin(), mut.end());
-    sorted_ = true;
+const std::vector<double>& SampleSet::sorted() const {
+  // Double-checked: the fast path is a single acquire load once the cache
+  // is built; the first reader (or the first after an add) sorts a copy
+  // under the mutex. samples_ itself is never reordered, so concurrent
+  // const readers never observe a vector mid-sort — the data race the old
+  // const_cast-and-sort-in-place version had.
+  if (!cache_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!cache_valid_.load(std::memory_order_relaxed)) {
+      sorted_cache_ = samples_;
+      std::sort(sorted_cache_.begin(), sorted_cache_.end());
+      cache_valid_.store(true, std::memory_order_release);
+    }
   }
+  return sorted_cache_;
 }
 
 double SampleSet::quantile(double q) const {
   WIMESH_ASSERT_MSG(!samples_.empty(), "quantile of empty sample set");
   WIMESH_ASSERT(q >= 0.0 && q <= 1.0);
-  ensure_sorted();
-  if (samples_.size() == 1) return samples_[0];
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::vector<double>& s = sorted();
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
 }
 
 std::vector<double> SampleSet::cdf(const std::vector<double>& points) const {
-  ensure_sorted();
+  const std::vector<double>& s = sorted();
   std::vector<double> out;
   out.reserve(points.size());
   for (double p : points) {
-    const auto it = std::upper_bound(samples_.begin(), samples_.end(), p);
-    out.push_back(samples_.empty()
-                      ? 0.0
-                      : static_cast<double>(it - samples_.begin()) /
-                            static_cast<double>(samples_.size()));
+    const auto it = std::upper_bound(s.begin(), s.end(), p);
+    out.push_back(s.empty() ? 0.0
+                            : static_cast<double>(it - s.begin()) /
+                                  static_cast<double>(s.size()));
   }
   return out;
 }
@@ -81,11 +89,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  bin = std::clamp<std::ptrdiff_t>(
-      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  if (bin >= static_cast<std::ptrdiff_t>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(bin)];
 }
 
 std::string Histogram::to_csv() const {
@@ -93,6 +107,8 @@ std::string Histogram::to_csv() const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     out += str_cat(fmt_double(bin_lower(i), 6), ",", counts_[i], "\n");
   }
+  if (underflow_ != 0) out += str_cat("underflow,", underflow_, "\n");
+  if (overflow_ != 0) out += str_cat("overflow,", overflow_, "\n");
   return out;
 }
 

@@ -36,8 +36,13 @@ SyncProtocol::SyncProtocol(Simulator& sim, const Graph& topology,
   clocks_.resize(static_cast<std::size_t>(topology.node_count()));
   for (auto& c : clocks_) {
     c.drift_ppm = rng_.normal(0.0, config_.drift_ppm_stddev);
-    c.offset = SimTime::nanoseconds(static_cast<std::int64_t>(
-        rng_.uniform(0.0, static_cast<double>(initial_offset_bound.ns()))));
+    // Initial offsets are symmetric: a cold-started crystal is as likely to
+    // read ahead of true time as behind it. (A one-sided draw here would
+    // bias every pre-first-wave clock fast and understate the worst-case
+    // mutual misalignment the guard must absorb.)
+    const double bound = static_cast<double>(initial_offset_bound.ns());
+    c.offset = SimTime::nanoseconds(
+        static_cast<std::int64_t>(rng_.uniform(-bound, bound)));
     c.last_sync = SimTime::zero();
   }
   // The master is the time reference: zero error, zero drift by definition

@@ -68,6 +68,9 @@ void TdmaOverlayNode::enqueue(LinkId link, MacPacket packet, bool guaranteed) {
   }
   if (it->second.best_effort.size() >= best_effort_queue_cap_) {
     ++best_effort_drops_;
+    if (hooks_.on_best_effort_drop) {
+      hooks_.on_best_effort_drop(self_, link, packet);
+    }
     return;
   }
   it->second.best_effort.push_back(packet);
@@ -113,6 +116,7 @@ void TdmaOverlayNode::on_block_start(const TxGrant& grant) {
     // Previous work has not drained — a symptom of an undersized guard or
     // an invalid schedule. Skip the block rather than collide.
     ++busy_at_slot_start_;
+    if (hooks_.on_block_skipped) hooks_.on_block_skipped(self_, grant.link);
     return;
   }
   // Release exactly the packets whose worst-case (deterministic, in

@@ -61,6 +61,7 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
   const SimTime duration = frame_airtime(frame);
   const SimTime end = sim_.now() + duration;
   ++frames_transmitted_;
+  if (probe_ != nullptr) probe_->on_transmission_start(frame, end);
 
   const Point& tx_pos = positions_[static_cast<std::size_t>(tx)];
 

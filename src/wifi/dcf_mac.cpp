@@ -20,7 +20,7 @@ void DcfMac::send(MacPacket packet) {
   packet.from = self_;
   if (queue_.size() >= config_.max_queue) {
     ++drops_;
-    if (cb_.on_dropped) cb_.on_dropped(packet);
+    if (cb_.on_dropped) cb_.on_dropped(packet, MacDropCause::kQueueOverflow);
     return;
   }
   queue_.push_back(packet);
@@ -185,7 +185,7 @@ void DcfMac::retry_after_failure() {
     ++drops_;
     const MacPacket dropped = *current_;
     finish_packet(/*post_backoff=*/true);
-    if (cb_.on_dropped) cb_.on_dropped(dropped);
+    if (cb_.on_dropped) cb_.on_dropped(dropped, MacDropCause::kRetryLimit);
     return;
   }
   ++retransmissions_;

@@ -39,7 +39,9 @@ void EdcaMac::send(MacPacket packet, AccessCategory ac) {
   Entity& e = entity(ac);
   if (e.queue.size() >= config_.max_queue_per_ac) {
     ++e.drops;
-    if (cb_.on_dropped) cb_.on_dropped(packet, ac);
+    if (cb_.on_dropped) {
+      cb_.on_dropped(packet, ac, MacDropCause::kQueueOverflow);
+    }
     return;
   }
   e.queue.push_back(packet);
@@ -187,7 +189,7 @@ void EdcaMac::handle_failure(Entity& e, bool count_retry) {
     const MacPacket dropped = *e.current;
     const AccessCategory ac = category_of(e);
     finish_packet(e);
-    if (cb_.on_dropped) cb_.on_dropped(dropped, ac);
+    if (cb_.on_dropped) cb_.on_dropped(dropped, ac, MacDropCause::kRetryLimit);
     return;
   }
   e.cw = std::min(2 * e.cw + 1, e.params.cw_max);

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "wimesh/batch/runner.h"
+#include "wimesh/core/mesh_network.h"
+
+namespace wimesh {
+namespace {
+
+MeshConfig chain_config(NodeId n) {
+  MeshConfig cfg;
+  cfg.topology = make_chain(n, 100.0);
+  cfg.comm_range = 110.0;
+  cfg.interference_range = 220.0;
+  cfg.emulation.frame.frame_duration = SimTime::milliseconds(10);
+  cfg.emulation.frame.control_slots = 4;
+  cfg.emulation.frame.data_slots = 96;
+  return cfg;
+}
+
+bool ledger_balanced(const audit::AuditReport& a) {
+  return a.packets_created ==
+         a.packets_delivered + a.packets_dropped + a.packets_residual;
+}
+
+// Every link gets the same minislot block: hidden-terminal pairs (two hops
+// apart, outside carrier sense but inside interference range) then transmit
+// concurrently, which the conflict monitor must flag.
+MeshSchedule double_booked_schedule(const MeshNetwork& net, int data_slots) {
+  const LinkSet& links = net.plan().links;
+  MeshSchedule sched(links, data_slots);
+  for (LinkId l = 0; l < static_cast<LinkId>(links.count()); ++l) {
+    sched.set_grant(l, SlotRange{0, 16});
+  }
+  return sched;
+}
+
+TEST(AuditTest, DisabledByDefaultAndReportsNothing) {
+  MeshConfig cfg = chain_config(4);
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g729());
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, SimTime::seconds(1));
+  EXPECT_FALSE(r.audit.enabled);
+  EXPECT_EQ(r.audit.packets_created, 0u);
+  EXPECT_EQ(r.audit.total_violations(), 0u);
+}
+
+TEST(AuditTest, CleanTdmaRunHasZeroViolationsAndBalancedLedger) {
+  MeshConfig cfg = chain_config(4);
+  cfg.audit = true;
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g729());
+  net.add_flow(FlowSpec::best_effort(50, 3, 0, 1000, 2e6));
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, SimTime::seconds(3));
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+  EXPECT_GT(r.audit.packets_created, 0u);
+  EXPECT_GT(r.audit.packets_delivered, 0u);
+  EXPECT_TRUE(ledger_balanced(r.audit)) << r.audit.summary();
+}
+
+TEST(AuditTest, ObservationDoesNotPerturbResults) {
+  auto run = [](bool audit) {
+    MeshConfig cfg = chain_config(4);
+    cfg.audit = audit;
+    MeshNetwork net(cfg);
+    net.add_voip_call(0, 0, 3, VoipCodec::g711());
+    net.add_flow(FlowSpec::best_effort(50, 0, 3, 1200, 2e6));
+    WIMESH_ASSERT(net.compute_plan().has_value());
+    const SimulationResult r =
+        net.run(MacMode::kTdmaOverlay, SimTime::seconds(2));
+    return std::make_tuple(r.flows[0].stats.delivered_packets(),
+                           r.flows[0].stats.delays_ms().mean(),
+                           r.frames_transmitted, r.receptions_corrupted);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(AuditTest, DoubleBookedScheduleTripsConflictMonitor) {
+  MeshConfig cfg = chain_config(4);
+  cfg.audit = true;
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g711());
+  ASSERT_TRUE(net.compute_plan().has_value());
+  net.override_schedule(
+      double_booked_schedule(net, cfg.emulation.frame.data_slots));
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, SimTime::seconds(2));
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_GT(r.audit.count(audit::ViolationKind::kScheduleConflict), 0u)
+      << r.audit.summary();
+  // Records carry debuggable context for at least the first conflicts.
+  ASSERT_FALSE(r.audit.records.empty());
+  bool found = false;
+  for (const auto& rec : r.audit.records) {
+    if (rec.kind != audit::ViolationKind::kScheduleConflict) continue;
+    found = true;
+    EXPECT_NE(rec.link, kInvalidLink);
+    EXPECT_GT(rec.magnitude_ns, 0);
+    EXPECT_FALSE(rec.detail.empty());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AuditTest, UndersizedGuardTripsSlotMonitor) {
+  MeshConfig cfg = chain_config(4);
+  cfg.audit = true;
+  // Clocks far sloppier than the guard can absorb: the overlay releases
+  // frames outside their nominal minislot windows.
+  cfg.auto_guard = false;
+  cfg.emulation.guard_time = SimTime::microseconds(1);
+  cfg.sync.per_hop_error_stddev = SimTime::microseconds(150);
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g711());
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, SimTime::seconds(2));
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_GT(r.audit.count(audit::ViolationKind::kSlotOverrun), 0u)
+      << r.audit.summary();
+  EXPECT_TRUE(ledger_balanced(r.audit)) << r.audit.summary();
+}
+
+TEST(AuditTest, LossyDcfKeepsLedgerBalancedWithTypedRetryDrops) {
+  MeshConfig cfg = chain_config(3);
+  cfg.audit = true;
+  cfg.packet_error_rate = 0.5;  // retry exhaustion ~10% per hop attempt
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 2, VoipCodec::g711());
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r = net.run(MacMode::kDcf, SimTime::seconds(2));
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+  EXPECT_GT(r.audit.drop_count(audit::DropReason::kRetryExhausted), 0u);
+  EXPECT_GT(r.audit.packets_delivered, 0u);
+  EXPECT_TRUE(ledger_balanced(r.audit)) << r.audit.summary();
+}
+
+TEST(AuditTest, BestEffortOverflowIsATypedDropNotALeak) {
+  MeshConfig cfg = chain_config(4);
+  cfg.audit = true;
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g729());
+  // Saturating best-effort: far beyond the leftover-slot capacity, so the
+  // overlay's drop-tail queue must overflow.
+  net.add_flow(FlowSpec::best_effort(50, 0, 3, 1200, 8e6));
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, SimTime::seconds(2));
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+  EXPECT_GT(r.audit.drop_count(audit::DropReason::kBestEffortOverflow), 0u);
+  EXPECT_TRUE(ledger_balanced(r.audit)) << r.audit.summary();
+}
+
+TEST(AuditDeathTest, FailFastAbortsOnFirstViolation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MeshConfig cfg = chain_config(4);
+  cfg.audit = true;
+  cfg.audit_fail_fast = true;
+  MeshNetwork net(cfg);
+  net.add_voip_call(0, 0, 3, VoipCodec::g711());
+  ASSERT_TRUE(net.compute_plan().has_value());
+  net.override_schedule(
+      double_booked_schedule(net, cfg.emulation.frame.data_slots));
+  EXPECT_DEATH(net.run(MacMode::kTdmaOverlay, SimTime::seconds(2)),
+               "audit violation");
+}
+
+TEST(AuditTest, AuditedSweepIsBitIdenticalAcrossJobs) {
+  Scenario base;
+  base.config = chain_config(4);
+  base.config.audit = true;
+  base.config.seed = 42;
+  base.flows.push_back(FlowSpec::voip(0, 0, 3, VoipCodec::g729()));
+  base.flows.push_back(FlowSpec::voip(1, 3, 0, VoipCodec::g729()));
+  base.mac = MacMode::kTdmaOverlay;
+  base.duration = SimTime::seconds(1);
+  const auto specs = batch::seed_sweep(base, 0, 3);
+
+  batch::BatchOptions serial;
+  serial.jobs = 1;
+  batch::BatchOptions threaded;
+  threaded.jobs = 4;
+  const std::string a = batch::results_json(batch::run_batch(specs, serial));
+  const std::string b = batch::results_json(batch::run_batch(specs, threaded));
+  EXPECT_EQ(a, b);
+  // The audit block is present and clean in the serialized output.
+  EXPECT_NE(a.find("\"audit\""), std::string::npos);
+  EXPECT_NE(a.find("\"schedule_conflict\":0"), std::string::npos);
+  EXPECT_NE(a.find("\"packet_leak\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wimesh

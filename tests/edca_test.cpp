@@ -32,7 +32,8 @@ struct Rig {
       cb.on_sent = [this](const MacPacket& p, AccessCategory ac) {
         sent_ok.emplace_back(p, ac);
       };
-      cb.on_dropped = [this](const MacPacket& p, AccessCategory ac) {
+      cb.on_dropped = [this](const MacPacket& p, AccessCategory ac,
+                             MacDropCause) {
         dropped.emplace_back(p, ac);
       };
       macs.push_back(std::make_unique<EdcaMac>(sim, *channel, i, root.split(),
@@ -111,7 +112,9 @@ TEST(EdcaMacTest, QueueOverflowDropsPerCategory) {
   cfg.max_queue_per_ac = 3;
   EdcaMac::Callbacks cb;
   int drops = 0;
-  cb.on_dropped = [&](const MacPacket&, AccessCategory) { ++drops; };
+  cb.on_dropped = [&](const MacPacket&, AccessCategory, MacDropCause) {
+    ++drops;
+  };
   // Third node so the attach is fresh (nodes 0/1 already attached).
   // Build a private rig instead:
   Simulator sim;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "wimesh/common/rng.h"
 #include "wimesh/metrics/flow_stats.h"
@@ -102,18 +103,77 @@ TEST(SampleSetTest, AddAfterQuantileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.median(), 10.0);
 }
 
-TEST(HistogramTest, BinsAndClamping) {
+TEST(SampleSetTest, SamplesStayInInsertionOrderAfterQuantile) {
+  SampleSet s;
+  for (double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);  // builds the sorted cache
+  const std::vector<double> expected = {5.0, 1.0, 3.0};
+  EXPECT_EQ(s.samples(), expected);  // insertion order untouched
+}
+
+TEST(SampleSetTest, CopyAndAssignCarrySamples) {
+  SampleSet a;
+  for (double v : {4.0, 2.0, 6.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.median(), 4.0);
+  SampleSet b(a);  // copy after the cache was built
+  EXPECT_DOUBLE_EQ(b.median(), 4.0);
+  SampleSet c;
+  c.add(99.0);
+  c = a;
+  EXPECT_DOUBLE_EQ(c.median(), 4.0);
+  EXPECT_EQ(c.count(), 3u);
+}
+
+// Regression for the const_cast lazy-sort data race: concurrent const
+// readers on one shared SampleSet (the parallel batch aggregation pattern)
+// must be safe and agree. Run under -DWIMESH_SANITIZE=thread to prove it.
+TEST(SampleSetTest, ConcurrentQuantileReadersAgree) {
+  SampleSet s;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) s.add(rng.uniform(0.0, 100.0));
+  const double expected = s.quantile(0.5);
+
+  SampleSet shared;
+  for (double v : s.samples()) shared.add(v);  // cache not yet built
+  constexpr int kReaders = 8;
+  std::vector<double> medians(kReaders, 0.0);
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&shared, &medians, r] {
+        medians[static_cast<std::size_t>(r)] = shared.quantile(0.5);
+      });
+    }
+    for (auto& t : readers) t.join();
+  }
+  for (double m : medians) EXPECT_DOUBLE_EQ(m, expected);
+}
+
+TEST(HistogramTest, BinsAndOutOfRangeCounters) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);    // bin 0
   h.add(9.99);   // bin 9
-  h.add(-5.0);   // clamps to bin 0
-  h.add(42.0);   // clamps to bin 9
+  h.add(-5.0);   // underflow, not bin 0
+  h.add(42.0);   // overflow, not bin 9
   h.add(5.0);    // bin 5
   EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.bin(0), 2u);
-  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
   EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lower(5), 5.0);
+}
+
+TEST(HistogramTest, EdgeValuesLandInEdgeBinsNotCounters) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);  // inclusive lower edge: bin 0
+  h.add(9.999999);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
 TEST(HistogramTest, CsvHasOneRowPerBin) {
@@ -122,6 +182,19 @@ TEST(HistogramTest, CsvHasOneRowPerBin) {
   const auto csv = h.to_csv();
   EXPECT_NE(csv.find("0.000000,1"), std::string::npos);
   EXPECT_NE(csv.find("1.000000,0"), std::string::npos);
+  // In-range-only histograms keep the legacy two-row shape.
+  EXPECT_EQ(csv.find("underflow"), std::string::npos);
+  EXPECT_EQ(csv.find("overflow"), std::string::npos);
+}
+
+TEST(HistogramTest, CsvReportsOutOfRangeRows) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(-1.0);
+  h.add(3.0);
+  h.add(3.5);
+  const auto csv = h.to_csv();
+  EXPECT_NE(csv.find("underflow,1"), std::string::npos);
+  EXPECT_NE(csv.find("overflow,2"), std::string::npos);
 }
 
 TEST(FlowStatsTest, CountsAndLoss) {

@@ -108,6 +108,39 @@ TEST(ScenarioParserTest, RejectsBadValues) {
                    .has_value());
 }
 
+TEST(ScenarioParserTest, AuditKeyParsesAllModes) {
+  const std::string base = "topology = chain 3 100\nvoip 0 0 2 g729 100\n";
+  const auto off = parse_scenario(base + "audit = off\n");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->config.audit);
+  const auto on = parse_scenario(base + "audit = on\n");
+  ASSERT_TRUE(on.has_value());
+  EXPECT_TRUE(on->config.audit);
+  EXPECT_FALSE(on->config.audit_fail_fast);
+  const auto ff = parse_scenario(base + "audit = fail-fast\n");
+  ASSERT_TRUE(ff.has_value());
+  EXPECT_TRUE(ff->config.audit);
+  EXPECT_TRUE(ff->config.audit_fail_fast);
+  EXPECT_FALSE(parse_scenario(base + "audit = maybe\n").has_value());
+}
+
+TEST(ScenarioParserTest, AuditedRunReportsSummary) {
+  const auto sc = parse_scenario(
+      "topology = chain 3 100\n"
+      "duration_s = 1\n"
+      "audit = on\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  MeshNetwork net(sc->config);
+  for (const FlowSpec& f : sc->flows) net.add_flow(f);
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r = net.run(sc->mac, sc->duration);
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_EQ(r.audit.total_violations(), 0u);
+  const std::string report = format_report(*sc, r);
+  EXPECT_NE(report.find("audit: ok"), std::string::npos);
+}
+
 TEST(ScenarioParserTest, RequiresTopologyAndTraffic) {
   EXPECT_FALSE(parse_scenario("voip 0 0 1 g729 100\n").has_value());
   EXPECT_FALSE(parse_scenario("topology = chain 4 100\n").has_value());

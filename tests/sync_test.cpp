@@ -136,6 +136,30 @@ TEST(SyncProtocolTest, ZeroNoiseConfigKeepsPerfectClocks) {
   }
 }
 
+TEST(SyncProtocolTest, InitialOffsetsAreSymmetric) {
+  // Regression: initial offsets were drawn uniform in [0, bound), biasing
+  // every unsynced clock fast. Before the first wave both signs must occur
+  // and no offset may leave (-bound, bound).
+  const Topology t = make_chain(16, 100.0);
+  const SimTime bound = SimTime::microseconds(50);
+  int negative = 0, positive = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Simulator sim;
+    SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(seed), bound);
+    // No start(): probe the cold clocks directly.
+    for (NodeId n = 1; n < t.node_count(); ++n) {
+      const SimTime e = sync.error(n, SimTime::zero());
+      EXPECT_GT(e, -bound);
+      EXPECT_LT(e, bound);
+      if (e < SimTime::zero()) ++negative;
+      if (e > SimTime::zero()) ++positive;
+    }
+  }
+  // 45 draws; each sign misses with probability 2^-45 under the fix.
+  EXPECT_GT(negative, 0);
+  EXPECT_GT(positive, 0);
+}
+
 TEST(SyncProtocolTest, DeterministicForSameSeed) {
   auto sample = [](std::uint64_t seed) {
     Simulator sim;

@@ -37,7 +37,9 @@ struct Rig {
         delivered_at.push_back(i);
       };
       cb.on_sent = [this](const MacPacket& p) { sent_ok.push_back(p); };
-      cb.on_dropped = [this](const MacPacket& p) { dropped.push_back(p); };
+      cb.on_dropped = [this](const MacPacket& p, MacDropCause) {
+        dropped.push_back(p);
+      };
       macs.push_back(std::make_unique<DcfMac>(sim, *channel, i, root.split(),
                                               std::move(cb), cfg));
     }
