@@ -50,7 +50,11 @@ bulk 50 2 6 1200 2000000
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
-               "[--audit [fail-fast]] <scenario-file> | --demo\n",
+               "[--audit [fail-fast]] [--faults PLAN] "
+               "<scenario-file> | --demo\n"
+               "  --faults PLAN   inject faults, e.g. "
+               "'node-crash@2 node=4; master-fail@3'\n"
+               "                  (grammar: include/wimesh/faults/plan.h)\n",
                argv0);
   return 1;
 }
@@ -84,6 +88,7 @@ bool write_file(const std::string& path, const std::string& contents) {
 int main(int argc, char** argv) {
   std::string scenario_arg;
   std::string json_path;
+  std::string faults_arg;
   bool sweep = false;
   bool audit = false;
   bool audit_fail_fast = false;
@@ -113,6 +118,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_arg = argv[++i];
     } else if (arg == "--demo" || (!arg.empty() && arg[0] != '-')) {
       if (!scenario_arg.empty()) return usage(argv[0]);
       scenario_arg = arg;
@@ -145,6 +152,14 @@ int main(int argc, char** argv) {
   if (audit) {
     scenario->config.audit = true;
     scenario->config.audit_fail_fast = audit_fail_fast;
+  }
+  if (!faults_arg.empty()) {
+    auto fault_plan = faults::parse_fault_plan(faults_arg);
+    if (!fault_plan.has_value()) {
+      std::fprintf(stderr, "faults error: %s\n", fault_plan.error().c_str());
+      return 1;
+    }
+    scenario->config.faults = std::move(*fault_plan);
   }
 
   if (sweep) {

@@ -50,8 +50,10 @@ enum class DropReason : std::uint8_t {
   kRetryExhausted,      // MAC retry limit reached (contention/corruption)
   kNoRoute,             // no next hop for the flow at this node
   kNoCapacity,          // TDMA link exists but holds no minislot grant
+  kNodeDown,            // fault injection: a node on the path is crashed
+  kScheduleRevoked,     // fault repair: packet's link vanished in a hot-swap
 };
-inline constexpr std::size_t kDropReasonCount = 5;
+inline constexpr std::size_t kDropReasonCount = 7;
 const char* drop_reason_name(DropReason r);
 
 enum class ViolationKind : std::uint8_t {
@@ -88,6 +90,10 @@ struct AuditConfig {
 struct AuditReport {
   bool enabled = false;
   std::uint64_t violations[kViolationKindCount] = {};
+  // Would-be violations inside a declared fault window (see waive_until):
+  // counted here instead of violations[], never fail-fast. All zero unless
+  // fault injection is active.
+  std::uint64_t waived[kViolationKindCount] = {};
   std::uint64_t drops[kDropReasonCount] = {};
   std::uint64_t packets_created = 0;
   std::uint64_t packets_delivered = 0;  // distinct packets at destination
@@ -103,6 +109,7 @@ struct AuditReport {
     return drops[static_cast<std::size_t>(r)];
   }
   std::uint64_t total_violations() const;
+  std::uint64_t waived_total() const;
   std::uint64_t total_drops() const;
   // "audit: ok (...)" or "audit: N violation(s) (...)" one-liner.
   std::string summary() const;
@@ -117,10 +124,20 @@ class InvariantAuditor : public ChannelProbe {
 
   // Arms the conflict and slot monitors (TDMA overlay mode). `links`,
   // `conflicts` and `schedule` must outlive the auditor. Without this call
-  // only the packet ledger runs (contention-MAC baselines).
+  // only the packet ledger runs (contention-MAC baselines). May be called
+  // again after a schedule hot-swap: the monitors re-arm against the
+  // repaired plan and in-flight transmission state is reset.
   void install_schedule(const LinkSet& links, const Graph& conflicts,
                         const MeshSchedule& schedule, const FrameConfig& frame,
                         SimTime guard);
+
+  // Declares a fault/repair transition window: violations detected before
+  // `until` are tallied as waived (reported separately, never fail-fast)
+  // rather than counted as failures. Monotonic — an earlier `until` than
+  // the current window is ignored. The fault runtime calls this around
+  // each injected fault and each schedule swap; outside these windows the
+  // audit contract is unchanged.
+  void waive_until(SimTime until);
 
   // ChannelProbe: a frame just started transmitting; it leaves the air at
   // `end`.
@@ -165,6 +182,7 @@ class InvariantAuditor : public ChannelProbe {
   const MeshSchedule* schedule_ = nullptr;
   FrameConfig frame_{};
   SimTime guard_{};
+  SimTime waive_until_{};  // violations before this instant are waived
   std::vector<ActiveTx> active_;
 
   // Ledger state: per-packet flags keyed by packet id.

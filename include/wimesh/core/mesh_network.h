@@ -18,6 +18,7 @@
 
 #include "wimesh/audit/auditor.h"
 #include "wimesh/common/expected.h"
+#include "wimesh/faults/plan.h"
 #include "wimesh/metrics/flow_stats.h"
 #include "wimesh/qos/planner.h"
 #include "wimesh/sync/sync.h"
@@ -53,6 +54,12 @@ struct MeshConfig {
   bool audit = false;
   // Abort via WIMESH_ASSERT on the first violation instead of reporting.
   bool audit_fail_fast = false;
+  // Scripted fault injection (wimesh/faults): node/link/master failures,
+  // PER bursts, clock steps, plus the recovery paths (sync failover,
+  // schedule repair with degradation, hot-swap at a frame boundary).
+  // Empty plan = no fault machinery at all; results are then bit-identical
+  // to a build without the subsystem.
+  faults::FaultPlan faults;
 };
 
 struct FlowResult {
@@ -72,6 +79,9 @@ struct SimulationResult {
   std::uint64_t overlay_busy_at_slot_start = 0;
   // Invariant audit outcome (enabled == false unless MeshConfig::audit).
   audit::AuditReport audit;
+  // Fault/recovery continuity metrics (enabled == false unless the run had
+  // a non-empty MeshConfig::faults plan).
+  faults::FaultReport faults;
 
   double aggregate_throughput_bps() const;
   double mean_delay_ms() const;

@@ -20,6 +20,11 @@
 //   mac = tdma                       # tdma | dcf | edca
 //   duration_s = 10
 //   seed = 1
+//   audit = on                       # off | on | fail-fast
+//   fault = node-crash@2 node=4; master-fail@3
+//                                    # fault-plan grammar in
+//                                    # wimesh/faults/plan.h; repeated
+//                                    # 'fault =' lines accumulate
 //
 //   # traffic declarations (one per line):
 //   voip <id> <a> <b> <codec> <max_delay_ms>    # bidirectional call

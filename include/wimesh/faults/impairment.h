@@ -1,0 +1,48 @@
+#pragma once
+
+// Channel impairments driven by the fault plan: hard link outages and
+// Gilbert–Elliott PER bursts, keyed by unordered node pair. Implements the
+// WifiChannel's ChannelImpairment hook; draws from its own RNG stream so
+// installing it never perturbs the channel's Bernoulli error process.
+
+#include <cstdint>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/faults/plan.h"
+#include "wimesh/wifi/channel.h"
+
+namespace wimesh::faults {
+
+class LinkImpairment final : public ChannelImpairment {
+ public:
+  explicit LinkImpairment(Rng rng) : rng_(rng) {}
+
+  // Registers a Gilbert–Elliott burst on the pair for [from, until).
+  void add_burst(NodeId a, NodeId b, SimTime from, SimTime until,
+                 GilbertElliottParams params);
+
+  // Hard outage: while down, every delivery attempt on the pair fails
+  // (drawing no randomness, so outages are schedule-independent).
+  void set_link_down(NodeId a, NodeId b, bool down);
+  bool link_down(NodeId a, NodeId b) const;
+
+  bool corrupts(NodeId tx, NodeId rx, SimTime now) override;
+
+ private:
+  struct Burst {
+    std::uint64_t pair = 0;
+    SimTime from{};
+    SimTime until{};
+    GilbertElliottParams params;
+    bool bad = false;  // current chain state
+  };
+
+  static std::uint64_t pair_key(NodeId a, NodeId b);
+
+  std::vector<Burst> bursts_;
+  std::vector<std::uint64_t> down_pairs_;
+  Rng rng_;
+};
+
+}  // namespace wimesh::faults

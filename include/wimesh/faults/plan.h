@@ -1,0 +1,116 @@
+#pragma once
+
+// Scripted fault injection for the mesh emulation.
+//
+// A FaultPlan is a list of typed events on the simulation clock — node
+// crashes and recoveries, sync-master failure, link outages, Gilbert–
+// Elliott PER bursts, and clock steps — parsed from the scenario key
+// `fault =` or the CLI flag `--faults`. The plan itself is pure data; the
+// runtime that applies it (and drives the recovery paths: sync failover,
+// schedule repair, degradation) lives in wimesh/faults/runtime.h.
+//
+// Grammar (events separated by ';', arguments by spaces):
+//
+//   node-crash@T node=N            crash node N at T seconds
+//   node-recover@T node=N          bring node N back up
+//   master-fail@T                  the sync master's beacon process dies
+//   link-down@T link=A-B           link A<->B goes dark (both directions)
+//   link-up@T link=A-B             link A<->B comes back
+//   burst@T1..T2 link=A-B [p_gb=0.2] [p_bg=0.3] [per_good=0] [per_bad=1]
+//                                  Gilbert–Elliott PER burst on A<->B
+//   clock-step@T node=N step_us=U  add U microseconds to node N's clock
+//   detect_ms=D                    plan-wide failure-detection delay
+//
+// Structural events (crash/recover/master-fail/link-down/link-up) trigger
+// recovery `detect_ms` later; bursts and clock steps are transient and are
+// absorbed by MAC retries and the next resync wave respectively.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wimesh/common/expected.h"
+#include "wimesh/common/time.h"
+#include "wimesh/graph/graph.h"
+
+namespace wimesh::faults {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,
+  kNodeRecover,
+  kMasterFail,
+  kLinkDown,
+  kLinkUp,
+  kLinkBurst,
+  kClockStep,
+};
+const char* fault_kind_name(FaultKind k);
+
+// Two-state Markov packet-error process: each delivery attempt first moves
+// the chain (good->bad with p_good_to_bad, bad->good with p_bad_to_good),
+// then errors with the state's PER. Defaults model a hard burst.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.2;
+  double p_bad_to_good = 0.3;
+  double per_good = 0.0;
+  double per_bad = 1.0;
+};
+
+struct FaultEvent {
+  FaultKind kind{};
+  SimTime at{};
+  NodeId node = kInvalidNode;   // node-crash / node-recover / clock-step
+  NodeId link_a = kInvalidNode; // link events: unordered endpoint pair
+  NodeId link_b = kInvalidNode;
+  SimTime until{};              // burst window end
+  SimTime step{};               // clock-step offset (signed)
+  GilbertElliottParams ge;      // burst parameters
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by `at` (stable)
+  // How long the mesh takes to notice a structural failure and start
+  // recovery (failure-detection timers in a real deployment).
+  SimTime detection_delay = SimTime::milliseconds(100);
+
+  bool enabled() const { return !events.empty(); }
+};
+
+// Parses the grammar above. Errors are typed and name the offending event
+// and key, e.g. "fault 'node-crash@4': unknown key 'nod'".
+Expected<FaultPlan> parse_fault_plan(const std::string& spec);
+
+// One guaranteed flow's service interruption. Opened when a structural
+// fault is applied, closed by the first delivery after it; a flow the
+// degradation policy sheds never closes and is marked instead.
+struct FlowOutageRecord {
+  int flow_id = -1;
+  SimTime interrupted_at{};         // fault application time
+  SimTime last_delivery_before{};   // last delivery seen before the fault
+  SimTime restored_at{};            // zero = never restored
+  SimTime outage{};                 // restored_at - interrupted_at (or
+                                    // run end - interrupted_at if never)
+  bool shed = false;                // dropped by the degradation policy
+
+  bool restored() const { return restored_at > SimTime::zero(); }
+};
+
+// Continuity metrics for one simulation run, carried in SimulationResult.
+struct FaultReport {
+  bool enabled = false;
+  int events_applied = 0;
+  int repairs = 0;    // repaired schedules hot-swapped into the overlay
+  int failovers = 0;  // sync-master re-roots
+  SimTime last_fault_at{};
+  SimTime last_repair_at{};   // activation frame boundary of the last swap
+  SimTime repair_latency{};   // last_repair_at - its triggering fault
+  // Worst restore latency over restored (non-shed) guaranteed flows.
+  SimTime time_to_restore{};
+  int flows_preserved = 0;    // guaranteed flows admitted by the final plan
+  int flows_shed = 0;         // guaranteed flows shed to regain feasibility
+  std::vector<FlowOutageRecord> outages;
+
+  std::string summary() const;
+};
+
+}  // namespace wimesh::faults

@@ -1,0 +1,139 @@
+#pragma once
+
+// Fault-injection runtime: applies a FaultPlan to a running simulation and
+// drives the recovery paths the paper's guarantees depend on.
+//
+//  * Node crash/recover — the node's radio goes silent (WifiChannel
+//    liveness), its overlay freezes, and every flow routed through it is
+//    interrupted until the schedule is repaired around it.
+//  * Sync-master failure — resync waves stop and clocks free-run; recovery
+//    re-roots the spanning tree at the lowest-id surviving node that has
+//    not already failed as master and re-dimensions the guard for the new
+//    tree depth.
+//  * Link outage / Gilbert–Elliott burst — installed as a channel
+//    impairment; hard outages trigger schedule repair, bursts are left to
+//    MAC retries.
+//  * Schedule repair — QosPlanner replans over the surviving topology.
+//    Flows whose endpoints are dead or unreachable are excluded; if the
+//    survivors still do not fit, the degradation policy sheds guaranteed
+//    flows one at a time — video-class flows before VoIP, newest (highest
+//    id) first within a class — until the plan is feasible. The repaired
+//    schedule is handed to the embedder through Callbacks::deploy for a
+//    hot-swap at the next frame boundary.
+//
+// Around each fault and each swap the runtime opens an audit waive window
+// (InvariantAuditor::waive_until); outside those windows the audit
+// contract is unchanged, which is exactly the "green outside declared
+// outage windows" guarantee bench_fault_recovery checks.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "wimesh/audit/auditor.h"
+#include "wimesh/faults/impairment.h"
+#include "wimesh/faults/plan.h"
+#include "wimesh/qos/planner.h"
+#include "wimesh/sync/sync.h"
+#include "wimesh/wifi/channel.h"
+
+namespace wimesh::faults {
+
+// A repaired plan ready to hot-swap. `plan` stays owned by (and valid
+// inside) the FaultRuntime for the rest of the run.
+struct Deployment {
+  const MeshPlan* plan = nullptr;
+  SimTime guard{};                   // possibly re-dimensioned
+  std::int64_t activation_frame = 0; // first frame under the new plan
+  SimTime activation_time{};         // its global frame-start instant
+  std::vector<int> shed_flow_ids;    // shed in this repair, degradation order
+};
+
+struct Callbacks {
+  // Stage `d` into the overlays and swap the live plan at
+  // d.activation_time (a frame boundary). TDMA mode only.
+  std::function<void(const Deployment&)> deploy;
+  // A node's liveness changed (crash or recovery).
+  std::function<void(NodeId, bool up)> node_up_changed;
+};
+
+// Everything the planner needs to replan, decomposed from MeshConfig so
+// the faults module does not depend on core.
+struct PlannerInputs {
+  double comm_range = 110.0;
+  double interference_range = 220.0;
+  PhyMode phy = PhyMode::ofdm_802_11a(54);
+  EmulationParams emulation;  // guard already resolved
+  RoutingPolicy routing = RoutingPolicy::kHopCount;
+  SchedulerKind scheduler = SchedulerKind::kIlpDelayAware;
+  IlpSchedulerOptions ilp;
+};
+
+class FaultRuntime {
+ public:
+  // `sync` and `auditor` may be null (non-TDMA mode / audit off);
+  // `initial_plan`, `topology` and `channel` must outlive the runtime.
+  FaultRuntime(Simulator& sim, FaultPlan plan, const Topology& topology,
+               PlannerInputs planner_inputs, std::vector<FlowSpec> flows,
+               const MeshPlan* initial_plan, bool tdma, WifiChannel& channel,
+               SyncProtocol* sync, audit::InvariantAuditor* auditor,
+               Rng rng, Callbacks callbacks);
+
+  // Installs the channel impairment, registers PER bursts and schedules
+  // every fault event. Call once, before Simulator::run_until.
+  void start();
+
+  // Runner hook: a packet of `flow_id` reached its destination. Closes the
+  // flow's open outage window, if any.
+  void on_flow_delivered(int flow_id);
+
+  // True while `node` is crashed (the runner drops, rather than queues,
+  // traffic sourced at a dead node).
+  bool node_up(NodeId node) const {
+    return alive_[static_cast<std::size_t>(node)] != 0;
+  }
+
+  // The plan traffic should be forwarded under right now (the original
+  // until the first hot-swap activates).
+  const MeshPlan* live_plan() const { return current_plan_; }
+
+  // Finalizes outage bookkeeping (open windows are charged up to `end`)
+  // and returns the continuity metrics.
+  FaultReport take_report(SimTime end);
+
+ private:
+  void apply(const FaultEvent& event);
+  void schedule_recovery(SimTime fault_at);
+  void run_recovery(SimTime fault_at);
+  void repair_schedule(SimTime now);
+  void open_outages_through(NodeId node, SimTime now);
+  void open_outages_on_link(NodeId a, NodeId b, SimTime now);
+  void open_outage(int flow_id, SimTime now);
+  void waive(SimTime until);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  const Topology& topology_;
+  PlannerInputs inputs_;
+  std::vector<FlowSpec> flows_;  // the declared (pre-fault) flow set
+  bool tdma_;
+  WifiChannel& channel_;
+  SyncProtocol* sync_;
+  audit::InvariantAuditor* auditor_;
+  LinkImpairment impairment_;
+  Callbacks callbacks_;
+
+  std::vector<char> alive_;
+  std::vector<char> failed_masters_;
+  const MeshPlan* current_plan_;
+  // Repaired plans; deque so deployed pointers stay stable.
+  std::deque<MeshPlan> repaired_plans_;
+
+  FaultReport report_;
+  std::unordered_map<int, std::size_t> open_outage_;  // flow id -> index
+  std::unordered_map<int, SimTime> last_delivery_;
+};
+
+}  // namespace wimesh::faults

@@ -49,8 +49,9 @@ Topology make_random_geometric(NodeId n, double side, double range, Rng& rng);
 // root (root = node 0, the gateway). Positions are laid out by level.
 Topology make_tree(NodeId arity, NodeId depth, double spacing = 100.0);
 
-// Breadth-first spanning tree of `g` rooted at `root`, returned as
-// parent[v] (kInvalidNode for the root). Requires g connected.
+// Breadth-first spanning tree (forest, if g is disconnected) of `g` rooted
+// at `root`, returned as parent[v]. kInvalidNode marks both the root and
+// any node unreachable from it; use bfs_hops to tell them apart.
 std::vector<NodeId> spanning_tree_parents(const Graph& g, NodeId root);
 
 }  // namespace wimesh

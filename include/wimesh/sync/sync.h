@@ -16,8 +16,10 @@
 // which FrameConfig already reserves; their airtime therefore does not
 // consume data minislots and is not separately simulated.
 
+#include <memory>
 #include <vector>
 
+#include "wimesh/common/expected.h"
 #include "wimesh/common/rng.h"
 #include "wimesh/des/simulator.h"
 #include "wimesh/graph/graph.h"
@@ -47,16 +49,52 @@ struct SyncConfig {
 // Drives resync waves on the simulator and answers clock queries.
 class SyncProtocol {
  public:
-  // `topology` must be connected; the spanning tree is rooted at `master`.
-  // Until the first wave completes, nodes run on their initial (unsynced)
-  // offsets, drawn uniform in (-initial_offset_bound, initial_offset_bound)
-  // — a cold clock is equally likely to be ahead of or behind true time.
+  // `topology` must be connected and outlive the protocol (re-rooting after
+  // a master failure walks it again); the spanning tree is rooted at
+  // `master`. Until the first wave completes, nodes run on their initial
+  // (unsynced) offsets, drawn uniform in (-initial_offset_bound,
+  // initial_offset_bound) — a cold clock is equally likely to be ahead of
+  // or behind true time. Violating the preconditions trips WIMESH_ASSERT;
+  // use validate()/create() for a recoverable error instead.
   SyncProtocol(Simulator& sim, const Graph& topology, NodeId master,
                SyncConfig config, Rng rng,
                SimTime initial_offset_bound = SimTime::microseconds(50));
 
+  // Checks the constructor preconditions and reports a typed error instead
+  // of aborting: the master must be a node of `topology` and the topology
+  // must be connected (a partitioned mesh cannot share one time reference).
+  static Expected<bool> validate(const Graph& topology, NodeId master);
+
+  // Validating factory: validate() + construct.
+  static Expected<std::unique_ptr<SyncProtocol>> create(
+      Simulator& sim, const Graph& topology, NodeId master, SyncConfig config,
+      Rng rng, SimTime initial_offset_bound = SimTime::microseconds(50));
+
   // Begins periodic resync waves at t = 0 (the first wave is immediate).
   void start();
+
+  // ---- Fault injection / failover surface (wimesh/faults).
+
+  // The master's beacon process dies: pending and future waves stop and
+  // every clock free-runs on its last correction until re_root().
+  void fail_master();
+
+  // Re-roots the spanning tree at `new_master` over the subgraph induced by
+  // `alive` (one entry per node, nonzero = up) and resumes waves
+  // immediately. Nodes unreachable from the new master keep free-running.
+  // `new_master` must be alive.
+  void re_root(NodeId new_master, const std::vector<char>& alive);
+
+  // Applies a one-off step to node n's clock (crystal glitch / operator
+  // error); the next wave re-absorbs it.
+  void step_clock(NodeId n, SimTime delta);
+
+  bool master_alive() const { return master_alive_; }
+
+  // Whether node n is reached by resync waves from the current master.
+  bool synced(NodeId n) const {
+    return depth_[static_cast<std::size_t>(n)] >= 0;
+  }
 
   // Clock error of node n at global time t: local(t) - t.
   SimTime error(NodeId n, SimTime t) const;
@@ -83,16 +121,22 @@ class SyncProtocol {
   };
 
   void run_wave();
+  void schedule_wave(SimTime at);
 
   Simulator& sim_;
+  const Graph* topology_;  // not owned; needed again by re_root()
   NodeId master_;
   SyncConfig config_;
   Rng rng_;
   std::vector<NodeId> parent_;  // spanning tree
-  std::vector<int> depth_;
+  std::vector<int> depth_;      // -1 = unreachable from the master
   int max_depth_ = 0;
   std::vector<ClockState> clocks_;
   std::uint64_t waves_ = 0;
+  // Bumped by fail_master()/re_root(); pending wave events carry the epoch
+  // they were scheduled under and fizzle if it has moved on.
+  std::uint64_t epoch_ = 0;
+  bool master_alive_ = true;
 };
 
 }  // namespace wimesh

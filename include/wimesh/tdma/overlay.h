@@ -61,6 +61,9 @@ class TdmaOverlayNode {
   struct Hooks {
     std::function<void(NodeId, LinkId, const MacPacket&)> on_best_effort_drop;
     std::function<void(NodeId, LinkId)> on_block_skipped;
+    // A queued packet was discarded because a schedule hot-swap revoked its
+    // link (the repaired plan no longer serves that neighbor from here).
+    std::function<void(NodeId, LinkId, const MacPacket&)> on_revoked_drop;
   };
 
   TdmaOverlayNode(Simulator& sim, DcfMac& mac, const SyncProtocol& sync,
@@ -68,6 +71,20 @@ class TdmaOverlayNode {
 
   // Installs this node's transmit grants (links with link.from == self).
   void set_grants(std::vector<TxGrant> grants);
+
+  // Stages a replacement grant set (and guard) adopted atomically at the
+  // top of frame `activation_frame`'s slot loop — i.e. exactly on a frame
+  // boundary, before any of that frame's blocks fire. Queued packets
+  // migrate to the new link serving the same neighbor; packets whose
+  // neighbor the new plan no longer serves from this node are discarded
+  // through on_revoked_drop. Grant link ids refer to the *new* plan's link
+  // set; enqueue() switches meaning at adoption.
+  void stage_grants(std::int64_t activation_frame, std::vector<TxGrant> grants,
+                    SimTime guard);
+
+  // Fault injection: a disabled (crashed) node stops releasing packets at
+  // its block starts; its queues freeze until re-enabled.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
 
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
@@ -77,8 +94,10 @@ class TdmaOverlayNode {
   // Queues a packet for transmission on one of this node's granted links.
   // Guaranteed-class packets are served with strict priority inside every
   // block, so saturating best-effort load cannot starve them; best-effort
-  // queues are drop-tail bounded.
-  void enqueue(LinkId link, MacPacket packet, bool guaranteed = true);
+  // queues are drop-tail bounded. Returns false — without queuing — when
+  // this node holds no grant for `link`, which can only happen in the
+  // one-instant window of a schedule hot-swap (caller accounts the drop).
+  bool enqueue(LinkId link, MacPacket packet, bool guaranteed = true);
 
   std::size_t queue_length(LinkId link) const;
   std::size_t total_queued() const;
@@ -92,10 +111,17 @@ class TdmaOverlayNode {
  private:
   void schedule_frame(std::int64_t frame_index, SimTime stop);
   void on_block_start(const TxGrant& grant);
+  void adopt_staged();
 
   struct LinkQueues {
     std::deque<MacPacket> guaranteed;
     std::deque<MacPacket> best_effort;
+  };
+  struct StagedGrants {
+    std::int64_t activation_frame = 0;
+    std::vector<TxGrant> grants;
+    SimTime guard{};
+    bool pending = false;
   };
 
   Simulator& sim_;
@@ -105,6 +131,12 @@ class TdmaOverlayNode {
   EmulationParams params_;
   Hooks hooks_;
   std::vector<TxGrant> grants_;
+  StagedGrants staged_;
+  // Bumped at every hot-swap; block events carry the generation they were
+  // scheduled under and fizzle if a swap intervened (LinkIds are
+  // plan-relative, so a stale event must not touch new-plan queues).
+  std::uint64_t plan_generation_ = 0;
+  bool enabled_ = true;
   std::unordered_map<LinkId, LinkQueues> queues_;
   std::size_t best_effort_queue_cap_ = 256;
   std::uint64_t busy_at_slot_start_ = 0;

@@ -43,6 +43,16 @@ class ChannelProbe {
   virtual void on_transmission_start(const WifiFrame& frame, SimTime end) = 0;
 };
 
+// Per-reception impairment hook (fault injection: link outages, Gilbert–
+// Elliott PER bursts — wimesh/faults). Consulted for every otherwise-clean
+// reception; returning true corrupts it. May draw its own randomness, so
+// the channel's Bernoulli error stream is untouched by its presence.
+class ChannelImpairment {
+ public:
+  virtual ~ChannelImpairment() = default;
+  virtual bool corrupts(NodeId tx, NodeId rx, SimTime now) = 0;
+};
+
 // The channel's view of a MAC.
 class MacInterface {
  public:
@@ -72,6 +82,19 @@ class WifiChannel {
   // Installs a transmission observer (nullptr to remove). Not owned.
   void set_probe(ChannelProbe* probe) { probe_ = probe; }
 
+  // Installs a reception impairment (nullptr to remove). Not owned.
+  void set_impairment(ChannelImpairment* impairment) {
+    impairment_ = impairment;
+  }
+
+  // Node liveness (fault injection). A down node radiates nothing — its
+  // transmissions neither occupy the medium nor reach any receiver — and
+  // decodes nothing. All nodes start up.
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const {
+    return node_up_[static_cast<std::size_t>(node)] != 0;
+  }
+
   // Starts a transmission now; the caller must itself respect CSMA timing.
   // Returns the on-air duration (caller schedules its own tx-end handling).
   SimTime transmit(const WifiFrame& frame);
@@ -98,6 +121,10 @@ class WifiChannel {
     std::uint64_t key;
     NodeId tx;
     SimTime end;
+    // Whether the transmitter was up at transmit start; fixed for the
+    // transmission's lifetime so the busy/idle carrier-sense edges it
+    // produced stay balanced even if liveness changes mid-air.
+    bool radiated = true;
     std::vector<Reception> receptions;
   };
 
@@ -112,7 +139,9 @@ class WifiChannel {
   Rng rng_;
   bool deliver_overheard_ = false;
   ChannelProbe* probe_ = nullptr;
+  ChannelImpairment* impairment_ = nullptr;
   std::vector<MacInterface*> macs_;
+  std::vector<char> node_up_;
   std::vector<ActiveTx> active_;
   std::uint64_t next_key_ = 1;
   std::uint64_t frames_transmitted_ = 0;

@@ -37,6 +37,10 @@ struct DistributedScheduleResult {
   int rounds = 0;                      // control rounds until convergence
   int handshakes = 0;                  // requests sent (incl. rejected)
   int rejections = 0;                  // grants refused by the confirmer
+  int messages_lost = 0;               // handshakes lost to control loss
+  // Links that hit max_link_attempts and gave up, in link-id order. An
+  // abandoned link keeps its unmet demand, so converged stays false.
+  std::vector<LinkId> abandoned;
   bool converged = false;              // all demand served within the cap
 
   int used_slots() const;
@@ -45,6 +49,22 @@ struct DistributedScheduleResult {
 struct DistributedSchedulerConfig {
   int max_rounds = 1000;
   std::uint32_t election_seed = 0x5eed;
+  // ---- Handshake hardening (all defaults reproduce the legacy behavior).
+  // Give up on a link after this many failed handshakes (0 = never): a
+  // permanently ungrantable link otherwise burns one handshake every round
+  // it wins until max_rounds.
+  int max_link_attempts = 0;
+  // After the k-th failure a link waits base << (k-1) rounds (capped at
+  // backoff_cap_rounds) before requesting again; 0 = retry immediately.
+  int backoff_base_rounds = 0;
+  int backoff_cap_rounds = 32;
+  // Probability an entire three-way handshake is voided by a lost control
+  // message (one draw per handshake, from loss_seed — the election stream
+  // is untouched). Nonzero loss also disables the no-progress early exit:
+  // a fully rejected round is then indistinguishable from transient loss,
+  // so links must rely on attempt caps/backoff to terminate.
+  double control_loss_rate = 0.0;
+  std::uint64_t loss_seed = 0x10ad;
 };
 
 // Runs the handshake to convergence (or the round cap). `demand[l]` is the

@@ -18,6 +18,10 @@ const char* drop_reason_name(DropReason r) {
       return "no_route";
     case DropReason::kNoCapacity:
       return "no_capacity";
+    case DropReason::kNodeDown:
+      return "node_down";
+    case DropReason::kScheduleRevoked:
+      return "schedule_revoked";
   }
   return "unknown";
 }
@@ -46,6 +50,12 @@ std::uint64_t AuditReport::total_violations() const {
   return total;
 }
 
+std::uint64_t AuditReport::waived_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : waived) total += v;
+  return total;
+}
+
 std::uint64_t AuditReport::total_drops() const {
   std::uint64_t total = 0;
   for (std::uint64_t d : drops) total += d;
@@ -63,6 +73,7 @@ std::string AuditReport::summary() const {
     out += str_cat(" ", violation_kind_name(static_cast<ViolationKind>(k)),
                    "=", violations[k]);
   }
+  if (waived_total() > 0) out += str_cat(" waived=", waived_total());
   out += str_cat(" (packets: created=", packets_created,
                  " delivered=", packets_delivered,
                  " dropped=", packets_dropped,
@@ -88,11 +99,23 @@ void InvariantAuditor::install_schedule(const LinkSet& links,
   frame_ = frame;
   guard_ = guard;
   schedule_installed_ = true;
+  // Re-arming after a hot-swap: LinkIds are plan-relative, so in-flight
+  // records from the old plan must not be checked against the new one.
+  active_.clear();
+}
+
+void InvariantAuditor::waive_until(SimTime until) {
+  if (until > waive_until_) waive_until_ = until;
 }
 
 void InvariantAuditor::record(ViolationKind kind, NodeId node, LinkId link,
                               std::uint64_t packet_id,
                               std::int64_t magnitude_ns, std::string detail) {
+  if (sim_.now() < waive_until_) {
+    // Inside a declared fault window: expected fallout, tallied apart.
+    ++report_.waived[static_cast<std::size_t>(kind)];
+    return;
+  }
   ++report_.violations[static_cast<std::size_t>(kind)];
   if (config_.fail_fast) {
     WIMESH_ASSERT_MSG(false, str_cat("audit violation [",

@@ -124,7 +124,13 @@ void audit_json(JsonWriter& w, const audit::AuditReport& a) {
   w.key("drops");
   w.begin_object();
   for (std::size_t r = 0; r < audit::kDropReasonCount; ++r) {
-    w.key(audit::drop_reason_name(static_cast<audit::DropReason>(r)));
+    // Fault-only reasons appear only when nonzero, so fault-free audited
+    // output is byte-identical to pre-fault builds.
+    const auto reason = static_cast<audit::DropReason>(r);
+    const bool fault_only = reason == audit::DropReason::kNodeDown ||
+                            reason == audit::DropReason::kScheduleRevoked;
+    if (fault_only && a.drops[r] == 0) continue;
+    w.key(audit::drop_reason_name(reason));
     w.value(a.drops[r]);
   }
   w.end_object();
@@ -138,6 +144,59 @@ void audit_json(JsonWriter& w, const audit::AuditReport& a) {
   w.value(a.packets_residual);
   w.key("blocks_skipped");
   w.value(a.blocks_skipped);
+  // Waived (in-fault-window) tallies exist only under fault injection;
+  // omitted when zero so fault-free output is unchanged.
+  if (a.waived_total() > 0) {
+    w.key("waived");
+    w.begin_object();
+    for (std::size_t k = 0; k < audit::kViolationKindCount; ++k) {
+      if (a.waived[k] == 0) continue;
+      w.key(audit::violation_kind_name(static_cast<audit::ViolationKind>(k)));
+      w.value(a.waived[k]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void faults_json(JsonWriter& w, const faults::FaultReport& f) {
+  w.key("faults");
+  w.begin_object();
+  w.key("events_applied");
+  w.value(static_cast<std::int64_t>(f.events_applied));
+  w.key("repairs");
+  w.value(static_cast<std::int64_t>(f.repairs));
+  w.key("failovers");
+  w.value(static_cast<std::int64_t>(f.failovers));
+  w.key("last_fault_at_ms");
+  w.value(f.last_fault_at.to_ms());
+  w.key("last_repair_at_ms");
+  w.value(f.last_repair_at.to_ms());
+  w.key("repair_latency_ms");
+  w.value(f.repair_latency.to_ms());
+  w.key("time_to_restore_ms");
+  w.value(f.time_to_restore.to_ms());
+  w.key("flows_preserved");
+  w.value(static_cast<std::int64_t>(f.flows_preserved));
+  w.key("flows_shed");
+  w.value(static_cast<std::int64_t>(f.flows_shed));
+  w.key("outages");
+  w.begin_array();
+  for (const faults::FlowOutageRecord& o : f.outages) {
+    w.begin_object();
+    w.key("flow");
+    w.value(static_cast<std::int64_t>(o.flow_id));
+    w.key("interrupted_at_ms");
+    w.value(o.interrupted_at.to_ms());
+    w.key("outage_ms");
+    w.value(o.outage.to_ms());
+    w.key("restored");
+    w.value(o.restored());
+    w.key("shed");
+    w.value(o.shed);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -182,6 +241,8 @@ std::string results_json(const std::vector<RunOutcome>& outcomes) {
     // Only present when the run was audited, so non-audit output is
     // byte-identical to pre-audit builds.
     if (r.audit.enabled) audit_json(w, r.audit);
+    // Likewise: present only when the run injected faults.
+    if (r.faults.enabled) faults_json(w, r.faults);
     w.key("flows");
     w.begin_array();
     for (const FlowResult& f : r.flows) flow_json(w, f, r.measured_interval);

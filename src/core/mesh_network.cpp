@@ -6,6 +6,7 @@
 #include "wimesh/common/log.h"
 #include "wimesh/common/strings.h"
 #include "wimesh/des/simulator.h"
+#include "wimesh/faults/runtime.h"
 #include "wimesh/tdma/overlay.h"
 #include "wimesh/traffic/sources.h"
 #include "wimesh/wifi/channel.h"
@@ -174,6 +175,11 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
   std::vector<std::unique_ptr<EdcaMac>> edca_macs;
   std::vector<std::unique_ptr<TdmaOverlayNode>> overlays;
   std::unique_ptr<SyncProtocol> sync;
+  // Fault injection (constructed last so its RNG split cannot perturb
+  // fault-free runs). `live_plan` is the plan traffic is forwarded under:
+  // plan_ until the first repaired schedule activates at a frame boundary.
+  std::unique_ptr<faults::FaultRuntime> fault_rt;
+  const MeshPlan* live_plan = &plan_;
 
   // Hands a packet to the node's contention MAC, honoring the flow's
   // access category under EDCA.
@@ -195,29 +201,44 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     FlowResult& fr = result.flows[it->second];
     if (fr.spec.dst == at) {
       if (auditor) auditor->on_packet_delivered(packet, at);
+      if (fault_rt) fault_rt->on_flow_delivered(packet.flow_id);
       if (packet.created_at <= duration) {
         fr.stats.on_delivered(packet.bytes, sim.now() - packet.created_at);
       }
       return;
     }
     // Forward to the next hop.
-    const NodeId next = plan_.next_hop(packet.flow_id, at);
+    const NodeId next = live_plan->next_hop(packet.flow_id, at);
     if (next == kInvalidNode) {  // stale route; drop
       if (auditor) {
         auditor->on_packet_dropped(packet, audit::DropReason::kNoRoute);
       }
       return;
     }
+    if (fault_rt && !fault_rt->node_up(next)) {
+      // Known-dead next hop: drop at the relay instead of burning MAC
+      // retries toward a silent radio.
+      if (auditor) {
+        auditor->on_packet_dropped(packet, audit::DropReason::kNodeDown);
+      }
+      return;
+    }
     if (mode == MacMode::kTdmaOverlay) {
-      const LinkId link = plan_.out_link(packet.flow_id, at);
-      if (plan_.schedule.all_grants(link).empty()) {  // no capacity
+      const LinkId link = live_plan->out_link(packet.flow_id, at);
+      if (live_plan->schedule.all_grants(link).empty()) {  // no capacity
         if (auditor) {
           auditor->on_packet_dropped(packet, audit::DropReason::kNoCapacity);
         }
         return;
       }
-      overlays[static_cast<std::size_t>(at)]->enqueue(
-          link, packet, fr.spec.service == ServiceClass::kGuaranteed);
+      if (!overlays[static_cast<std::size_t>(at)]->enqueue(
+              link, packet, fr.spec.service == ServiceClass::kGuaranteed)) {
+        // The packet raced a schedule hot-swap and its link was revoked.
+        if (auditor) {
+          auditor->on_packet_dropped(packet,
+                                     audit::DropReason::kScheduleRevoked);
+        }
+      }
     } else {
       MacPacket p = packet;
       p.to = next;
@@ -264,6 +285,20 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
                                             std::move(cb), mac_cfg));
   }
 
+  // Per-transmitter grant lists (primary + best-effort extras) of a plan.
+  const auto grants_by_node = [n](const MeshPlan& plan) {
+    std::vector<std::vector<TdmaOverlayNode::TxGrant>> grants(
+        static_cast<std::size_t>(n));
+    for (LinkId l = 0; l < plan.links.count(); ++l) {
+      const Link& link = plan.links.link(l);
+      for (const SlotRange& range : plan.schedule.all_grants(l)) {
+        grants[static_cast<std::size_t>(link.from)].push_back(
+            TdmaOverlayNode::TxGrant{l, link.to, range});
+      }
+    }
+    return grants;
+  };
+
   // ---- Overlay + sync (TDMA mode only).
   if (mode == MacMode::kTdmaOverlay) {
     sync = std::make_unique<SyncProtocol>(sim, config_.topology.graph,
@@ -277,16 +312,9 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
               sim, *macs[static_cast<std::size_t>(node)], *sync, node,
               config_.emulation);
     }
-    // Distribute grants (primary + best-effort extras) to transmitters.
-    std::vector<std::vector<TdmaOverlayNode::TxGrant>> grants(
-        static_cast<std::size_t>(n));
-    for (LinkId l = 0; l < plan_.links.count(); ++l) {
-      const Link& link = plan_.links.link(l);
-      for (const SlotRange& range : plan_.schedule.all_grants(l)) {
-        grants[static_cast<std::size_t>(link.from)].push_back(
-            TdmaOverlayNode::TxGrant{l, link.to, range});
-      }
-    }
+    // Distribute grants to transmitters.
+    std::vector<std::vector<TdmaOverlayNode::TxGrant>> grants =
+        grants_by_node(plan_);
     for (NodeId node = 0; node < n; ++node) {
       TdmaOverlayNode& overlay = *overlays[static_cast<std::size_t>(node)];
       overlay.set_grants(std::move(grants[static_cast<std::size_t>(node)]));
@@ -299,6 +327,9 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
         };
         hooks.on_block_skipped = [&](NodeId at, LinkId link) {
           auditor->on_block_skipped(at, link);
+        };
+        hooks.on_revoked_drop = [&](NodeId, LinkId, const MacPacket& p) {
+          auditor->on_packet_dropped(p, audit::DropReason::kScheduleRevoked);
         };
         overlay.set_hooks(std::move(hooks));
       }
@@ -316,20 +347,33 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       if (p.created_at <= duration) stats_entry.stats.on_sent(p.bytes);
       p.from = src;
       if (auditor) auditor->on_packet_created(p);
+      if (fault_rt && !fault_rt->node_up(src)) {
+        // A crashed node generates nothing that can leave it.
+        if (auditor) {
+          auditor->on_packet_dropped(p, audit::DropReason::kNodeDown);
+        }
+        return;
+      }
       if (mode == MacMode::kTdmaOverlay) {
-        const LinkId link = plan_.out_link(spec_id, src);
-        if (link == kInvalidLink || plan_.schedule.all_grants(link).empty()) {
+        const LinkId link = live_plan->out_link(spec_id, src);
+        if (link == kInvalidLink ||
+            live_plan->schedule.all_grants(link).empty()) {
           // No capacity granted; counts as loss.
           if (auditor) {
             auditor->on_packet_dropped(p, audit::DropReason::kNoCapacity);
           }
           return;
         }
-        overlays[static_cast<std::size_t>(src)]->enqueue(
-            link, p,
-            stats_entry.spec.service == ServiceClass::kGuaranteed);
+        if (!overlays[static_cast<std::size_t>(src)]->enqueue(
+                link, p,
+                stats_entry.spec.service == ServiceClass::kGuaranteed)) {
+          if (auditor) {
+            auditor->on_packet_dropped(p,
+                                       audit::DropReason::kScheduleRevoked);
+          }
+        }
       } else {
-        p.to = plan_.next_hop(spec_id, src);
+        p.to = live_plan->next_hop(spec_id, src);
         mac_send(src, p, stats_entry.spec.service);
       }
     };
@@ -371,6 +415,53 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     sources.back()->start(SimTime::zero(), duration);
   }
 
+  // ---- Fault injection (opt-in; constructed last so its RNG split is the
+  // final draw off the root and fault-free runs stay bit-identical).
+  if (config_.faults.enabled()) {
+    faults::PlannerInputs inputs;
+    inputs.comm_range = config_.comm_range;
+    inputs.interference_range = config_.interference_range;
+    inputs.phy = config_.phy;
+    inputs.emulation = config_.emulation;  // guard already resolved
+    inputs.routing = config_.routing;
+    inputs.scheduler = config_.scheduler;
+    inputs.ilp = config_.ilp;
+
+    faults::Callbacks cb;
+    if (mode == MacMode::kTdmaOverlay) {
+      cb.node_up_changed = [&](NodeId node, bool up) {
+        overlays[static_cast<std::size_t>(node)]->set_enabled(up);
+      };
+      cb.deploy = [&](const faults::Deployment& d) {
+        std::vector<std::vector<TdmaOverlayNode::TxGrant>> grants =
+            grants_by_node(*d.plan);
+        for (NodeId node = 0; node < n; ++node) {
+          overlays[static_cast<std::size_t>(node)]->stage_grants(
+              d.activation_frame,
+              std::move(grants[static_cast<std::size_t>(node)]), d.guard);
+        }
+        // The overlays adopt the staged grants at the top of the
+        // activation frame's slot loop (scheduled earlier, so it fires
+        // first at this timestamp); this event then repoints forwarding
+        // and the audit monitors before the frame's first data slot.
+        sim.schedule_at(d.activation_time, [&, plan = d.plan,
+                        guard = d.guard] {
+          live_plan = plan;
+          if (auditor) {
+            auditor->install_schedule(plan->links, plan->conflicts,
+                                      plan->schedule, config_.emulation.frame,
+                                      guard);
+          }
+        });
+      };
+    }
+    fault_rt = std::make_unique<faults::FaultRuntime>(
+        sim, config_.faults, config_.topology, std::move(inputs), flows_,
+        &plan_, mode == MacMode::kTdmaOverlay, channel, sync.get(),
+        auditor.get(), root.split(), std::move(cb));
+    fault_rt->start();
+  }
+
   sim.run_until(duration + drain);
 
   result.frames_transmitted = channel.frames_transmitted();
@@ -388,6 +479,7 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     auditor->finalize(residual);
     result.audit = auditor->report();
   }
+  if (fault_rt) result.faults = fault_rt->take_report(duration + drain);
   return result;
 }
 

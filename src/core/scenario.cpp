@@ -1,5 +1,6 @@
 #include "wimesh/core/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -283,6 +284,20 @@ Expected<Scenario> parse_scenario(const std::string& text) {
         return make_error(str_cat("line ", line_no,
                                   ": rts_cts must be on|off"));
       }
+    } else if (key == "fault") {
+      auto plan = faults::parse_fault_plan(value);
+      if (!plan) {
+        return make_error(str_cat("line ", line_no, ": ", plan.error()));
+      }
+      // Multiple fault= lines accumulate into one plan.
+      for (const faults::FaultEvent& e : plan->events) {
+        sc.config.faults.events.push_back(e);
+      }
+      sc.config.faults.detection_delay = plan->detection_delay;
+      std::stable_sort(sc.config.faults.events.begin(),
+                       sc.config.faults.events.end(),
+                       [](const faults::FaultEvent& a,
+                          const faults::FaultEvent& b) { return a.at < b.at; });
     } else if (key == "audit") {
       if (value == "on") {
         sc.config.audit = true;
@@ -322,6 +337,21 @@ std::string format_report(const Scenario& scenario,
     for (const audit::ViolationRecord& r : result.audit.records) {
       out += str_cat("  [", audit::violation_kind_name(r.kind), " @ ",
                      r.time.to_string(), "] ", r.detail, "\n");
+    }
+  }
+  if (result.faults.enabled) {
+    out += result.faults.summary() + "\n";
+    for (const faults::FlowOutageRecord& o : result.faults.outages) {
+      out += str_cat("  flow ", o.flow_id, ": interrupted at ",
+                     o.interrupted_at.to_string(),
+                     o.shed ? ", shed"
+                            : (o.restored()
+                                   ? str_cat(", restored after ",
+                                             o.outage.to_string())
+                                   : str_cat(", not restored (",
+                                             o.outage.to_string(),
+                                             " outage)")),
+                     "\n");
     }
   }
   out += "flow  class       loss     mean_ms  p99_ms    tput_kbps\n";

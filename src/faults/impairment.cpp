@@ -1,0 +1,57 @@
+#include "wimesh/faults/impairment.h"
+
+#include <algorithm>
+
+namespace wimesh::faults {
+
+std::uint64_t LinkImpairment::pair_key(NodeId a, NodeId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+void LinkImpairment::add_burst(NodeId a, NodeId b, SimTime from, SimTime until,
+                               GilbertElliottParams params) {
+  WIMESH_ASSERT(from < until);
+  Burst burst;
+  burst.pair = pair_key(a, b);
+  burst.from = from;
+  burst.until = until;
+  burst.params = params;
+  bursts_.push_back(burst);
+}
+
+void LinkImpairment::set_link_down(NodeId a, NodeId b, bool down) {
+  const std::uint64_t key = pair_key(a, b);
+  const auto it = std::find(down_pairs_.begin(), down_pairs_.end(), key);
+  if (down && it == down_pairs_.end()) down_pairs_.push_back(key);
+  if (!down && it != down_pairs_.end()) down_pairs_.erase(it);
+}
+
+bool LinkImpairment::link_down(NodeId a, NodeId b) const {
+  return std::find(down_pairs_.begin(), down_pairs_.end(), pair_key(a, b)) !=
+         down_pairs_.end();
+}
+
+bool LinkImpairment::corrupts(NodeId tx, NodeId rx, SimTime now) {
+  const std::uint64_t key = pair_key(tx, rx);
+  if (std::find(down_pairs_.begin(), down_pairs_.end(), key) !=
+      down_pairs_.end()) {
+    return true;
+  }
+  for (Burst& burst : bursts_) {
+    if (burst.pair != key || now < burst.from || now >= burst.until) continue;
+    // One chain step per delivery attempt, then the state's PER.
+    if (burst.bad) {
+      if (rng_.chance(burst.params.p_bad_to_good)) burst.bad = false;
+    } else {
+      if (rng_.chance(burst.params.p_good_to_bad)) burst.bad = true;
+    }
+    const double per =
+        burst.bad ? burst.params.per_bad : burst.params.per_good;
+    if (per > 0.0 && rng_.chance(per)) return true;
+  }
+  return false;
+}
+
+}  // namespace wimesh::faults

@@ -106,7 +106,10 @@ Topology make_tree(NodeId arity, NodeId depth, double spacing) {
 }
 
 std::vector<NodeId> spanning_tree_parents(const Graph& g, NodeId root) {
-  WIMESH_ASSERT(is_connected(g));
+  // The graph may be disconnected (a surviving post-fault topology): nodes
+  // the BFS never reaches simply keep kInvalidNode as parent, matching the
+  // root itself — callers routing through the forest must check
+  // reachability separately.
   WIMESH_ASSERT(root >= 0 && root < g.node_count());
   std::vector<NodeId> parent(static_cast<std::size_t>(g.node_count()),
                              kInvalidNode);

@@ -46,7 +46,11 @@ QosPlanner::QosPlanner(const Topology& topology, const RadioModel& radio,
       params_(params),
       phy_(std::move(phy)),
       routing_(routing) {
-  WIMESH_ASSERT(is_connected(topology.graph));
+  // A disconnected topology is admissible: after node/link failures the
+  // fault runtime replans over the surviving subgraph, pre-filtering flows
+  // to reachable (src, dst) pairs. Flows whose endpoints cannot reach each
+  // other are the caller's responsibility to exclude.
+  WIMESH_ASSERT(topology.graph.node_count() > 0);
 }
 
 std::vector<NodeId> QosPlanner::route(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wimesh/common/strings.h"
 #include "wimesh/graph/topology.h"
 
 namespace wimesh {
@@ -22,10 +23,37 @@ SimTime SyncConfig::max_error_bound(int max_hops) const {
       static_cast<std::int64_t>(std::ceil(residual_ns + drift_ns)));
 }
 
+Expected<bool> SyncProtocol::validate(const Graph& topology, NodeId master) {
+  if (topology.node_count() <= 0) {
+    return make_error("sync: topology has no nodes");
+  }
+  if (master < 0 || master >= topology.node_count()) {
+    return make_error(str_cat("sync: master ", master,
+                              " is out of range [0, ", topology.node_count(),
+                              ")"));
+  }
+  if (!is_connected(topology)) {
+    return make_error(
+        "sync: topology is disconnected; a partitioned mesh cannot share "
+        "one time reference");
+  }
+  return true;
+}
+
+Expected<std::unique_ptr<SyncProtocol>> SyncProtocol::create(
+    Simulator& sim, const Graph& topology, NodeId master, SyncConfig config,
+    Rng rng, SimTime initial_offset_bound) {
+  auto ok = validate(topology, master);
+  if (!ok.has_value()) return make_error(ok.error());
+  return std::make_unique<SyncProtocol>(sim, topology, master, config, rng,
+                                        initial_offset_bound);
+}
+
 SyncProtocol::SyncProtocol(Simulator& sim, const Graph& topology,
                            NodeId master, SyncConfig config, Rng rng,
                            SimTime initial_offset_bound)
-    : sim_(sim), master_(master), config_(config), rng_(rng) {
+    : sim_(sim), topology_(&topology), master_(master), config_(config),
+      rng_(rng) {
   WIMESH_ASSERT(is_connected(topology));
   WIMESH_ASSERT(master >= 0 && master < topology.node_count());
   parent_ = spanning_tree_parents(topology, master);
@@ -50,8 +78,59 @@ SyncProtocol::SyncProtocol(Simulator& sim, const Graph& topology,
   clocks_[static_cast<std::size_t>(master_)] = ClockState{};
 }
 
-void SyncProtocol::start() {
-  sim_.schedule_at(sim_.now(), [this] { run_wave(); });
+void SyncProtocol::start() { schedule_wave(sim_.now()); }
+
+void SyncProtocol::schedule_wave(SimTime at) {
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(at, [this, epoch] {
+    if (epoch == epoch_) run_wave();
+  });
+}
+
+void SyncProtocol::fail_master() {
+  ++epoch_;  // pending wave events fizzle
+  master_alive_ = false;
+}
+
+void SyncProtocol::re_root(NodeId new_master, const std::vector<char>& alive) {
+  const NodeId n = static_cast<NodeId>(clocks_.size());
+  WIMESH_ASSERT(new_master >= 0 && new_master < n);
+  WIMESH_ASSERT(alive.size() == clocks_.size());
+  WIMESH_ASSERT_MSG(alive[static_cast<std::size_t>(new_master)] != 0,
+                    "cannot re-root sync at a dead node");
+  ++epoch_;
+  master_ = new_master;
+  master_alive_ = true;
+
+  // BFS over the alive-induced subgraph; nodes the new master cannot reach
+  // (dead, or partitioned away) get depth -1 and free-run.
+  parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  depth_.assign(static_cast<std::size_t>(n), -1);
+  depth_[static_cast<std::size_t>(new_master)] = 0;
+  std::vector<NodeId> queue{new_master};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (EdgeId e : topology_->incident(u)) {
+      const NodeId v = topology_->other_end(e, u);
+      if (alive[static_cast<std::size_t>(v)] == 0) continue;
+      if (depth_[static_cast<std::size_t>(v)] >= 0) continue;
+      depth_[static_cast<std::size_t>(v)] =
+          depth_[static_cast<std::size_t>(u)] + 1;
+      parent_[static_cast<std::size_t>(v)] = u;
+      queue.push_back(v);
+    }
+  }
+  max_depth_ = *std::max_element(depth_.begin(), depth_.end());
+
+  // The new master becomes the time reference; everyone reachable aligns
+  // to it on the recovery wave, which fires immediately.
+  clocks_[static_cast<std::size_t>(master_)] = ClockState{};
+  schedule_wave(sim_.now());
+}
+
+void SyncProtocol::step_clock(NodeId n, SimTime delta) {
+  WIMESH_ASSERT(n >= 0 && static_cast<std::size_t>(n) < clocks_.size());
+  clocks_[static_cast<std::size_t>(n)].offset += delta;
 }
 
 void SyncProtocol::run_wave() {
@@ -64,24 +143,25 @@ void SyncProtocol::run_wave() {
   std::vector<SimTime> accumulated(clocks_.size());
   for (std::size_t n = 0; n < clocks_.size(); ++n) {
     if (static_cast<NodeId>(n) == master_) continue;
+    if (depth_[n] < 0) continue;  // unreachable: keeps free-running
     // Walk up the tree, summing per-hop errors. Drawing per (node, wave)
     // rather than per tree edge keeps the random-walk statistics while
     // staying order-independent.
     const double hop_sigma =
         static_cast<double>(config_.per_hop_error_stddev.ns());
     const double sigma =
-        hop_sigma * std::sqrt(static_cast<double>(
-                        depth_[static_cast<std::size_t>(n)]));
+        hop_sigma * std::sqrt(static_cast<double>(depth_[n]));
     accumulated[n] = SimTime::nanoseconds(
         static_cast<std::int64_t>(rng_.normal(0.0, sigma)));
   }
   for (std::size_t n = 0; n < clocks_.size(); ++n) {
     if (static_cast<NodeId>(n) == master_) continue;
+    if (depth_[n] < 0) continue;
     clocks_[n].offset = accumulated[n];
     clocks_[n].last_sync = now;
   }
   ++waves_;
-  sim_.schedule_in(config_.resync_interval, [this] { run_wave(); });
+  schedule_wave(now + config_.resync_interval);
 }
 
 SimTime SyncProtocol::error(NodeId n, SimTime t) const {

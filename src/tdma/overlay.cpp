@@ -58,22 +58,92 @@ void TdmaOverlayNode::start(SimTime stop) {
   schedule_frame(params_.frame.frame_index(sim_.now()), stop);
 }
 
-void TdmaOverlayNode::enqueue(LinkId link, MacPacket packet, bool guaranteed) {
+void TdmaOverlayNode::stage_grants(std::int64_t activation_frame,
+                                   std::vector<TxGrant> grants, SimTime guard) {
+  for (const TxGrant& g : grants) {
+    WIMESH_ASSERT(g.link != kInvalidLink);
+    WIMESH_ASSERT(g.neighbor != kInvalidNode);
+    WIMESH_ASSERT(g.range.length > 0);
+  }
+  staged_.activation_frame = activation_frame;
+  staged_.grants = std::move(grants);
+  staged_.guard = guard;
+  staged_.pending = true;
+}
+
+void TdmaOverlayNode::adopt_staged() {
+  // Queued packets follow their neighbor into the new plan: the repaired
+  // schedule may assign a different LinkId to the same adjacency, and a
+  // packet in flight cares about where it is going, not what the edge was
+  // called. Neighbors the new plan no longer serves from this node lose
+  // their backlog (accounted through on_revoked_drop).
+  std::unordered_map<NodeId, LinkQueues> by_neighbor;
+  for (const TxGrant& g : grants_) {
+    auto it = queues_.find(g.link);
+    if (it == queues_.end()) continue;
+    LinkQueues& dst = by_neighbor[g.neighbor];
+    for (auto& p : it->second.guaranteed) dst.guaranteed.push_back(p);
+    for (auto& p : it->second.best_effort) dst.best_effort.push_back(p);
+    queues_.erase(it);
+  }
+  // Anything left in queues_ has no current grant (possible only if grants
+  // were revoked without replacement earlier); drop it too, attributed to
+  // the link it was queued on.
+  for (auto& [link, q] : queues_) {
+    if (hooks_.on_revoked_drop) {
+      for (const MacPacket& p : q.guaranteed) {
+        hooks_.on_revoked_drop(self_, link, p);
+      }
+      for (const MacPacket& p : q.best_effort) {
+        hooks_.on_revoked_drop(self_, link, p);
+      }
+    }
+  }
+  queues_.clear();
+
+  grants_ = std::move(staged_.grants);
+  params_.guard_time = staged_.guard;
+  staged_ = StagedGrants{};
+  // LinkIds are plan-relative; a stale block event from before the swap
+  // must not dequeue from a new-plan queue that happens to reuse its id.
+  ++plan_generation_;
+
+  for (const TxGrant& g : grants_) {
+    auto it = by_neighbor.find(g.neighbor);
+    if (it != by_neighbor.end()) {
+      queues_[g.link] = std::move(it->second);
+      by_neighbor.erase(it);
+    } else {
+      queues_.try_emplace(g.link);
+    }
+  }
+  for (const auto& [neighbor, q] : by_neighbor) {
+    if (!hooks_.on_revoked_drop) continue;
+    for (const MacPacket& p : q.guaranteed) {
+      hooks_.on_revoked_drop(self_, kInvalidLink, p);
+    }
+    for (const MacPacket& p : q.best_effort) {
+      hooks_.on_revoked_drop(self_, kInvalidLink, p);
+    }
+  }
+}
+
+bool TdmaOverlayNode::enqueue(LinkId link, MacPacket packet, bool guaranteed) {
   const auto it = queues_.find(link);
-  WIMESH_ASSERT_MSG(it != queues_.end(),
-                    "enqueue on a link this node has no grant for");
+  if (it == queues_.end()) return false;
   if (guaranteed) {
     it->second.guaranteed.push_back(packet);
-    return;
+    return true;
   }
   if (it->second.best_effort.size() >= best_effort_queue_cap_) {
     ++best_effort_drops_;
     if (hooks_.on_best_effort_drop) {
       hooks_.on_best_effort_drop(self_, link, packet);
     }
-    return;
+    return true;  // accepted and accounted (drop-tail), not a revocation
   }
   it->second.best_effort.push_back(packet);
+  return true;
 }
 
 std::size_t TdmaOverlayNode::queue_length(LinkId link) const {
@@ -93,13 +163,21 @@ std::size_t TdmaOverlayNode::total_queued() const {
 void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
   const SimTime frame_start = params_.frame.frame_start(frame_index);
   if (frame_start >= stop) return;
+  if (staged_.pending && frame_index >= staged_.activation_frame) {
+    // Hot-swap exactly on the frame boundary: the repaired plan takes
+    // effect before any of this frame's blocks are scheduled.
+    adopt_staged();
+  }
   for (const TxGrant& grant : grants_) {
     // Fire when *this node's clock* reads the block start.
     const SimTime local_start =
         frame_start + params_.frame.data_slot_offset(grant.range.start);
     SimTime fire = sync_.global_time_for_local(self_, local_start);
     if (fire < sim_.now()) fire = sim_.now();  // clock skew at startup
-    sim_.schedule_at(fire, [this, grant] { on_block_start(grant); });
+    const std::uint64_t gen = plan_generation_;
+    sim_.schedule_at(fire, [this, grant, gen] {
+      if (gen == plan_generation_) on_block_start(grant);
+    });
   }
   // Chain the next frame relative to global time; each block start is
   // re-aligned against the sync clock every frame, so drift cannot
@@ -111,7 +189,10 @@ void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
 }
 
 void TdmaOverlayNode::on_block_start(const TxGrant& grant) {
-  auto& queue = queues_[grant.link];
+  if (!enabled_) return;  // crashed node: queues freeze until recovery
+  const auto queue_it = queues_.find(grant.link);
+  if (queue_it == queues_.end()) return;  // grant revoked by a hot-swap
+  auto& queue = queue_it->second;
   if (mac_.in_service() || mac_.queue_length() > 0) {
     // Previous work has not drained — a symptom of an undersized guard or
     // an invalid schedule. Skip the block rather than collide.

@@ -21,7 +21,13 @@ WifiChannel::WifiChannel(Simulator& sim, std::vector<Point> positions,
       error_(error),
       rng_(rng),
       deliver_overheard_(deliver_overheard),
-      macs_(positions_.size(), nullptr) {}
+      macs_(positions_.size(), nullptr),
+      node_up_(positions_.size(), 1) {}
+
+void WifiChannel::set_node_up(NodeId node, bool up) {
+  WIMESH_ASSERT(node >= 0 && node < node_count());
+  node_up_[static_cast<std::size_t>(node)] = up ? 1 : 0;
+}
 
 void WifiChannel::attach(NodeId node, MacInterface* mac) {
   WIMESH_ASSERT(node >= 0 && node < node_count());
@@ -60,62 +66,73 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
                     "node started a second simultaneous transmission");
   const SimTime duration = frame_airtime(frame);
   const SimTime end = sim_.now() + duration;
-  ++frames_transmitted_;
-  if (probe_ != nullptr) probe_->on_transmission_start(frame, end);
-
-  const Point& tx_pos = positions_[static_cast<std::size_t>(tx)];
-
-  // The new transmission corrupts every ongoing reception it is audible at.
-  for (ActiveTx& ongoing : active_) {
-    for (Reception& r : ongoing.receptions) {
-      if (r.corrupted) continue;
-      if (r.rx == tx ||
-          radio_.interferes(tx_pos,
-                            positions_[static_cast<std::size_t>(r.rx)])) {
-        r.corrupted = true;
-        ++receptions_corrupted_;
-      }
-    }
-  }
 
   ActiveTx record;
   record.key = next_key_++;
   record.tx = tx;
   record.end = end;
+  // A down transmitter's MAC still goes through the motions (it cannot know
+  // it is dead), but nothing leaves the antenna: no interference, no
+  // receptions, no carrier sense, and the auditor never sees the frame.
+  record.radiated = node_up_[static_cast<std::size_t>(tx)] != 0;
 
-  // Receptions begin at every intended receiver in decode range. A
-  // reception starts corrupted if another transmission is already audible
-  // there or the receiver is itself mid-transmission.
-  const auto begin_reception = [&](NodeId rx) {
-    if (rx == tx) return;
-    const Point& rx_pos = positions_[static_cast<std::size_t>(rx)];
-    if (!radio_.can_communicate(tx_pos, rx_pos)) return;
-    if (macs_[static_cast<std::size_t>(rx)] == nullptr) return;
-    Reception r;
-    r.frame = frame;
-    r.rx = rx;
-    for (const ActiveTx& ongoing : active_) {
-      if (ongoing.tx == rx ||
-          radio_.interferes(positions_[static_cast<std::size_t>(ongoing.tx)],
-                            rx_pos)) {
-        r.corrupted = true;
+  const Point& tx_pos = positions_[static_cast<std::size_t>(tx)];
+
+  if (record.radiated) {
+    ++frames_transmitted_;
+    if (probe_ != nullptr) probe_->on_transmission_start(frame, end);
+
+    // The new transmission corrupts every ongoing reception it is audible
+    // at.
+    for (ActiveTx& ongoing : active_) {
+      for (Reception& r : ongoing.receptions) {
+        if (r.corrupted) continue;
+        if (r.rx == tx ||
+            radio_.interferes(tx_pos,
+                              positions_[static_cast<std::size_t>(r.rx)])) {
+          r.corrupted = true;
+          ++receptions_corrupted_;
+        }
       }
     }
-    if (r.corrupted) ++receptions_corrupted_;
-    record.receptions.push_back(std::move(r));
-  };
 
-  if (frame.to == kInvalidNode || deliver_overheard_) {
-    for (NodeId rx = 0; rx < node_count(); ++rx) begin_reception(rx);
-  } else {
-    begin_reception(frame.to);
-  }
+    // Receptions begin at every intended receiver in decode range. A
+    // reception starts corrupted if another transmission is already audible
+    // there or the receiver is itself mid-transmission.
+    const auto begin_reception = [&](NodeId rx) {
+      if (rx == tx) return;
+      if (node_up_[static_cast<std::size_t>(rx)] == 0) return;
+      const Point& rx_pos = positions_[static_cast<std::size_t>(rx)];
+      if (!radio_.can_communicate(tx_pos, rx_pos)) return;
+      if (macs_[static_cast<std::size_t>(rx)] == nullptr) return;
+      Reception r;
+      r.frame = frame;
+      r.rx = rx;
+      for (const ActiveTx& ongoing : active_) {
+        if (!ongoing.radiated) continue;
+        if (ongoing.tx == rx ||
+            radio_.interferes(
+                positions_[static_cast<std::size_t>(ongoing.tx)], rx_pos)) {
+          r.corrupted = true;
+        }
+      }
+      if (r.corrupted) ++receptions_corrupted_;
+      record.receptions.push_back(std::move(r));
+    };
 
-  // Carrier sense: every other node in interference range sees busy.
-  for (NodeId n = 0; n < node_count(); ++n) {
-    if (n == tx || macs_[static_cast<std::size_t>(n)] == nullptr) continue;
-    if (radio_.interferes(tx_pos, positions_[static_cast<std::size_t>(n)])) {
-      macs_[static_cast<std::size_t>(n)]->on_medium_busy();
+    if (frame.to == kInvalidNode || deliver_overheard_) {
+      for (NodeId rx = 0; rx < node_count(); ++rx) begin_reception(rx);
+    } else {
+      begin_reception(frame.to);
+    }
+
+    // Carrier sense: every other node in interference range sees busy.
+    for (NodeId n = 0; n < node_count(); ++n) {
+      if (n == tx || macs_[static_cast<std::size_t>(n)] == nullptr) continue;
+      if (radio_.interferes(tx_pos,
+                            positions_[static_cast<std::size_t>(n)])) {
+        macs_[static_cast<std::size_t>(n)]->on_medium_busy();
+      }
     }
   }
 
@@ -136,18 +153,29 @@ void WifiChannel::finish_transmission(std::uint64_t key) {
   const Point& tx_pos = positions_[static_cast<std::size_t>(done.tx)];
 
   // Carrier sense falls first so MACs see a consistent idle medium when the
-  // decode callbacks run.
-  for (NodeId n = 0; n < node_count(); ++n) {
-    if (n == done.tx || macs_[static_cast<std::size_t>(n)] == nullptr) {
-      continue;
-    }
-    if (radio_.interferes(tx_pos, positions_[static_cast<std::size_t>(n)])) {
-      macs_[static_cast<std::size_t>(n)]->on_medium_idle();
+  // decode callbacks run. Idle edges mirror the busy edges raised at
+  // transmit start, so they key off `radiated`, not current liveness.
+  if (done.radiated) {
+    for (NodeId n = 0; n < node_count(); ++n) {
+      if (n == done.tx || macs_[static_cast<std::size_t>(n)] == nullptr) {
+        continue;
+      }
+      if (radio_.interferes(tx_pos,
+                            positions_[static_cast<std::size_t>(n)])) {
+        macs_[static_cast<std::size_t>(n)]->on_medium_idle();
+      }
     }
   }
 
   for (const Reception& r : done.receptions) {
     if (r.corrupted) continue;
+    // A receiver that crashed mid-reception decodes nothing.
+    if (node_up_[static_cast<std::size_t>(r.rx)] == 0) continue;
+    if (impairment_ != nullptr &&
+        impairment_->corrupts(done.tx, r.rx, sim_.now())) {
+      ++receptions_corrupted_;
+      continue;
+    }
     if (error_.packet_error_rate > 0.0 &&
         rng_.chance(error_.packet_error_rate)) {
       ++receptions_corrupted_;

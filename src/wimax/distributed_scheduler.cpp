@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wimesh/common/rng.h"
+
 namespace wimesh {
 
 int DistributedScheduleResult::used_slots() const {
@@ -42,6 +44,47 @@ DistributedScheduleResult run_distributed_scheduling(
   out.grants.assign(static_cast<std::size_t>(links.count()), SlotRange{});
   out.unmet = demand;
 
+  // Per-link handshake-hardening state. `given_up` mirrors out.abandoned as
+  // a flag array; `wait_until` is the first round the link may request again
+  // after a backoff.
+  std::vector<int> failures(static_cast<std::size_t>(links.count()), 0);
+  std::vector<int> wait_until(static_cast<std::size_t>(links.count()), 0);
+  std::vector<char> given_up(static_cast<std::size_t>(links.count()), 0);
+  Rng loss_rng(config.loss_seed);
+  // Under control loss a fully rejected round is indistinguishable from a
+  // round of lost messages, so the no-progress stall exit is disabled and
+  // termination relies on the attempt cap / round cap instead.
+  const bool persistent_retry = config.control_loss_rate > 0.0;
+
+  const auto record_failure = [&](LinkId l) {
+    const auto i = static_cast<std::size_t>(l);
+    ++failures[i];
+    if (config.max_link_attempts > 0 &&
+        failures[i] >= config.max_link_attempts) {
+      given_up[i] = 1;
+      out.abandoned.push_back(l);  // link order: l scans ascending per round
+      return;
+    }
+    if (config.backoff_base_rounds > 0) {
+      const int shift = std::min(failures[i] - 1, 20);
+      const int wait = std::min(config.backoff_base_rounds << shift,
+                                config.backoff_cap_rounds);
+      wait_until[i] = out.rounds + 1 + wait;
+    }
+  };
+
+  // True while some link still wants slots but is merely backing off (not
+  // abandoned) — an empty or fruitless round is then transient, not a stall.
+  const auto anyone_waiting = [&] {
+    for (LinkId l = 0; l < links.count(); ++l) {
+      const auto i = static_cast<std::size_t>(l);
+      if (out.unmet[i] > 0 && !given_up[i] && wait_until[i] > out.rounds) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   // A link's local view: confirmed grants of its conflict neighbors (both
   // of whose endpoints overheard the handshake) plus its own.
   const auto local_view = [&](LinkId l) {
@@ -69,8 +112,11 @@ DistributedScheduleResult run_distributed_scheduling(
     };
     std::vector<Tentative> tentative;
     for (LinkId l = 0; l < links.count(); ++l) {
-      const int want = out.unmet[static_cast<std::size_t>(l)];
+      const auto i = static_cast<std::size_t>(l);
+      const int want = out.unmet[i];
       if (want <= 0) continue;
+      if (given_up[i]) continue;               // gave up; demand stays unmet
+      if (wait_until[i] > out.rounds) continue;  // backing off
       const auto candidate = first_fit(local_view(l), want, frame_slots);
       if (!candidate.has_value()) continue;  // no gap in this view; wait
       tentative.push_back(Tentative{
@@ -79,7 +125,10 @@ DistributedScheduleResult run_distributed_scheduling(
                              static_cast<std::uint32_t>(out.rounds),
                              config.election_seed)});
     }
-    if (tentative.empty()) break;  // stall: nothing can even request
+    if (tentative.empty()) {
+      if (!anyone_waiting()) break;  // stall: nothing can even request
+      continue;  // everyone eligible is just backing off; idle round
+    }
     std::sort(tentative.begin(), tentative.end(),
               [](const Tentative& a, const Tentative& b) {
                 if (a.hash != b.hash) return a.hash > b.hash;
@@ -89,6 +138,14 @@ DistributedScheduleResult run_distributed_scheduling(
     bool progress = false;
     for (const Tentative& t : tentative) {
       ++out.handshakes;
+      if (config.control_loss_rate > 0.0 &&
+          loss_rng.chance(config.control_loss_rate)) {
+        // Some leg of the three-way exchange was lost; nothing is installed
+        // and the requester treats it like a rejection (retry after backoff).
+        ++out.messages_lost;
+        record_failure(t.link);
+        continue;
+      }
       // Confirm against the LIVE state (the granter refreshed its view
       // from everything it overheard this round).
       bool clash = false;
@@ -101,6 +158,7 @@ DistributedScheduleResult run_distributed_scheduling(
       }
       if (clash) {
         ++out.rejections;
+        record_failure(t.link);
         continue;  // requester retries next round with a fresher view
       }
       out.grants[static_cast<std::size_t>(t.link)] = t.range;
@@ -114,8 +172,11 @@ DistributedScheduleResult run_distributed_scheduling(
       out.converged = true;
       return out;
     }
-    if (!progress) break;  // every request clashed and nothing changed
+    if (!progress && !persistent_retry && !anyone_waiting()) {
+      break;  // every request clashed and nothing changed
+    }
   }
+  std::sort(out.abandoned.begin(), out.abandoned.end());
   out.converged = std::all_of(out.unmet.begin(), out.unmet.end(),
                               [](int u) { return u <= 0; });
   return out;

@@ -141,6 +141,43 @@ TEST(ScenarioParserTest, AuditedRunReportsSummary) {
   EXPECT_NE(report.find("audit: ok"), std::string::npos);
 }
 
+TEST(ScenarioParserTest, FaultKeyParsesIntoThePlan) {
+  const auto sc = parse_scenario(
+      "topology = grid 3 3 100\n"
+      "fault = node-crash@2 node=4; master-fail@3\n"
+      "voip 0 0 8 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  ASSERT_TRUE(sc->config.faults.enabled());
+  ASSERT_EQ(sc->config.faults.events.size(), 2u);
+  EXPECT_EQ(sc->config.faults.events[0].kind, faults::FaultKind::kNodeCrash);
+  EXPECT_EQ(sc->config.faults.events[0].node, 4);
+  EXPECT_EQ(sc->config.faults.events[0].at, SimTime::seconds(2));
+  EXPECT_EQ(sc->config.faults.events[1].kind, faults::FaultKind::kMasterFail);
+}
+
+TEST(ScenarioParserTest, MultipleFaultLinesMergeSortedByTime) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "fault = link-down@5 link=1-2\n"
+      "fault = node-crash@1 node=3; detect_ms=50\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  ASSERT_EQ(sc->config.faults.events.size(), 2u);
+  EXPECT_EQ(sc->config.faults.events[0].kind, faults::FaultKind::kNodeCrash);
+  EXPECT_EQ(sc->config.faults.events[1].kind, faults::FaultKind::kLinkDown);
+  EXPECT_EQ(sc->config.faults.detection_delay, SimTime::milliseconds(50));
+}
+
+TEST(ScenarioParserTest, BadFaultSpecNamesLineAndKey) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "fault = node-crash@2 nod=4\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_FALSE(sc.has_value());
+  EXPECT_NE(sc.error().find("line 2"), std::string::npos);
+  EXPECT_NE(sc.error().find("nod"), std::string::npos);
+}
+
 TEST(ScenarioParserTest, RequiresTopologyAndTraffic) {
   EXPECT_FALSE(parse_scenario("voip 0 0 1 g729 100\n").has_value());
   EXPECT_FALSE(parse_scenario("topology = chain 4 100\n").has_value());

@@ -177,5 +177,101 @@ TEST(SyncProtocolTest, DeterministicForSameSeed) {
   EXPECT_NE(sample(5), sample(6));
 }
 
+// ------------------------------------------- validation and failover
+
+TEST(SyncValidationTest, RejectsEmptyTopology) {
+  const Graph empty(0);
+  const auto v = SyncProtocol::validate(empty, 0);
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().find("no nodes"), std::string::npos);
+}
+
+TEST(SyncValidationTest, RejectsOutOfRangeMaster) {
+  const Topology t = make_chain(4, 100.0);
+  for (NodeId bad : {NodeId{-1}, NodeId{4}, NodeId{99}}) {
+    const auto v = SyncProtocol::validate(t.graph, bad);
+    ASSERT_FALSE(v.has_value()) << "master " << bad;
+    EXPECT_NE(v.error().find("out of range"), std::string::npos);
+  }
+}
+
+TEST(SyncValidationTest, RejectsDisconnectedTopology) {
+  Graph g(4);
+  g.add_edge(0, 1);  // 2 and 3 are isolated
+  const auto v = SyncProtocol::validate(g, 0);
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().find("disconnected"), std::string::npos);
+}
+
+TEST(SyncValidationTest, CreateFactoryMirrorsValidate) {
+  Simulator sim;
+  const Topology t = make_chain(4, 100.0);
+  auto good = SyncProtocol::create(sim, t.graph, 0, SyncConfig{}, Rng(7));
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ((*good)->max_tree_depth(), 3);
+  auto bad = SyncProtocol::create(sim, t.graph, 9, SyncConfig{}, Rng(7));
+  EXPECT_FALSE(bad.has_value());
+}
+
+TEST(SyncFailoverTest, FailMasterStopsWavesAndReRootRestores) {
+  Simulator sim;
+  const Topology t = make_chain(4, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(100);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(sync.master_alive());
+
+  sync.fail_master();
+  EXPECT_FALSE(sync.master_alive());
+
+  // Fail over to node 1 with every node alive: the tree re-roots there,
+  // the new master reads zero error again, and depth reflects the re-root
+  // (node 3 is now 2 hops away instead of 3).
+  const std::vector<char> alive(4, 1);
+  sync.re_root(1, alive);
+  EXPECT_TRUE(sync.master_alive());
+  sim.run_until(sim.now() + cfg.resync_interval * 2);
+  EXPECT_EQ(sync.error(1, sim.now()), SimTime::zero());
+  EXPECT_EQ(sync.max_tree_depth(), 2);
+}
+
+TEST(SyncFailoverTest, ReRootExcludesDeadNodes) {
+  Simulator sim;
+  const Topology t = make_chain(4, 100.0);
+  SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(50));
+  // Node 1 dies: the chain is severed, so a re-root at 0 can only span
+  // node 0 itself — the far side free-runs until the node recovers.
+  std::vector<char> alive{1, 0, 1, 1};
+  sync.re_root(0, alive);
+  EXPECT_EQ(sync.max_tree_depth(), 0);
+  alive[1] = 1;
+  sync.re_root(0, alive);
+  EXPECT_EQ(sync.max_tree_depth(), 3);
+}
+
+TEST(SyncFailoverTest, StepClockIsAbsorbedByNextWave) {
+  Simulator sim;
+  const Topology t = make_chain(3, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(100);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::seconds(1));
+
+  const SimTime step = SimTime::microseconds(500);
+  sync.step_clock(2, step);
+  const SimTime disturbed = sync.error(2, sim.now());
+  EXPECT_GE(disturbed, step - cfg.max_error_bound(2));
+
+  sim.run_until(sim.now() + cfg.resync_interval * 2);
+  const SimTime after = sync.error(2, sim.now());
+  EXPECT_LT(after < SimTime::zero() ? SimTime::zero() - after : after,
+            cfg.max_error_bound(2));
+}
+
 }  // namespace
 }  // namespace wimesh

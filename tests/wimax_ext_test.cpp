@@ -183,6 +183,88 @@ TEST(DistributedSchedulerTest, DeterministicPerSeed) {
   EXPECT_TRUE(c.converged);
 }
 
+// ------------------------------------- handshake hardening (fault paths)
+
+TEST(DistributedSchedulerTest, AttemptCapBoundsHandshakesUnderTotalLoss) {
+  // With every control message lost, persistent retry means a link would
+  // burn one handshake every round until max_rounds. The per-link give-up
+  // cap is what bounds the work and terminates the run early.
+  ElectionFixture fx(4, 2);
+  DistributedSchedulerConfig cfg;
+  cfg.control_loss_rate = 1.0;
+  cfg.max_rounds = 50;
+
+  const auto uncapped =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_FALSE(uncapped.converged);
+  EXPECT_EQ(uncapped.rounds, cfg.max_rounds + 1);  // ran the cap dry
+  EXPECT_EQ(uncapped.handshakes, cfg.max_rounds * fx.links.count());
+  EXPECT_EQ(uncapped.messages_lost, uncapped.handshakes);
+  EXPECT_TRUE(uncapped.abandoned.empty());
+
+  cfg.max_link_attempts = 3;
+  const auto capped =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_FALSE(capped.converged);
+  EXPECT_EQ(capped.handshakes, 3 * fx.links.count());
+  EXPECT_LT(capped.rounds, 10);  // terminated as soon as everyone gave up
+  ASSERT_EQ(capped.abandoned.size(),
+            static_cast<std::size_t>(fx.links.count()));
+  for (LinkId l = 0; l < fx.links.count(); ++l) {
+    EXPECT_EQ(capped.abandoned[static_cast<std::size_t>(l)], l);  // sorted
+    EXPECT_GT(capped.unmet[static_cast<std::size_t>(l)], 0);
+  }
+}
+
+TEST(DistributedSchedulerTest, BackoffSpacesRetriesExponentially) {
+  // A lone link, every handshake lost: attempts land at rounds 1, 3, 6, 11
+  // (waits of 1, 2, 4 rounds), then the 4th failure abandons the link.
+  LinkSet ls;
+  ls.add({0, 1});
+  Graph conflicts(1);
+  DistributedSchedulerConfig cfg;
+  cfg.control_loss_rate = 1.0;
+  cfg.backoff_base_rounds = 1;
+  cfg.max_link_attempts = 4;
+  const auto r = run_distributed_scheduling(ls, {2}, conflicts, 96, cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.handshakes, 4);
+  EXPECT_EQ(r.messages_lost, 4);
+  EXPECT_GE(r.rounds, 11);  // backoff stretched 4 attempts over 11+ rounds
+  EXPECT_LT(r.rounds, 20);
+  ASSERT_EQ(r.abandoned.size(), 1u);
+  EXPECT_EQ(r.abandoned[0], 0);
+}
+
+TEST(DistributedSchedulerTest, ConvergesUnderModerateControlLoss) {
+  ElectionFixture fx(5, 2);
+  DistributedSchedulerConfig cfg;
+  cfg.control_loss_rate = 0.3;
+  cfg.backoff_base_rounds = 1;
+  const auto r =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(distributed_schedule_conflict_free(r, fx.conflicts));
+  EXPECT_GT(r.messages_lost, 0);
+  EXPECT_TRUE(r.abandoned.empty());
+  // Deterministic: the loss stream comes from loss_seed, nothing else.
+  const auto again =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 96, cfg);
+  EXPECT_EQ(r.grants, again.grants);
+  EXPECT_EQ(r.messages_lost, again.messages_lost);
+}
+
+TEST(DistributedSchedulerTest, DefaultConfigNeverAbandons) {
+  // Legacy semantics: with hardening off, a too-small frame still ends via
+  // the stall exit with no link marked abandoned and no losses.
+  ElectionFixture fx(4, 4);
+  const auto r =
+      run_distributed_scheduling(fx.links, fx.demand, fx.conflicts, 10);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.abandoned.empty());
+  EXPECT_EQ(r.messages_lost, 0);
+}
+
 // ---------------------------------------------------- control messages
 
 TEST(ControlMessagesTest, EncodedSizeArithmetic) {
