@@ -54,6 +54,7 @@ constexpr char kFaults[] = "node-crash@2 node=5; master-fail@3";
 
 int main(int argc, char** argv) {
   BenchArgs args;
+  BenchTraceArgs targs;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -61,10 +62,14 @@ int main(int argc, char** argv) {
       if (args.jobs < 1) args.jobs = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      targs = parse_trace_value(argv[0], argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--jobs K] [--json OUT]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--jobs K] [--json OUT] "
+                   "[--trace OUT[:cats]]\n",
                    argv[0]);
       return 1;
     }
@@ -89,6 +94,10 @@ int main(int argc, char** argv) {
   batch::BatchOptions options;
   options.jobs = args.jobs;
   options.schedule_cache = &cache;
+  if (targs.enabled) {
+    options.trace =
+        trace::TraceConfig{targs.categories, std::size_t{1} << 18};
+  }
   const auto specs = batch::seed_sweep(*scenario, 1, seed_hi);
   const auto outcomes = batch::run_batch(specs, options);
 
@@ -140,6 +149,24 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", cache.report().c_str());
+
+  // The profiling summary accounts the same recovery work the table
+  // reports: faults.recovery virt_ms is the fault->activation latency
+  // (restore path), its wall self time is the re-plan cost.
+  if (targs.enabled) {
+    std::vector<const trace::Tracer*> tracers;
+    for (const auto& o : outcomes) {
+      if (!o.trace) continue;
+      tracers.push_back(o.trace.get());
+      if (!export_bench_trace(*o.trace,
+                              trace_path_with_label(targs.path, o.label),
+                              static_cast<std::int64_t>(o.run_index),
+                              o.label)) {
+        return 1;
+      }
+    }
+    std::fputs(trace::span_summary(tracers).c_str(), stdout);
+  }
 
   // Per-flow outage detail for the first seed (the quoted exemplar row).
   if (!outcomes.empty() && outcomes.front().ok) {

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "bench_util.h"
 #include "wimesh/qos/planner.h"
 #include "wimesh/sched/conflict_graph.h"
@@ -132,4 +135,43 @@ BENCHMARK(BM_IlpChainLooseS)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisec
 BENCHMARK(BM_IlpGridLooseS)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RootLpRelaxation)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
+// it does not know, so --trace OUT[:cats] is stripped before Initialize.
+// With no --trace the behaviour (and output) is exactly BENCHMARK_MAIN's.
+// With it, every solver call runs under the profiler and the span summary
+// accounts the same work the benchmark timings report: ilp.solve wall
+// totals are the measured iteration time, sched.schedule_ilp self time is
+// the model-build overhead around it.
+int main(int argc, char** argv) {
+  BenchTraceArgs targs;
+  std::vector<char*> keep;
+  keep.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      targs = parse_trace_value(argv[0], argv[++i]);
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  int kept = static_cast<int>(keep.size());
+
+  std::unique_ptr<trace::Tracer> tracer;
+  if (targs.enabled) {
+    tracer = std::make_unique<trace::Tracer>(
+        trace::TraceConfig{targs.categories, std::size_t{1} << 18});
+  }
+  const trace::Scope scope(tracer.get());
+
+  benchmark::Initialize(&kept, keep.data());
+  if (benchmark::ReportUnrecognizedArguments(kept, keep.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (tracer) {
+    if (!export_bench_trace(*tracer, targs.path, 0, "bench_ilp_solvetime")) {
+      return 1;
+    }
+    std::fputs(trace::span_summary(*tracer).c_str(), stdout);
+  }
+  return 0;
+}

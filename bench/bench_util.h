@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "wimesh/core/mesh_network.h"
+#include "wimesh/trace/export.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh::bench {
 
@@ -68,6 +70,77 @@ inline bool write_text_file(const std::string& path,
   if (!out) return false;
   out << contents;
   return static_cast<bool>(out);
+}
+
+// --trace support for benches that opt in: the value is "OUT[:cats]" like
+// wimesh_run's flag. The suffix after the last ':' is a category list when
+// it looks like one (no '/' or '.'); a malformed list exits with the
+// parser's message.
+struct BenchTraceArgs {
+  bool enabled = false;
+  std::string path;
+  std::uint32_t categories = trace::kAll;
+};
+
+inline BenchTraceArgs parse_trace_value(const char* argv0,
+                                        const std::string& value) {
+  BenchTraceArgs out;
+  out.enabled = true;
+  out.path = value;
+  const auto colon = value.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = value.substr(colon + 1);
+    if (!suffix.empty() && suffix.find('/') == std::string::npos &&
+        suffix.find('.') == std::string::npos) {
+      std::string error;
+      const std::uint32_t mask = trace::parse_categories(suffix, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "%s: --trace: %s\n", argv0, error.c_str());
+        std::exit(1);
+      }
+      out.path = value.substr(0, colon);
+      if (mask != 0) out.categories = mask;
+    }
+  }
+  if (out.path.empty()) {
+    std::fprintf(stderr, "%s: --trace needs an output path\n", argv0);
+    std::exit(1);
+  }
+  return out;
+}
+
+// "base.json" + label -> "base.<label>.json" (per-run trace files).
+inline std::string trace_path_with_label(const std::string& base,
+                                         const std::string& label) {
+  const auto dot = base.rfind('.');
+  const auto slash = base.find_last_of('/');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    return base.substr(0, dot) + "." + label + base.substr(dot);
+  }
+  return base + "." + label;
+}
+
+// Writes one tracer's Perfetto JSON and reports ring overflow, if any.
+inline bool export_bench_trace(const trace::Tracer& tracer,
+                               const std::string& path,
+                               std::int64_t pid,
+                               const std::string& label) {
+  trace::ExportOptions opts;
+  opts.pid = pid;
+  opts.process_label = label;
+  if (!write_text_file(path, trace::to_chrome_json(tracer, opts))) {
+    std::fprintf(stderr, "cannot write trace '%s'\n", path.c_str());
+    return false;
+  }
+  if (tracer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "trace %s: ring overflow dropped %llu oldest of %llu "
+                 "records\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(tracer.dropped()),
+                 static_cast<unsigned long long>(tracer.recorded()));
+  }
+  return true;
 }
 
 // The canonical emulation parameters used across experiments unless a

@@ -5,6 +5,7 @@
 //   wimesh_run --sweep seed=LO..HI [--jobs K] [--json OUT] <scenario>|--demo
 //                                                  parallel multi-seed sweep
 //   wimesh_run --json OUT <scenario>|--demo        single run + JSON dump
+//   wimesh_run --trace OUT[:cats] ...              record an event trace
 //
 // Sweep runs execute on a work-stealing thread pool; run i uses the RNG
 // stream derived from (scenario seed, i), so the aggregated output —
@@ -12,6 +13,12 @@
 // shared schedule cache memoizes the ILP solve across runs (the topology
 // and demands do not change within a seed sweep) and its hit rate is
 // reported after the table.
+//
+// --trace writes a Chrome trace-event / Perfetto JSON file (plus a
+// per-frame slot-timeline CSV next to it) and prints a profiling span
+// summary. Under --sweep each seed gets its own pair of files
+// (OUT.seed=N.json); the JSON contains only virtual-time events, so the
+// bytes are identical for any --jobs value.
 //
 // The scenario grammar is documented in include/wimesh/core/scenario.h.
 
@@ -21,8 +28,12 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "wimesh/batch/runner.h"
 #include "wimesh/core/scenario.h"
+#include "wimesh/trace/export.h"
+#include "wimesh/trace/trace.h"
 
 using namespace wimesh;
 
@@ -50,11 +61,18 @@ bulk 50 2 6 1200 2000000
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
-               "[--audit [fail-fast]] [--faults PLAN] "
+               "[--audit [fail-fast]] [--faults PLAN] [--trace OUT[:cats]] "
                "<scenario-file> | --demo\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
-               "                  (grammar: include/wimesh/faults/plan.h)\n",
+               "                  (grammar: include/wimesh/faults/plan.h)\n"
+               "  --trace OUT[:cats]\n"
+               "                  write a Perfetto/chrome://tracing JSON "
+               "event trace to OUT\n"
+               "                  (per seed under --sweep) plus a slot "
+               "timeline CSV; cats is a\n"
+               "                  comma list of "
+               "des,tdma,wifi,sync,faults,prof (default all)\n",
                argv0);
   return 1;
 }
@@ -83,12 +101,90 @@ bool write_file(const std::string& path, const std::string& contents) {
   return static_cast<bool>(out);
 }
 
+// Splits "OUT[:cats]". The suffix after the last ':' is treated as a
+// category list only when it looks like one (no '/' or '.', so paths with
+// colons stay intact); a suffix that looks like one but does not parse is
+// an error.
+bool parse_trace_arg(const std::string& arg, std::string* path,
+                     std::uint32_t* categories) {
+  const auto colon = arg.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = arg.substr(colon + 1);
+    if (!suffix.empty() && suffix.find('/') == std::string::npos &&
+        suffix.find('.') == std::string::npos) {
+      std::string error;
+      const std::uint32_t mask = trace::parse_categories(suffix, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--trace: %s\n", error.c_str());
+        return false;
+      }
+      *path = arg.substr(0, colon);
+      *categories = mask;
+      return !path->empty();
+    }
+  }
+  *path = arg;
+  *categories = 0;  // resolved later: scenario key, then "all"
+  return !path->empty();
+}
+
+// "base.json" + label -> "base.<label>.json" (label before the extension).
+std::string trace_path_for(const std::string& base, const std::string& label) {
+  const auto dot = base.rfind('.');
+  const auto slash = base.find_last_of('/');
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    return base.substr(0, dot) + "." + label + base.substr(dot);
+  }
+  return base + "." + label;
+}
+
+// Companion slot-timeline CSV path for a trace JSON path.
+std::string slots_path_for(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path.substr(0, trace_path.size() - suffix.size()) +
+           ".slots.csv";
+  }
+  return trace_path + ".slots.csv";
+}
+
+void warn_dropped(const trace::Tracer& tracer) {
+  if (tracer.dropped() == 0) return;
+  std::fprintf(stderr,
+               "trace: ring overflow dropped %llu oldest of %llu records "
+               "(capacity %zu); narrow the category filter to keep more\n",
+               static_cast<unsigned long long>(tracer.dropped()),
+               static_cast<unsigned long long>(tracer.recorded()),
+               tracer.config().capacity);
+}
+
+// Writes the Perfetto JSON + slot CSV pair for one finished tracer.
+bool export_trace(const trace::Tracer& tracer, const std::string& json_path,
+                  std::int64_t pid, const std::string& label) {
+  trace::ExportOptions opts;
+  opts.pid = pid;
+  opts.process_label = label;
+  if (!write_file(json_path, trace::to_chrome_json(tracer, opts)) ||
+      !write_file(slots_path_for(json_path), trace::to_slot_csv(tracer))) {
+    std::fprintf(stderr, "cannot write trace '%s'\n", json_path.c_str());
+    return false;
+  }
+  warn_dropped(tracer);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_arg;
   std::string json_path;
   std::string faults_arg;
+  std::string trace_path;
+  std::uint32_t trace_cats = 0;
+  bool trace_requested = false;
   bool sweep = false;
   bool audit = false;
   bool audit_fail_fast = false;
@@ -120,10 +216,19 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       faults_arg = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      if (!parse_trace_arg(argv[++i], &trace_path, &trace_cats)) {
+        return usage(argv[0]);
+      }
+      trace_requested = true;
     } else if (arg == "--demo" || (!arg.empty() && arg[0] != '-')) {
-      if (!scenario_arg.empty()) return usage(argv[0]);
+      if (!scenario_arg.empty()) {
+        std::fprintf(stderr, "unexpected extra argument '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      }
       scenario_arg = arg;
     } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
   }
@@ -162,15 +267,41 @@ int main(int argc, char** argv) {
     scenario->config.faults = std::move(*fault_plan);
   }
 
+  // Tracing is on when --trace was given or the scenario says 'trace ='.
+  // Category precedence: --trace suffix, then the scenario key, then all.
+  if (trace_cats == 0) trace_cats = scenario->config.trace_categories;
+  if (trace_requested || trace_cats != 0) {
+    if (trace_cats == 0) trace_cats = trace::kAll;
+    if (trace_path.empty()) trace_path = "wimesh_trace.json";
+  } else {
+    trace_cats = 0;
+  }
+  trace::TraceConfig trace_config;
+  trace_config.categories = trace_cats;
+  trace_config.capacity = std::size_t{1} << 18;
+
   if (sweep) {
     ScheduleCache cache;
     batch::BatchOptions options;
     options.jobs = jobs;
     options.schedule_cache = &cache;
+    if (trace_cats != 0) options.trace = trace_config;
     const auto specs = batch::seed_sweep(*scenario, sweep_lo, sweep_hi);
     const auto outcomes = batch::run_batch(specs, options);
     std::fputs(batch::results_table(outcomes).c_str(), stdout);
     std::printf("%s\n", cache.report().c_str());
+    if (trace_cats != 0) {
+      std::vector<const trace::Tracer*> tracers;
+      for (const auto& o : outcomes) {
+        if (!o.trace) continue;
+        tracers.push_back(o.trace.get());
+        if (!export_trace(*o.trace, trace_path_for(trace_path, o.label),
+                          static_cast<std::int64_t>(o.run_index), o.label)) {
+          return 1;
+        }
+      }
+      std::fputs(trace::span_summary(tracers).c_str(), stdout);
+    }
     int failures = 0;
     std::uint64_t violations = 0;
     for (const auto& o : outcomes) {
@@ -190,6 +321,12 @@ int main(int argc, char** argv) {
     return failures == 0 && violations == 0 ? 0 : 1;
   }
 
+  std::unique_ptr<trace::Tracer> tracer;
+  if (trace_cats != 0) {
+    tracer = std::make_unique<trace::Tracer>(trace_config);
+  }
+  const trace::Scope trace_scope(tracer.get());
+
   MeshNetwork net(scenario->config);
   for (const FlowSpec& f : scenario->flows) net.add_flow(f);
   const auto plan = net.compute_plan();
@@ -205,6 +342,14 @@ int main(int argc, char** argv) {
 
   const SimulationResult result = net.run(scenario->mac, scenario->duration);
   std::fputs(format_report(*scenario, result).c_str(), stdout);
+  if (tracer) {
+    if (!export_trace(*tracer, trace_path,
+                      static_cast<std::int64_t>(scenario->config.seed),
+                      "single")) {
+      return 1;
+    }
+    std::fputs(trace::span_summary(*tracer).c_str(), stdout);
+  }
   if (!json_path.empty()) {
     // Single-run JSON: same document shape as a sweep of one, preserving
     // the scenario's literal seed (no stream derivation).

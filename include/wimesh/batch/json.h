@@ -12,10 +12,13 @@
 #include <string>
 #include <vector>
 
+#include "wimesh/common/json.h"
+
 namespace wimesh::batch {
 
-// Backslash-escapes quotes, control characters and backslashes.
-std::string json_escape(const std::string& s);
+// String escaping lives in wimesh::common (shared with the trace
+// exporter); re-exported here for existing callers.
+using wimesh::json_escape;
 
 class JsonWriter {
  public:

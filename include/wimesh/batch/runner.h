@@ -21,11 +21,13 @@
 //    number formatting and no timing data.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "wimesh/core/scenario.h"
 #include "wimesh/sched/schedule_cache.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh::batch {
 
@@ -46,12 +48,22 @@ struct RunOutcome {
   bool ok = false;
   std::string error;  // planning/admission failure when !ok
   SimulationResult result;
+  // Per-run event trace, present when tracing was requested (via
+  // BatchOptions::trace or the scenario's trace_categories). A run's
+  // records are bound to the worker thread executing it, so the virtual-
+  // time stream is independent of --jobs. shared_ptr keeps RunOutcome
+  // copyable.
+  std::shared_ptr<trace::Tracer> trace;
 };
 
 struct BatchOptions {
   int jobs = 1;
   // Shared schedule memoization across runs; not owned, may be null.
   ScheduleCache* schedule_cache = nullptr;
+  // Tracing for every run: when trace.categories is 0 the per-scenario
+  // trace_categories (trace= key) is used instead; if both are 0 no
+  // Tracer is allocated and runs pay only the disabled-branch cost.
+  trace::TraceConfig trace{0, std::size_t{1} << 16};
 };
 
 // Expands a base scenario into one RunSpec per sweep index in

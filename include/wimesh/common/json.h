@@ -1,0 +1,23 @@
+#pragma once
+
+// Shared JSON string escaping.
+//
+// Used by every exporter that writes JSON by hand (the batch results
+// writer and the trace exporter); one definition keeps the escaping rules
+// — and therefore byte-identical outputs — consistent across them.
+
+#include <string>
+
+namespace wimesh {
+
+// Escapes `s` for embedding inside a JSON string literal:
+//  - '"' and '\\' are backslash-escaped;
+//  - control characters < 0x20 use the short escapes \b \f \n \r \t where
+//    JSON defines them and \u00XX otherwise;
+//  - bytes >= 0x80 forming valid UTF-8 sequences pass through untouched
+//    (JSON is UTF-8); bytes that are not valid UTF-8 are replaced with
+//    U+FFFD so the output is always a well-formed JSON document.
+// Printable ASCII is returned unchanged, byte for byte.
+std::string json_escape(const std::string& s);
+
+}  // namespace wimesh

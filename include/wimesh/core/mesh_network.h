@@ -60,6 +60,10 @@ struct MeshConfig {
   // Empty plan = no fault machinery at all; results are then bit-identical
   // to a build without the subsystem.
   faults::FaultPlan faults;
+  // Event-trace categories (wimesh/trace Category bitmask) requested by
+  // the scenario ('trace =' key). 0 = tracing off. Recording changes no
+  // simulation state — traced runs stay bit-identical to untraced ones.
+  std::uint32_t trace_categories = 0;
 };
 
 struct FlowResult {

@@ -25,6 +25,9 @@
 //                                    # fault-plan grammar in
 //                                    # wimesh/faults/plan.h; repeated
 //                                    # 'fault =' lines accumulate
+//   trace = off                      # off | on | all |
+//                                    # des,tdma,wifi,sync,faults,prof
+//                                    # (wimesh/trace category filter)
 //
 //   # traffic declarations (one per line):
 //   voip <id> <a> <b> <codec> <max_delay_ms>    # bidirectional call

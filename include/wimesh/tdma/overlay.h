@@ -110,7 +110,7 @@ class TdmaOverlayNode {
 
  private:
   void schedule_frame(std::int64_t frame_index, SimTime stop);
-  void on_block_start(const TxGrant& grant);
+  void on_block_start(const TxGrant& grant, std::int64_t frame_index);
   void adopt_staged();
 
   struct LinkQueues {

@@ -37,6 +37,20 @@ std::vector<RunOutcome> run_batch(const std::vector<RunSpec>& specs,
     out.derived_seed = Rng::derive_stream(spec.base_seed, spec.run_index);
     out.label = spec.label;
 
+    // The whole run body executes on this one worker thread, so binding a
+    // per-run Tracer here yields a trace that depends only on the run —
+    // never on thread placement or job count.
+    const std::uint32_t trace_cats = options.trace.categories != 0
+                                         ? options.trace.categories
+                                         : spec.scenario.config.trace_categories;
+    if (trace_cats != 0) {
+      trace::TraceConfig cfg = options.trace;
+      cfg.categories = trace_cats;
+      out.trace = std::make_shared<trace::Tracer>(cfg);
+    }
+    const trace::Scope trace_scope(out.trace.get());
+    const trace::Span batch_span(trace::SpanName::kBatchRun);
+
     MeshConfig config = spec.scenario.config;
     config.seed = out.derived_seed;
     config.ilp.cache = options.schedule_cache;

@@ -8,6 +8,7 @@
 #include "wimesh/des/simulator.h"
 #include "wimesh/faults/runtime.h"
 #include "wimesh/tdma/overlay.h"
+#include "wimesh/trace/trace.h"
 #include "wimesh/traffic/sources.h"
 #include "wimesh/wifi/channel.h"
 #include "wimesh/wifi/dcf_mac.h"
@@ -445,8 +446,11 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
         // first at this timestamp); this event then repoints forwarding
         // and the audit monitors before the frame's first data slot.
         sim.schedule_at(d.activation_time, [&, plan = d.plan,
-                        guard = d.guard] {
+                        guard = d.guard,
+                        frame = d.activation_frame] {
           live_plan = plan;
+          trace::event(trace::EventType::kPlanActivated, sim.now(), -1,
+                       frame);
           if (auditor) {
             auditor->install_schedule(plan->links, plan->conflicts,
                                       plan->schedule, config_.emulation.frame,
@@ -462,7 +466,11 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     fault_rt->start();
   }
 
-  sim.run_until(duration + drain);
+  {
+    trace::Span span(trace::SpanName::kSimRun);
+    sim.run_until(duration + drain);
+    span.set_virtual_range(SimTime::zero(), sim.now());
+  }
 
   result.frames_transmitted = channel.frames_transmitted();
   result.receptions_corrupted = channel.receptions_corrupted();

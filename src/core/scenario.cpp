@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "wimesh/common/strings.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh {
 namespace {
@@ -311,6 +312,12 @@ Expected<Scenario> parse_scenario(const std::string& text) {
       } else {
         return make_error(str_cat("line ", line_no,
                                   ": audit must be on|off|fail-fast"));
+      }
+    } else if (key == "trace") {
+      std::string trace_error;
+      sc.config.trace_categories = trace::parse_categories(value, &trace_error);
+      if (!trace_error.empty()) {
+        return make_error(str_cat("line ", line_no, ": ", trace_error));
       }
     } else {
       return make_error(str_cat("line ", line_no, ": unknown key '", key,

@@ -1,5 +1,7 @@
 #include "wimesh/des/simulator.h"
 
+#include "wimesh/trace/trace.h"
+
 namespace wimesh {
 
 EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
@@ -32,6 +34,8 @@ void Simulator::execute_next() {
   EventFn fn = std::move(it->second);
   handlers_.erase(it);
   ++events_executed_;
+  trace::event(trace::EventType::kDesDispatch, now_, -1,
+               static_cast<std::int64_t>(e.id));
   fn();
 }
 

@@ -4,6 +4,7 @@
 
 #include "wimesh/common/log.h"
 #include "wimesh/common/strings.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh::faults {
 
@@ -68,6 +69,8 @@ void FaultRuntime::apply(const FaultEvent& event) {
   const SimTime now = sim_.now();
   const SimTime frame = inputs_.emulation.frame.frame_duration;
   ++report_.events_applied;
+  trace::event(trace::EventType::kFaultApplied, now, event.node,
+               static_cast<std::int64_t>(event.kind));
   switch (event.kind) {
     case FaultKind::kNodeCrash: {
       WIMESH_ASSERT(event.node >= 0 && event.node < topology_.node_count());
@@ -147,6 +150,8 @@ void FaultRuntime::schedule_recovery(SimTime fault_at) {
 }
 
 void FaultRuntime::run_recovery(SimTime fault_at) {
+  trace::event(trace::EventType::kRecoveryStart, sim_.now(), -1,
+               static_cast<std::int64_t>(report_.events_applied));
   // Sync first: the repaired schedule's guard must cover the clock error
   // bound of the tree the mesh will actually run on.
   if (sync_) {
@@ -189,6 +194,9 @@ void FaultRuntime::run_recovery(SimTime fault_at) {
 
 void FaultRuntime::repair_schedule(SimTime fault_at) {
   const SimTime now = sim_.now();
+  // Wall clock measures the re-plan cost; the virtual range spans fault to
+  // repaired-plan activation, i.e. exactly report_.repair_latency.
+  trace::Span span(trace::SpanName::kFaultRecovery, now);
 
   // Surviving topology: original nodes, minus edges with a dead endpoint
   // or an injected hard outage. (Dead nodes stay as isolated vertices so
@@ -260,6 +268,10 @@ void FaultRuntime::repair_schedule(SimTime fault_at) {
   ++report_.repairs;
   report_.last_repair_at = deployment.activation_time;
   report_.repair_latency = deployment.activation_time - fault_at;
+  span.set_virtual_range(fault_at, deployment.activation_time);
+  trace::event(trace::EventType::kScheduleRepaired, now, -1, report_.repairs,
+               static_cast<std::int64_t>(shed_ids.size()),
+               deployment.activation_frame);
 
   for (int id : shed_ids) {
     open_outage(id, now);

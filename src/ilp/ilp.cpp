@@ -8,6 +8,7 @@
 
 #include "wimesh/common/log.h"
 #include "wimesh/common/strings.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh {
 
@@ -259,6 +260,7 @@ IlpResult BranchAndBound::run() {
 }  // namespace
 
 IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options) {
+  const trace::Span span(trace::SpanName::kIlpSolve);
   BranchAndBound bnb(model, options);
   return bnb.run();
 }

@@ -5,6 +5,7 @@
 
 #include "wimesh/common/strings.h"
 #include "wimesh/graph/shortest_path.h"
+#include "wimesh/trace/trace.h"
 #include "wimesh/sched/conflict_graph.h"
 #include "wimesh/sched/schedule_cache.h"
 
@@ -125,6 +126,7 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
                                     SchedulerKind kind,
                                     const IlpSchedulerOptions& ilp_options,
                                     PlanObjective objective) const {
+  const trace::Span span(trace::SpanName::kQosPlan);
   MeshPlan plan;
 
   // ---- 1. Route everything and register links. Guaranteed flows are

@@ -7,6 +7,7 @@
 #include "wimesh/common/strings.h"
 #include "wimesh/graph/shortest_path.h"
 #include "wimesh/sched/conflict_graph.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh {
 
@@ -188,6 +189,7 @@ void add_budget_rows(OrderModel& om, const SchedulingProblem& problem) {
 Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
                                       int frame_slots,
                                       const IlpSchedulerOptions& options) {
+  const trace::Span span(trace::SpanName::kScheduleIlp);
   problem.check();
   auto build = build_order_model(problem, frame_slots);
   if (!build.has_value()) return make_error(build.error());
@@ -227,6 +229,7 @@ Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
 Expected<MinMaxDelayResult> schedule_ilp_min_max_delay(
     const SchedulingProblem& problem, int frame_slots,
     const IlpSchedulerOptions& options) {
+  const trace::Span span(trace::SpanName::kScheduleIlp);
   problem.check();
   auto build = build_order_model(problem, frame_slots);
   if (!build.has_value()) return make_error(build.error());
@@ -281,6 +284,7 @@ Expected<MinMaxDelayResult> schedule_ilp_min_max_delay(
 Expected<MinSlotsResult> min_slots_search(const SchedulingProblem& problem,
                                           int max_slots,
                                           const IlpSchedulerOptions& options) {
+  const trace::Span span(trace::SpanName::kMinSlotsSearch);
   problem.check();
   const int lower = schedule_length_lower_bound(problem.links, problem.demand,
                                                 problem.conflicts);
@@ -403,6 +407,7 @@ bool budgets_satisfied(const SchedulingProblem& problem,
 std::optional<MeshSchedule> order_to_schedule(const SchedulingProblem& problem,
                                               const TransmissionOrder& order,
                                               int frame_slots) {
+  const trace::Span span(trace::SpanName::kBellmanFord);
   WIMESH_ASSERT(order.link_count() == problem.links.count());
   const auto act = active_links(problem);
 

@@ -5,6 +5,7 @@
 
 #include "wimesh/common/strings.h"
 #include "wimesh/graph/topology.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh {
 
@@ -88,6 +89,7 @@ void SyncProtocol::schedule_wave(SimTime at) {
 }
 
 void SyncProtocol::fail_master() {
+  trace::event(trace::EventType::kSyncMasterFail, sim_.now(), master_);
   ++epoch_;  // pending wave events fizzle
   master_alive_ = false;
 }
@@ -125,6 +127,7 @@ void SyncProtocol::re_root(NodeId new_master, const std::vector<char>& alive) {
   // The new master becomes the time reference; everyone reachable aligns
   // to it on the recovery wave, which fires immediately.
   clocks_[static_cast<std::size_t>(master_)] = ClockState{};
+  trace::event(trace::EventType::kSyncReRoot, sim_.now(), master_, max_depth_);
   schedule_wave(sim_.now());
 }
 
@@ -161,6 +164,8 @@ void SyncProtocol::run_wave() {
     clocks_[n].last_sync = now;
   }
   ++waves_;
+  trace::event(trace::EventType::kSyncWave, now, master_,
+               static_cast<std::int64_t>(waves_), max_depth_);
   schedule_wave(now + config_.resync_interval);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wimesh/trace/trace.h"
+
 namespace wimesh {
 
 int packets_per_block(const EmulationParams& params, const PhyMode& phy,
@@ -72,6 +74,7 @@ void TdmaOverlayNode::stage_grants(std::int64_t activation_frame,
 }
 
 void TdmaOverlayNode::adopt_staged() {
+  const std::int64_t activation_frame = staged_.activation_frame;
   // Queued packets follow their neighbor into the new plan: the repaired
   // schedule may assign a different LinkId to the same adjacency, and a
   // packet in flight cares about where it is going, not what the edge was
@@ -107,6 +110,8 @@ void TdmaOverlayNode::adopt_staged() {
   // LinkIds are plan-relative; a stale block event from before the swap
   // must not dequeue from a new-plan queue that happens to reuse its id.
   ++plan_generation_;
+  trace::event(trace::EventType::kGrantSwap, sim_.now(), self_,
+               static_cast<std::int64_t>(plan_generation_), activation_frame);
 
   for (const TxGrant& g : grants_) {
     auto it = by_neighbor.find(g.neighbor);
@@ -163,6 +168,7 @@ std::size_t TdmaOverlayNode::total_queued() const {
 void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
   const SimTime frame_start = params_.frame.frame_start(frame_index);
   if (frame_start >= stop) return;
+  trace::event(trace::EventType::kFrameStart, frame_start, self_, frame_index);
   if (staged_.pending && frame_index >= staged_.activation_frame) {
     // Hot-swap exactly on the frame boundary: the repaired plan takes
     // effect before any of this frame's blocks are scheduled.
@@ -175,8 +181,8 @@ void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
     SimTime fire = sync_.global_time_for_local(self_, local_start);
     if (fire < sim_.now()) fire = sim_.now();  // clock skew at startup
     const std::uint64_t gen = plan_generation_;
-    sim_.schedule_at(fire, [this, grant, gen] {
-      if (gen == plan_generation_) on_block_start(grant);
+    sim_.schedule_at(fire, [this, grant, gen, frame_index] {
+      if (gen == plan_generation_) on_block_start(grant, frame_index);
     });
   }
   // Chain the next frame relative to global time; each block start is
@@ -188,7 +194,8 @@ void TdmaOverlayNode::schedule_frame(std::int64_t frame_index, SimTime stop) {
                    });
 }
 
-void TdmaOverlayNode::on_block_start(const TxGrant& grant) {
+void TdmaOverlayNode::on_block_start(const TxGrant& grant,
+                                     std::int64_t frame_index) {
   if (!enabled_) return;  // crashed node: queues freeze until recovery
   const auto queue_it = queues_.find(grant.link);
   if (queue_it == queues_.end()) return;  // grant revoked by a hot-swap
@@ -197,9 +204,13 @@ void TdmaOverlayNode::on_block_start(const TxGrant& grant) {
     // Previous work has not drained — a symptom of an undersized guard or
     // an invalid schedule. Skip the block rather than collide.
     ++busy_at_slot_start_;
+    trace::event(trace::EventType::kBlockSkipped, sim_.now(), self_,
+                 grant.link);
     if (hooks_.on_block_skipped) hooks_.on_block_skipped(self_, grant.link);
     return;
   }
+  trace::event(trace::EventType::kBlockStart, sim_.now(), self_, grant.link,
+               grant.range.start, grant.range.length, frame_index);
   // Release exactly the packets whose worst-case (deterministic, in
   // zero-backoff mode) service times fit the block minus the guard.
   // Guaranteed traffic drains first; best effort fills what remains.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wimesh/trace/trace.h"
+
 namespace wimesh {
 namespace {
 
@@ -80,6 +82,9 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
 
   if (record.radiated) {
     ++frames_transmitted_;
+    trace::event(trace::EventType::kTxStart, sim_.now(), tx, frame.to,
+                 static_cast<std::int64_t>(frame.type), duration.ns(),
+                 static_cast<std::int64_t>(frame.packet.bytes));
     if (probe_ != nullptr) probe_->on_transmission_start(frame, end);
 
     // The new transmission corrupts every ongoing reception it is audible
@@ -92,6 +97,11 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
                               positions_[static_cast<std::size_t>(r.rx)])) {
           r.corrupted = true;
           ++receptions_corrupted_;
+          trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx,
+                       r.frame.from,
+                       static_cast<std::int64_t>(
+                           r.rx == tx ? trace::RxDropCause::kHalfDuplex
+                                      : trace::RxDropCause::kCollision));
         }
       }
     }
@@ -108,15 +118,23 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
       Reception r;
       r.frame = frame;
       r.rx = rx;
+      auto cause = trace::RxDropCause::kCollision;
       for (const ActiveTx& ongoing : active_) {
         if (!ongoing.radiated) continue;
         if (ongoing.tx == rx ||
             radio_.interferes(
                 positions_[static_cast<std::size_t>(ongoing.tx)], rx_pos)) {
+          if (!r.corrupted && ongoing.tx == rx) {
+            cause = trace::RxDropCause::kHalfDuplex;
+          }
           r.corrupted = true;
         }
       }
-      if (r.corrupted) ++receptions_corrupted_;
+      if (r.corrupted) {
+        ++receptions_corrupted_;
+        trace::event(trace::EventType::kRxCorrupted, sim_.now(), rx, tx,
+                     static_cast<std::int64_t>(cause));
+      }
       record.receptions.push_back(std::move(r));
     };
 
@@ -174,11 +192,15 @@ void WifiChannel::finish_transmission(std::uint64_t key) {
     if (impairment_ != nullptr &&
         impairment_->corrupts(done.tx, r.rx, sim_.now())) {
       ++receptions_corrupted_;
+      trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx, done.tx,
+                   static_cast<std::int64_t>(trace::RxDropCause::kImpairment));
       continue;
     }
     if (error_.packet_error_rate > 0.0 &&
         rng_.chance(error_.packet_error_rate)) {
       ++receptions_corrupted_;
+      trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx, done.tx,
+                   static_cast<std::int64_t>(trace::RxDropCause::kPer));
       continue;
     }
     // Overheard copies inform NAV but do not count as deliveries.
