@@ -61,18 +61,26 @@ bulk 50 2 6 1200 2000000
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
-               "[--audit [fail-fast]] [--faults PLAN] [--trace OUT[:cats]] "
-               "<scenario-file> | --demo\n"
+               "[--audit [fail-fast]] [--faults PLAN] [--ilp KNOBS] "
+               "[--trace OUT[:cats]] <scenario-file> | --demo\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
                "                  (grammar: include/wimesh/faults/plan.h)\n"
+               "  --ilp KNOBS     ILP scheduler knobs, comma list of\n"
+               "                  [no-]cuts | [no-]symmetry | [no-]warm | "
+               "[no-]tree |\n"
+               "                  portfolio=N | threads=N | max_nodes=N | "
+               "time_limit_s=X\n"
+               "                  (overrides the scenario's 'ilp =' key; "
+               "threads only\n"
+               "                  affects wall clock, never results)\n"
                "  --trace OUT[:cats]\n"
                "                  write a Perfetto/chrome://tracing JSON "
                "event trace to OUT\n"
                "                  (per seed under --sweep) plus a slot "
                "timeline CSV; cats is a\n"
                "                  comma list of "
-               "des,tdma,wifi,sync,faults,prof (default all)\n",
+               "des,tdma,wifi,sync,faults,prof,ilp (default all)\n",
                argv0);
   return 1;
 }
@@ -182,6 +190,7 @@ int main(int argc, char** argv) {
   std::string scenario_arg;
   std::string json_path;
   std::string faults_arg;
+  std::string ilp_arg;
   std::string trace_path;
   std::uint32_t trace_cats = 0;
   bool trace_requested = false;
@@ -216,6 +225,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       faults_arg = argv[++i];
+    } else if (arg == "--ilp" && i + 1 < argc) {
+      ilp_arg = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       if (!parse_trace_arg(argv[++i], &trace_path, &trace_cats)) {
         return usage(argv[0]);
@@ -248,6 +259,10 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
     text = buf.str();
   }
+
+  // --ilp knobs append an 'ilp =' line, so they ride the scenario grammar
+  // (and, coming last, override any 'ilp =' key in the file).
+  if (!ilp_arg.empty()) text += "\nilp = " + ilp_arg + "\n";
 
   auto scenario = parse_scenario(text);
   if (!scenario.has_value()) {

@@ -16,6 +16,12 @@
 //   data_slots = 96
 //   guard_us = auto                  # 'auto' or microseconds
 //   scheduler = ilp-delay            # ilp-delay|ilp-nodelay|greedy|round-robin
+//   ilp = threads=4,portfolio=2      # ILP solver knobs, comma-separated:
+//                                    #   [no-]cuts | [no-]symmetry |
+//                                    #   [no-]warm | [no-]tree |
+//                                    #   portfolio=N | threads=N |
+//                                    #   max_nodes=N | time_limit_s=X
+//                                    # repeated 'ilp =' lines accumulate
 //   routing = hop                    # hop | load-aware
 //   mac = tdma                       # tdma | dcf | edca
 //   duration_s = 10

@@ -1,0 +1,31 @@
+#pragma once
+
+// Work-stealing parallel executor for independent indexed jobs.
+//
+// The batch layer's unit of work is "run simulation i" — jobs are coarse
+// (milliseconds to seconds each) and independent, but far from uniform:
+// an ILP that hits branch & bound can cost 100x a cache-hit run. Static
+// striping would leave workers idle behind one slow stripe, so each worker
+// owns a deque seeded with a contiguous stripe of indices, pops from its
+// own front, and steals from the back of the busiest victim when empty.
+// Job indices say nothing about where results go — callers write to
+// per-index slots — so stealing never perturbs output order.
+
+#include <cstddef>
+#include <functional>
+
+namespace wimesh::exec {
+
+// Threads actually worth using for `count` jobs given the --jobs request:
+// at least 1, at most count.
+int effective_jobs(int requested, std::size_t count);
+
+// Runs fn(i) for every i in [0, count) on `jobs` threads (the calling
+// thread is one of them). Returns when every job has finished. `fn` must
+// be safe to call concurrently for distinct indices; each index is
+// executed exactly once. The first exception thrown by any job is
+// rethrown on the caller after all workers stop picking up new work.
+void run_indexed(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace wimesh::exec

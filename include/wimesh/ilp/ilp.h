@@ -11,7 +11,9 @@
 //   m.add_constraint({{s, 1.0}, {o, big_m}}, RowSense::kLessEqual, rhs);
 //   IlpResult r = solve_ilp(m, opts);
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -69,12 +71,29 @@ struct IlpResult {
   IlpStatus status = IlpStatus::kLimitReached;
   double objective = 0.0;       // incumbent objective (when an incumbent exists)
   std::vector<double> x;        // incumbent point (integers snapped exactly)
-  long nodes_explored = 0;
+  long nodes_explored = 0;      // LP relaxations solved, summed over strategies
   long lp_iterations = 0;       // total simplex pivots across all nodes
-  double best_bound = 0.0;      // proven bound on the optimum
+  // True dual bound on the optimum (in the model's objective sense): for a
+  // maximization, objective <= optimum <= best_bound; for a minimization,
+  // best_bound <= optimum <= objective. Equal to the objective only when
+  // the search actually proved optimality.
+  double best_bound = 0.0;
+  int winning_strategy = 0;     // portfolio strategy that produced x
+  long rounds = 0;              // synchronized portfolio rounds executed
+  std::vector<long> nodes_per_strategy;  // per-strategy node counts
+  long warm_start_hits = 0;     // node LPs that reused the parent basis
+  long warm_start_attempts = 0; // node LPs offered a parent basis
 
   bool has_solution() const {
     return status == IlpStatus::kOptimal || status == IlpStatus::kFeasible;
+  }
+
+  // Relative optimality gap |objective - best_bound| / max(1, |objective|).
+  // Zero when optimality was proven; +inf when there is no incumbent.
+  double gap() const {
+    if (!has_solution()) return std::numeric_limits<double>::infinity();
+    return std::abs(objective - best_bound) /
+           std::max(1.0, std::abs(objective));
   }
 };
 
@@ -90,6 +109,29 @@ struct IlpOptions {
   // (set to ~1 when the objective is integral to prune aggressively).
   double objective_gap_tol = 1e-9;
   LpOptions lp;
+
+  // --- Portfolio branch & bound ---
+  // Number of independent search strategies explored in synchronized
+  // rounds (clamped to [1, 4]). Strategies differ in branching rule and
+  // dive direction; incumbents are shared at round barriers, and the
+  // returned solution is selected deterministically (best objective, ties
+  // to the lowest strategy index), so the result is bit-identical for any
+  // `threads` value. Strategy 0 is the classic priority/most-fractional
+  // depth-first dive.
+  int portfolio = 4;
+  // Worker threads used to run the strategies of one round concurrently.
+  // Purely a wall-clock knob: results do not depend on it (the time limit,
+  // as always, can stop the search at a nondeterministic point).
+  int threads = 1;
+  // Reuse each parent node's optimal LP basis to warm-start its children
+  // (dual-simplex repair instead of a fresh phase 1).
+  bool warm_start = true;
+  // Optional warm basis for the root LP (e.g. from the previous stage of a
+  // linear search over schedule lengths), and a slot to receive this
+  // solve's optimal root basis. Both may be null; `root_basis_out` is left
+  // empty when the root relaxation was not solved to optimality.
+  const LpBasis* root_basis = nullptr;
+  LpBasis* root_basis_out = nullptr;
 };
 
 IlpResult solve_ilp(const IlpModel& model, const IlpOptions& options = {});

@@ -14,6 +14,7 @@
 //   subject to            lhs_i : a_i'x (<= | = | >=) rhs_i
 //                         lo_j <= x_j <= up_j   (either side may be infinite)
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -105,11 +106,28 @@ enum class LpStatus {
   kIterationLimit,
 };
 
+// Simplex basis snapshot over the structural and slack columns (variables
+// first, then one slack per row). Captured from an optimal solve and fed
+// back into a later solve of a model with the SAME dimensions — typically
+// the parent node's basis in branch & bound, or the previous stage of the
+// min-slot linear search. Coefficients, bounds and right-hand sides may
+// all differ between the two models; only variable_count/constraint_count
+// must match. A stale or singular basis is detected and falls back to a
+// cold start, so warm starting is always safe, merely sometimes useless.
+enum class LpVarStatus : std::uint8_t { kBasic = 0, kAtLower, kAtUpper, kFree };
+
+struct LpBasis {
+  std::vector<LpVarStatus> status;  // n + m entries: structural, then slack
+  std::vector<std::int32_t> basic;  // per row: column basic in that row
+  bool empty() const { return basic.empty(); }
+};
+
 struct LpResult {
   LpStatus status = LpStatus::kInfeasible;
   double objective = 0.0;       // valid when kOptimal
   std::vector<double> x;        // primal values, valid when kOptimal
   long iterations = 0;          // simplex pivots performed
+  bool warm_start_used = false; // true when a supplied basis was installed
 };
 
 struct LpOptions {
@@ -120,5 +138,15 @@ struct LpOptions {
 
 // Solves the LP. Deterministic; no randomness.
 LpResult solve_lp(const LpModel& model, const LpOptions& options = {});
+
+// Warm-started solve: when `warm_start` is non-null, non-empty and
+// installable, the simplex starts from that basis (restoring primal
+// feasibility with a dual-simplex pass when the basis is dual-feasible but
+// primal-infeasible) instead of running phase 1 from scratch; otherwise it
+// silently cold-starts. When `basis_out` is non-null and the solve ends
+// kOptimal, the final basis is stored there for reuse (left empty when
+// the optimal basis still contains an artificial column).
+LpResult solve_lp(const LpModel& model, const LpOptions& options,
+                  const LpBasis* warm_start, LpBasis* basis_out);
 
 }  // namespace wimesh

@@ -50,4 +50,21 @@ int schedule_length_lower_bound(const LinkSet& links,
                                 const std::vector<int>& demand,
                                 const Graph& conflicts);
 
+// A maximal clique of demanded links found by greedy growth, with its
+// total demand. Members are sorted ascending by LinkId.
+struct DemandClique {
+  std::vector<LinkId> members;
+  int weight = 0;  // sum of member demands, in slots
+};
+
+// Greedy maximal cliques of the conflict graph restricted to links with
+// positive demand: one clique is grown from every demanded link (candidates
+// tried in descending demand order), then duplicates are removed. The
+// heaviest clique's weight is exactly the clique part of
+// schedule_length_lower_bound(links, demand, conflicts); the full list
+// feeds the ILP scheduler's clique cutting planes. Deterministic.
+std::vector<DemandClique> greedy_demand_cliques(const LinkSet& links,
+                                                const std::vector<int>& demand,
+                                                const Graph& conflicts);
+
 }  // namespace wimesh

@@ -84,6 +84,9 @@ struct ScheduleResult {
   // Solver diagnostics (zeros for non-ILP schedulers).
   long ilp_nodes = 0;
   long lp_iterations = 0;
+  // True when the exact tree-topology fast path produced the schedule
+  // without touching the LP/ILP machinery at all.
+  bool used_tree_fast_path = false;
 };
 
 struct IlpSchedulerOptions {
@@ -105,6 +108,34 @@ struct IlpSchedulerOptions {
   // the key). Shared across runs by the batch runner so fixed-topology
   // sweeps solve each distinct problem once. Not owned; may be null.
   ScheduleCache* cache = nullptr;
+
+  // --- Branch & bound accelerators (see docs/README "ILP scheduler") ---
+  // Add Queyranne clique cutting planes to the order model: for every
+  // greedy maximal clique Q of the conflict graph,
+  //   sum_{l in Q} d_l s_l >= sum_{l<m in Q} d_l d_m
+  // and its time-reversed mirror. Valid for every feasible schedule
+  // (clique members serialize on one "machine"), but cuts off fractional
+  // LP points where the big-M disjunctions are loose. Also proves
+  // infeasibility outright when a clique's demand exceeds the frame.
+  bool clique_cuts = true;
+  // Fix the relative order of mutually-interchangeable links (equal
+  // demand, mutually conflicting, identical conflict neighborhoods) to
+  // lowest-LinkId-first, collapsing the factorial symmetry group. Links on
+  // flows whose delay budget binds are never fixed (their order affects
+  // wrap counts). Preserves feasibility and the optimal objective.
+  bool symmetry_breaking = true;
+  // Warm-start node LPs from the parent basis, and chain the root basis
+  // across the min-slot search's successive stages.
+  bool warm_start = true;
+  // When the active links' undirected support is a forest, try the exact
+  // canonical monotone order (up-links deepest-first, then down-links
+  // shallowest-first) before any LP work; it is verified against the frame
+  // size and delay budgets, so enabling this never changes feasibility.
+  bool tree_fast_path = true;
+  // Portfolio strategies / worker threads forwarded to IlpOptions.
+  // `threads` is a pure wall-clock knob: results never depend on it.
+  int portfolio = 4;
+  int threads = 1;
 };
 
 // Feasibility ILP at a fixed schedule length (data subframe size) of
@@ -147,6 +178,22 @@ struct MinSlotsResult {
 Expected<MinSlotsResult> min_slots_search(
     const SchedulingProblem& problem, int max_slots,
     const IlpSchedulerOptions& options = {});
+
+// Exact fast path for tree topologies: when the undirected support of the
+// active links forms a forest, schedules the canonical monotone order —
+// links pointing toward their component's root ("up") deepest-child-first,
+// then links pointing away ("down") shallowest-first — via the Bellman–Ford
+// reconstruction. Every root-ward/leaf-ward flow path is wrap-free under
+// this order, so delay budgets are trivially met on sensibly-routed trees.
+// Returns nullopt when the support has a cycle, the order needs more than
+// `frame_slots` slots (the canonical order trades some spatial reuse for
+// zero wraps, so at the very tightest S it may decline where the ILP still
+// succeeds), or (when `require_budgets`) some flow still wraps past its
+// budget. A returned schedule is always valid, so enabling the fast path
+// never changes feasibility — it only answers faster when it applies.
+std::optional<ScheduleResult> schedule_tree_fast_path(
+    const SchedulingProblem& problem, int frame_slots,
+    bool require_budgets = true);
 
 // Delay-aware constructive heuristic: links are placed first-fit in
 // ascending order of their position along the flows that use them, which

@@ -36,7 +36,8 @@ enum Category : std::uint32_t {
   kSync = 1u << 3,    // beacon waves, re-roots, master failures
   kFaults = 1u << 4,  // fault injection / recovery phases
   kProf = 1u << 5,    // wall-clock profiling spans
-  kAll = (1u << 6) - 1,
+  kIlp = 1u << 6,     // ILP solver internals (cuts, portfolio, warm starts)
+  kAll = (1u << 7) - 1,
 };
 
 // Parses a comma-separated category list ("tdma,sync"). "all" and "on"
@@ -63,6 +64,13 @@ enum class EventType : std::uint16_t {
   kPlanActivated,     // a=activation frame
   kSpan,              // profiling span: name field, a=wall total ns,
                       // b=wall self ns, [t0,t1] = virtual range
+  // ILP solver internals (appended after kSpan to keep earlier numeric
+  // values stable for existing exports).
+  kIlpCuts,           // a=cut rows added, b=cliques used, c=root lower bound
+  kIlpPortfolio,      // a=strategy index, b=nodes explored, c=rounds,
+                      // d=1 when this strategy produced the returned result
+  kIlpWarmStart,      // a=warm-start hits, b=attempts (per solve)
+  kIlpTreeFastPath,   // a=active links, b=slots used, c=forest components
 };
 const char* event_type_name(EventType type);
 Category event_category(EventType type);
@@ -84,6 +92,8 @@ enum class SpanName : std::uint16_t {
   kFaultRecovery,   // fault detection -> repaired plan activation
   kSimRun,          // DES main loop for one run
   kBatchRun,        // one batch run body (plan + simulate)
+  kIlpCutGen,       // clique-cut generation over the conflict graph
+  kTreeFastPath,    // forest detection + Bellman-Ford tree scheduling
   kCount,
 };
 const char* span_name(SpanName name);
@@ -137,7 +147,7 @@ class Tracer {
   const TraceConfig& config() const { return config_; }
 
  private:
-  static constexpr std::size_t kCategoryCount = 6;
+  static constexpr std::size_t kCategoryCount = 7;
 
   TraceConfig config_;
   std::vector<Record> ring_;

@@ -42,6 +42,57 @@ Expected<double> to_number(const std::string& s, std::size_t line_no) {
   }
 }
 
+// Applies one comma-separated "ilp =" knob list onto `opt` (repeated lines
+// accumulate, later tokens win). Grammar documented in core/scenario.h.
+Expected<bool> apply_ilp_options(IlpSchedulerOptions& opt,
+                                 const std::string& value,
+                                 std::size_t line_no) {
+  for (const std::string& raw : split(value, ',')) {
+    const std::string tok = trim(raw);
+    if (tok.empty()) continue;
+    const auto flag = [&](const char* name, bool* target) {
+      if (tok == name) {
+        *target = true;
+        return true;
+      }
+      if (tok == std::string("no-") + name) {
+        *target = false;
+        return true;
+      }
+      return false;
+    };
+    if (flag("cuts", &opt.clique_cuts) ||
+        flag("symmetry", &opt.symmetry_breaking) ||
+        flag("warm", &opt.warm_start) || flag("tree", &opt.tree_fast_path)) {
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = trim(tok.substr(0, eq));
+      const auto num = to_number(trim(tok.substr(eq + 1)), line_no);
+      if (!num) return make_error(num.error());
+      if (name == "portfolio") {
+        opt.portfolio = static_cast<int>(*num);
+      } else if (name == "threads") {
+        opt.threads = static_cast<int>(*num);
+      } else if (name == "max_nodes") {
+        opt.max_nodes = static_cast<long>(*num);
+      } else if (name == "time_limit_s") {
+        opt.time_limit_seconds = *num;
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown ilp knob '",
+                                  name, "'"));
+      }
+      continue;
+    }
+    return make_error(str_cat("line ", line_no, ": unknown ilp token '", tok,
+                              "' (expected [no-]cuts|[no-]symmetry|"
+                              "[no-]warm|[no-]tree|portfolio=N|threads=N|"
+                              "max_nodes=N|time_limit_s=X)"));
+  }
+  return true;
+}
+
 Expected<Topology> parse_topology(const std::vector<std::string>& args,
                                   std::size_t line_no) {
   const auto need = [&](std::size_t n) {
@@ -244,6 +295,9 @@ Expected<Scenario> parse_scenario(const std::string& text) {
         return make_error(str_cat("line ", line_no, ": unknown scheduler '",
                                   value, "'"));
       }
+    } else if (key == "ilp") {
+      auto applied = apply_ilp_options(sc.config.ilp, value, line_no);
+      if (!applied) return make_error(applied.error());
     } else if (key == "routing") {
       if (value == "hop") {
         sc.config.routing = RoutingPolicy::kHopCount;

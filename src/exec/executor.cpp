@@ -1,4 +1,4 @@
-#include "wimesh/batch/executor.h"
+#include "wimesh/exec/executor.h"
 
 #include <algorithm>
 #include <atomic>
@@ -10,7 +10,7 @@
 
 #include "wimesh/common/assert.h"
 
-namespace wimesh::batch {
+namespace wimesh::exec {
 
 int effective_jobs(int requested, std::size_t count) {
   const int clamped = std::max(1, requested);
@@ -118,4 +118,4 @@ void run_indexed(int jobs, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace wimesh::batch
+}  // namespace wimesh::exec

@@ -94,10 +94,13 @@ class Simplex {
   Simplex(const LpModel& model, const LpOptions& opt)
       : model_(model), opt_(opt) {}
 
-  LpResult run();
+  LpResult run(const LpBasis* warm, LpBasis* basis_out);
 
  private:
   enum class Status : std::uint8_t { kBasic, kAtLower, kAtUpper, kFreeZero };
+
+  // Outcome of the dual-simplex repair pass used by warm starts.
+  enum class DualOutcome { kFeasible, kInfeasible, kIterationLimit, kStalled };
 
   struct Pick {
     int col = -1;
@@ -118,8 +121,19 @@ class Simplex {
   Pick choose_entering(bool bland) const;
   // Returns false on unboundedness.
   bool step(const Pick& pick, bool* progressed);
+  // Gauss-Jordan elimination around pivot (leave_row, q). `update_rhs`
+  // applies the same row operations to xb_ (used while installing a warm
+  // basis, where xb_ is the literal rhs column); `update_costs` keeps the
+  // reduced costs in sync (used by primal/dual iterations, which maintain
+  // xb_ incrementally instead).
+  void pivot_tableau(int leave_row, int q, bool update_rhs, bool update_costs);
+  bool install_warm(const LpBasis& hint);
+  bool primal_feasible() const;
+  bool dual_feasible() const;
+  DualOutcome run_dual();
   double basic_objective() const;
   void extract_solution(LpResult* out) const;
+  void extract_basis(LpBasis* out) const;
 
   const LpModel& model_;
   const LpOptions& opt_;
@@ -363,25 +377,225 @@ bool Simplex::step(const Pick& pick, bool* progressed) {
   // (Value is implicit in its status; nothing stored.)
 
   // Gauss-Jordan update of the tableau and reduced costs around (r, q).
+  pivot_tableau(leave_row, q, /*update_rhs=*/false, /*update_costs=*/true);
+  return true;
+}
+
+void Simplex::pivot_tableau(int leave_row, int q, bool update_rhs,
+                            bool update_costs) {
   const double piv = t_at(leave_row, q);
   WIMESH_ASSERT_MSG(std::abs(piv) > 1e-12, "numerically singular pivot");
   const double inv = 1.0 / piv;
   for (int j = 0; j < cols_; ++j) t_at(leave_row, j) *= inv;
+  if (update_rhs) xb_[idx(leave_row)] *= inv;
   for (int r = 0; r < m_; ++r) {
     if (r == leave_row) continue;
     const double f = t_at(r, q);
     if (f == 0.0) continue;
     for (int j = 0; j < cols_; ++j) t_at(r, j) -= f * t_at(leave_row, j);
     t_at(r, q) = 0.0;  // exact zero, avoids drift
+    if (update_rhs) xb_[idx(r)] -= f * xb_[idx(leave_row)];
   }
-  const double fd = dcost_[idx(q)];
-  if (fd != 0.0) {
-    for (int j = 0; j < cols_; ++j) {
-      dcost_[idx(j)] -= fd * t_at(leave_row, j);
+  if (update_costs) {
+    const double fd = dcost_[idx(q)];
+    if (fd != 0.0) {
+      for (int j = 0; j < cols_; ++j) {
+        dcost_[idx(j)] -= fd * t_at(leave_row, j);
+      }
+    }
+    dcost_[idx(q)] = 0.0;
+  }
+}
+
+bool Simplex::install_warm(const LpBasis& hint) {
+  const int nm = n_ + m_;
+  if (static_cast<int>(hint.status.size()) != nm) return false;
+  if (static_cast<int>(hint.basic.size()) != m_) return false;
+  std::vector<char> hint_basic(idx(nm), 0);
+  for (std::int32_t q : hint.basic) {
+    if (q < 0 || q >= nm) return false;
+    if (hint_basic[idx(q)] != 0) return false;
+    if (hint.status[idx(q)] != LpVarStatus::kBasic) return false;
+    hint_basic[idx(q)] = 1;
+  }
+
+  // Move every hint-nonbasic column onto its hinted bound, clamped to the
+  // CURRENT bounds (the hint may come from a model with different bounds,
+  // e.g. the branch & bound parent). xb_ is kept consistent as the rhs
+  // column B^-1 (b - N x_N) throughout.
+  for (int j = 0; j < nm; ++j) {
+    if (hint_basic[idx(j)] != 0) continue;
+    const bool has_lo = lo_[idx(j)] > -kLpInfinity;
+    const bool has_up = up_[idx(j)] < kLpInfinity;
+    Status want;
+    switch (hint.status[idx(j)]) {
+      case LpVarStatus::kAtUpper:
+        want = has_up ? Status::kAtUpper
+                      : (has_lo ? Status::kAtLower : Status::kFreeZero);
+        break;
+      case LpVarStatus::kFree:
+        want = (!has_lo && !has_up)
+                   ? Status::kFreeZero
+                   : (has_lo ? Status::kAtLower : Status::kAtUpper);
+        break;
+      case LpVarStatus::kAtLower:
+      case LpVarStatus::kBasic:  // unreachable (validated above)
+      default:
+        want = has_lo ? Status::kAtLower
+                      : (has_up ? Status::kAtUpper : Status::kFreeZero);
+        break;
+    }
+    if (want == status_[idx(j)]) continue;
+    const double old_val = nonbasic_value(j);
+    status_[idx(j)] = want;
+    const double delta = nonbasic_value(j) - old_val;
+    if (delta == 0.0) continue;
+    for (int r = 0; r < m_; ++r) {
+      const double w = t_at(r, j);
+      if (w != 0.0) xb_[idx(r)] -= w * delta;
     }
   }
-  dcost_[idx(q)] = 0.0;
+
+  // Pivot the hinted columns into the basis, displacing one artificial per
+  // pivot. Row choice is the largest available pivot magnitude; a column
+  // with no usable pivot means the hinted basis is singular under the new
+  // coefficients, and the caller cold-starts instead.
+  for (std::int32_t q : hint.basic) {
+    const double val_q = nonbasic_value(q);
+    if (val_q != 0.0) {
+      // Remove q's nonbasic contribution before it enters the basis.
+      for (int r = 0; r < m_; ++r) {
+        const double w = t_at(r, q);
+        if (w != 0.0) xb_[idx(r)] += w * val_q;
+      }
+    }
+    int best_row = -1;
+    double best_piv = 1e-7;
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[idx(r)] < nm) continue;  // row already claimed by a hint col
+      const double w = std::abs(t_at(r, q));
+      if (w > best_piv) {
+        best_piv = w;
+        best_row = r;
+      }
+    }
+    if (best_row < 0) return false;
+    const int leaving = basis_[idx(best_row)];
+    pivot_tableau(best_row, q, /*update_rhs=*/true, /*update_costs=*/false);
+    basis_[idx(best_row)] = q;
+    status_[idx(q)] = Status::kBasic;
+    status_[idx(leaving)] = Status::kAtLower;  // artificial back to zero
+  }
   return true;
+}
+
+bool Simplex::primal_feasible() const {
+  const double tol = opt_.feasibility_tol;
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[idx(r)];
+    const double v = xb_[idx(r)];
+    if (v < lo_[idx(b)] - tol || v > up_[idx(b)] + tol) return false;
+  }
+  return true;
+}
+
+bool Simplex::dual_feasible() const {
+  const double tol = opt_.optimality_tol;
+  for (int j = 0; j < cols_; ++j) {
+    const Status st = status_[idx(j)];
+    if (st == Status::kBasic) continue;
+    if (lo_[idx(j)] == up_[idx(j)]) continue;  // fixed, any sign is fine
+    const double d = dcost_[idx(j)];
+    if (st == Status::kAtLower && d < -tol) return false;
+    if (st == Status::kAtUpper && d > tol) return false;
+    if (st == Status::kFreeZero && std::abs(d) > tol) return false;
+  }
+  return true;
+}
+
+Simplex::DualOutcome Simplex::run_dual() {
+  const double ftol = opt_.feasibility_tol;
+  int stall = 0;
+  const int stall_threshold = 2 * (m_ + cols_) + 64;
+  for (;;) {
+    if (iters_ >= opt_.max_iterations) return DualOutcome::kIterationLimit;
+
+    // Leaving row: the basic variable with the worst bound violation.
+    int leave_row = -1;
+    double worst = ftol;
+    bool below = false;
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[idx(r)];
+      const double v = xb_[idx(r)];
+      if (lo_[idx(b)] - v > worst) {
+        worst = lo_[idx(b)] - v;
+        leave_row = r;
+        below = true;
+      }
+      if (v - up_[idx(b)] > worst) {
+        worst = v - up_[idx(b)];
+        leave_row = r;
+        below = false;
+      }
+    }
+    if (leave_row < 0) return DualOutcome::kFeasible;
+
+    // Entering column: dual ratio test — the column whose reduced cost
+    // reaches zero first keeps the basis dual feasible. Movement of the
+    // violated basic is -alpha * d(x_j), so eligibility depends on the
+    // direction x_j can move off its bound and the sign of alpha.
+    int q = -1;
+    double best_ratio = kLpInfinity;
+    double best_alpha = 0.0;
+    for (int j = 0; j < cols_; ++j) {
+      const Status st = status_[idx(j)];
+      if (st == Status::kBasic) continue;
+      if (lo_[idx(j)] == up_[idx(j)]) continue;
+      const double alpha = t_at(leave_row, j);
+      if (std::abs(alpha) < 1e-9) continue;
+      bool eligible;
+      if (below) {
+        eligible = ((st == Status::kAtLower || st == Status::kFreeZero) &&
+                    alpha < 0.0) ||
+                   ((st == Status::kAtUpper || st == Status::kFreeZero) &&
+                    alpha > 0.0);
+      } else {
+        eligible = ((st == Status::kAtLower || st == Status::kFreeZero) &&
+                    alpha > 0.0) ||
+                   ((st == Status::kAtUpper || st == Status::kFreeZero) &&
+                    alpha < 0.0);
+      }
+      if (!eligible) continue;
+      const double ratio = std::abs(dcost_[idx(j)]) / std::abs(alpha);
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio <= best_ratio + 1e-12 &&
+           std::abs(alpha) > std::abs(best_alpha))) {
+        best_ratio = ratio;
+        q = j;
+        best_alpha = alpha;
+      }
+    }
+    // No column can absorb the violation: the violated row is a Farkas
+    // certificate of primal infeasibility.
+    if (q < 0) return DualOutcome::kInfeasible;
+
+    const int leaving = basis_[idx(leave_row)];
+    const double target = below ? lo_[idx(leaving)] : up_[idx(leaving)];
+    const double dt = (xb_[idx(leave_row)] - target) / t_at(leave_row, q);
+    for (int r = 0; r < m_; ++r) {
+      const double w = t_at(r, q);
+      if (w != 0.0) xb_[idx(r)] -= w * dt;
+    }
+    const double entering_value = nonbasic_value(q) + dt;
+    status_[idx(leaving)] = below ? Status::kAtLower : Status::kAtUpper;
+    basis_[idx(leave_row)] = q;
+    status_[idx(q)] = Status::kBasic;
+    xb_[idx(leave_row)] = entering_value;
+    pivot_tableau(leave_row, q, /*update_rhs=*/false, /*update_costs=*/true);
+    ++iters_;
+    stall = std::abs(dt) > ftol ? 0 : stall + 1;
+    if (stall > stall_threshold) return DualOutcome::kStalled;
+  }
 }
 
 double Simplex::basic_objective() const {
@@ -416,7 +630,39 @@ void Simplex::extract_solution(LpResult* out) const {
   out->objective = model_.objective_value(out->x);
 }
 
-LpResult Simplex::run() {
+void Simplex::extract_basis(LpBasis* out) const {
+  if (out == nullptr) return;
+  out->status.clear();
+  out->basic.clear();
+  for (int r = 0; r < m_; ++r) {
+    // An artificial still basic (redundant equality row) has no slot in the
+    // exported basis; leave it empty rather than export a partial one.
+    if (basis_[idx(r)] >= n_ + m_) return;
+  }
+  out->status.assign(idx(n_ + m_), LpVarStatus::kAtLower);
+  out->basic.assign(idx(m_), -1);
+  for (int j = 0; j < n_ + m_; ++j) {
+    switch (status_[idx(j)]) {
+      case Status::kBasic:
+        out->status[idx(j)] = LpVarStatus::kBasic;
+        break;
+      case Status::kAtLower:
+        out->status[idx(j)] = LpVarStatus::kAtLower;
+        break;
+      case Status::kAtUpper:
+        out->status[idx(j)] = LpVarStatus::kAtUpper;
+        break;
+      case Status::kFreeZero:
+        out->status[idx(j)] = LpVarStatus::kFree;
+        break;
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    out->basic[idx(r)] = static_cast<std::int32_t>(basis_[idx(r)]);
+  }
+}
+
+LpResult Simplex::run(const LpBasis* warm, LpBasis* basis_out) {
   LpResult result;
 
   // Empty domains (from branch & bound) mean immediate infeasibility.
@@ -427,15 +673,53 @@ LpResult Simplex::run() {
     }
   }
 
-  build();
-  install_phase1_costs();
+  // Warm path: install the hinted basis; enter phase 2 directly when it is
+  // primal feasible, repair with dual simplex when it is dual feasible, and
+  // otherwise fall back to an ordinary cold start.
+  bool warm_ready = false;
+  if (warm != nullptr && !warm->empty()) {
+    build();
+    if (install_warm(*warm)) {
+      install_phase2_costs();
+      if (primal_feasible()) {
+        warm_ready = true;
+      } else if (dual_feasible()) {
+        switch (run_dual()) {
+          case DualOutcome::kFeasible:
+            warm_ready = true;
+            break;
+          case DualOutcome::kInfeasible:
+            result.status = LpStatus::kInfeasible;
+            result.iterations = iters_;
+            result.warm_start_used = true;
+            return result;
+          case DualOutcome::kIterationLimit:
+            result.status = LpStatus::kIterationLimit;
+            result.iterations = iters_;
+            result.warm_start_used = true;
+            return result;
+          case DualOutcome::kStalled:
+            break;  // numerically stuck: cold start below
+        }
+      }
+    }
+  }
+
+  if (warm_ready) {
+    result.warm_start_used = true;
+    phase1_ = false;
+  } else {
+    build();
+    install_phase1_costs();
+    phase1_ = true;
+  }
 
   // A pivot that moves nothing is degenerate; long degenerate runs switch
   // to Bland's rule, which guarantees termination.
   int degenerate_run = 0;
   const int bland_threshold = 2 * (m_ + cols_) + 64;
 
-  for (phase1_ = true;;) {
+  for (;;) {
     if (iters_ >= opt_.max_iterations) {
       result.status = LpStatus::kIterationLimit;
       result.iterations = iters_;
@@ -458,6 +742,7 @@ LpResult Simplex::run() {
       result.status = LpStatus::kOptimal;
       result.iterations = iters_;
       extract_solution(&result);
+      extract_basis(basis_out);
       return result;
     }
     bool progressed = false;
@@ -476,8 +761,17 @@ LpResult Simplex::run() {
 }  // namespace
 
 LpResult solve_lp(const LpModel& model, const LpOptions& options) {
+  return solve_lp(model, options, nullptr, nullptr);
+}
+
+LpResult solve_lp(const LpModel& model, const LpOptions& options,
+                  const LpBasis* warm_start, LpBasis* basis_out) {
+  if (basis_out != nullptr) {
+    basis_out->status.clear();
+    basis_out->basic.clear();
+  }
   Simplex simplex(model, options);
-  return simplex.run();
+  return simplex.run(warm_start, basis_out);
 }
 
 }  // namespace wimesh

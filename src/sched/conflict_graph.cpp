@@ -80,11 +80,11 @@ int schedule_length_lower_bound(const LinkSet& links,
   return bound;
 }
 
-int schedule_length_lower_bound(const LinkSet& links,
-                                const std::vector<int>& demand,
-                                const Graph& conflicts) {
+std::vector<DemandClique> greedy_demand_cliques(const LinkSet& links,
+                                                const std::vector<int>& demand,
+                                                const Graph& conflicts) {
+  WIMESH_ASSERT(demand.size() == static_cast<std::size_t>(links.count()));
   WIMESH_ASSERT(conflicts.node_count() == links.count());
-  int bound = schedule_length_lower_bound(links, demand);
 
   // Greedy clique growth seeded at every demanded link: repeatedly add the
   // heaviest link adjacent (in the conflict graph) to every member.
@@ -92,28 +92,54 @@ int schedule_length_lower_bound(const LinkSet& links,
   for (LinkId l = 0; l < links.count(); ++l) {
     if (demand[static_cast<std::size_t>(l)] > 0) by_demand.push_back(l);
   }
-  std::sort(by_demand.begin(), by_demand.end(), [&](LinkId a, LinkId b) {
-    return demand[static_cast<std::size_t>(a)] >
-           demand[static_cast<std::size_t>(b)];
-  });
+  std::stable_sort(by_demand.begin(), by_demand.end(),
+                   [&](LinkId a, LinkId b) {
+                     return demand[static_cast<std::size_t>(a)] >
+                            demand[static_cast<std::size_t>(b)];
+                   });
+  std::vector<DemandClique> out;
   for (LinkId seed : by_demand) {
-    std::vector<LinkId> clique{seed};
-    int weight = demand[static_cast<std::size_t>(seed)];
+    DemandClique clique;
+    clique.members.push_back(seed);
+    clique.weight = demand[static_cast<std::size_t>(seed)];
     for (LinkId cand : by_demand) {
       if (cand == seed) continue;
       bool adjacent_to_all = true;
-      for (LinkId member : clique) {
+      for (LinkId member : clique.members) {
         if (!conflicts.has_edge(cand, member)) {
           adjacent_to_all = false;
           break;
         }
       }
       if (adjacent_to_all) {
-        clique.push_back(cand);
-        weight += demand[static_cast<std::size_t>(cand)];
+        clique.members.push_back(cand);
+        clique.weight += demand[static_cast<std::size_t>(cand)];
       }
     }
-    bound = std::max(bound, weight);
+    std::sort(clique.members.begin(), clique.members.end());
+    out.push_back(std::move(clique));
+  }
+  // Different seeds frequently grow the same maximal clique; keep one copy.
+  std::sort(out.begin(), out.end(),
+            [](const DemandClique& a, const DemandClique& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.members < b.members;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const DemandClique& a, const DemandClique& b) {
+                          return a.members == b.members;
+                        }),
+            out.end());
+  return out;
+}
+
+int schedule_length_lower_bound(const LinkSet& links,
+                                const std::vector<int>& demand,
+                                const Graph& conflicts) {
+  WIMESH_ASSERT(conflicts.node_count() == links.count());
+  int bound = schedule_length_lower_bound(links, demand);
+  for (const DemandClique& c : greedy_demand_cliques(links, demand, conflicts)) {
+    bound = std::max(bound, c.weight);
   }
   return bound;
 }

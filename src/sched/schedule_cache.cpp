@@ -54,6 +54,14 @@ std::string schedule_cache_key(const SchedulingProblem& problem,
   append_i32(key, options.try_heuristics ? 1 : 0);
   append_i64(key, options.max_nodes);
   append_f64(key, options.time_limit_seconds);
+  // Solver accelerators that can change WHICH feasible schedule is found
+  // (never feasibility itself). `threads` is deliberately absent: the
+  // portfolio result is bit-identical for any thread count.
+  append_i32(key, options.clique_cuts ? 1 : 0);
+  append_i32(key, options.symmetry_breaking ? 1 : 0);
+  append_i32(key, options.warm_start ? 1 : 0);
+  append_i32(key, options.tree_fast_path ? 1 : 0);
+  append_i32(key, options.portfolio);
 
   append_i32(key, problem.links.count());
   for (const Link& l : problem.links.links()) {

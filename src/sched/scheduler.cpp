@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
+#include <utility>
 
 #include "wimesh/common/strings.h"
 #include "wimesh/graph/shortest_path.h"
@@ -74,6 +76,7 @@ struct OrderModel {
   };
   std::vector<PairVar> pairs;
   std::vector<VarId> pair_var;  // flat (l, m) lookup, l < m
+  std::vector<VarId> start;     // start-slot var per link (-1 when inactive)
   LinkId n = 0;
 
   VarId lookup(LinkId a, LinkId b) const {
@@ -132,7 +135,8 @@ Expected<OrderModel> build_order_model(const SchedulingProblem& problem,
   OrderModel out;
   out.n = problem.links.count();
   // Start-slot variable per active link.
-  std::vector<VarId> start(static_cast<std::size_t>(out.n), -1);
+  out.start.assign(static_cast<std::size_t>(out.n), -1);
+  std::vector<VarId>& start = out.start;
   for (LinkId l : act) {
     const int d = problem.demand[static_cast<std::size_t>(l)];
     start[static_cast<std::size_t>(l)] = out.model.add_continuous(
@@ -184,24 +188,352 @@ void add_budget_rows(OrderModel& om, const SchedulingProblem& problem) {
   }
 }
 
+// Queyranne clique cutting planes. Members of a conflict clique serialize
+// like jobs on one machine, so every feasible schedule satisfies the
+// single-machine completion-time inequality
+//   sum_{l in Q} d_l s_l  >=  sum_{l<m in Q} d_l d_m        (forward)
+// and, because reversing time (s_l -> S - d_l - s_l) maps feasible
+// schedules to feasible schedules, the mirrored
+//   sum_{l in Q} d_l s_l  <=  S * sum d_l - sum d_l^2 - sum_{l<m} d_l d_m.
+// Both are implied by the integer points but cut off fractional LP points
+// where the big-M disjunctions sit between their branches. A clique whose
+// total demand exceeds the frame proves infeasibility outright.
+//
+// Returns the number of cut rows added, or an error when infeasible.
+Expected<int> add_clique_cuts(OrderModel& om,
+                              const SchedulingProblem& problem,
+                              int frame_slots) {
+  const trace::Span span(trace::SpanName::kIlpCutGen);
+  const auto cliques =
+      greedy_demand_cliques(problem.links, problem.demand, problem.conflicts);
+  int root_bound = 0;
+  for (const DemandClique& c : cliques) root_bound = std::max(root_bound, c.weight);
+  int cuts = 0;
+  for (const DemandClique& c : cliques) {
+    if (c.weight > frame_slots) {
+      // Keep schedule_ilp's documented "infeasible"/"limit" error contract.
+      return make_error("infeasible");
+    }
+    if (c.members.size() < 2) continue;
+    double sum_d = 0.0, sum_d2 = 0.0;
+    std::vector<LpTerm> terms;
+    terms.reserve(c.members.size());
+    for (LinkId l : c.members) {
+      const auto d = static_cast<double>(
+          problem.demand[static_cast<std::size_t>(l)]);
+      const VarId s = om.start[static_cast<std::size_t>(l)];
+      WIMESH_ASSERT(s >= 0);
+      terms.push_back({s, d});
+      sum_d += d;
+      sum_d2 += d * d;
+    }
+    const double pairwise = 0.5 * (sum_d * sum_d - sum_d2);
+    om.model.add_constraint(terms, RowSense::kGreaterEqual, pairwise);
+    om.model.add_constraint(
+        terms, RowSense::kLessEqual,
+        static_cast<double>(frame_slots) * sum_d - sum_d2 - pairwise);
+    cuts += 2;
+  }
+  trace::event(trace::EventType::kIlpCuts, SimTime::zero(), -1, cuts,
+               static_cast<std::int64_t>(cliques.size()), root_bound);
+  return cuts;
+}
+
+// Symmetry breaking: two active links are interchangeable when they have
+// equal demand, conflict with each other, and see identical conflict
+// neighborhoods among the active links (each excluding the other) — any
+// feasible schedule stays feasible under swapping their blocks. Fixing the
+// order binary of every such pair to lowest-LinkId-first removes the k!
+// equivalent branches per class without losing any distinct schedule.
+// Links on `protected_links` (flows whose wrap counts the model constrains)
+// are never fixed: swapping interchangeable blocks preserves conflict-
+// feasibility but can change which hops wrap.
+//
+// Returns the number of order binaries fixed.
+int add_symmetry_breaking(OrderModel& om, const SchedulingProblem& problem,
+                          const std::vector<bool>& protected_links) {
+  const auto act = active_links(problem);
+  std::vector<bool> is_active(static_cast<std::size_t>(om.n), false);
+  for (LinkId l : act) is_active[static_cast<std::size_t>(l)] = true;
+
+  // Sorted active-neighbor lists, once per active link.
+  std::vector<std::vector<LinkId>> nbr(static_cast<std::size_t>(om.n));
+  for (LinkId l : act) {
+    for (EdgeId e : problem.conflicts.incident(l)) {
+      const LinkId m = problem.conflicts.other_end(e, l);
+      if (is_active[static_cast<std::size_t>(m)]) {
+        nbr[static_cast<std::size_t>(l)].push_back(m);
+      }
+    }
+    std::sort(nbr[static_cast<std::size_t>(l)].begin(),
+              nbr[static_cast<std::size_t>(l)].end());
+  }
+  const auto same_neighborhood = [&](LinkId a, LinkId b) {
+    // N(a) \ {b} == N(b) \ {a}, over active links.
+    const auto& na = nbr[static_cast<std::size_t>(a)];
+    const auto& nb = nbr[static_cast<std::size_t>(b)];
+    std::size_t i = 0, j = 0;
+    while (i < na.size() || j < nb.size()) {
+      if (i < na.size() && na[i] == b) {
+        ++i;
+        continue;
+      }
+      if (j < nb.size() && nb[j] == a) {
+        ++j;
+        continue;
+      }
+      if (i == na.size() || j == nb.size() || na[i] != nb[j]) return false;
+      ++i;
+      ++j;
+    }
+    return true;
+  };
+
+  std::vector<bool> assigned(static_cast<std::size_t>(om.n), false);
+  int fixed = 0;
+  for (LinkId l : act) {
+    if (assigned[static_cast<std::size_t>(l)] ||
+        protected_links[static_cast<std::size_t>(l)]) {
+      continue;
+    }
+    // Grow the class of links interchangeable with l. Matching l's
+    // neighborhood pairwise-implies matching each other's (members share
+    // N(l) up to the excluded element), so checking against the seed
+    // suffices.
+    std::vector<LinkId> cls{l};
+    for (LinkId m : nbr[static_cast<std::size_t>(l)]) {
+      if (m <= l || assigned[static_cast<std::size_t>(m)] ||
+          protected_links[static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (problem.demand[static_cast<std::size_t>(m)] !=
+          problem.demand[static_cast<std::size_t>(l)]) {
+        continue;
+      }
+      bool in_class = true;
+      for (LinkId member : cls) {
+        if (!problem.conflicts.has_edge(m, member)) {
+          in_class = false;
+          break;
+        }
+      }
+      if (in_class && same_neighborhood(l, m)) cls.push_back(m);
+    }
+    if (cls.size() < 2) continue;
+    for (LinkId member : cls) assigned[static_cast<std::size_t>(member)] = true;
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      for (std::size_t j = i + 1; j < cls.size(); ++j) {
+        // Members are ascending, so the pair var is o(cls[i], cls[j]);
+        // fixing it to 1 pins "lower id transmits first".
+        const VarId o = om.lookup(cls[i], cls[j]);
+        WIMESH_ASSERT(o >= 0);
+        om.model.lp().set_bounds(o, 1.0, 1.0);
+        ++fixed;
+      }
+    }
+  }
+  return fixed;
+}
+
+// Links whose relative order the model's wrap rows observe. When
+// `all_flow_links` (the min–max variant: every multi-hop flow contributes
+// a W row) protect every flow link; otherwise only flows whose budget
+// actually binds (hops - 1 - budget > 0) add rows, so only their links
+// need protecting.
+std::vector<bool> wrap_constrained_links(const SchedulingProblem& problem,
+                                         bool delay_aware,
+                                         bool all_flow_links) {
+  std::vector<bool> prot(static_cast<std::size_t>(problem.links.count()),
+                         false);
+  if (!delay_aware && !all_flow_links) return prot;
+  for (const FlowPath& f : problem.flows) {
+    const auto hops = static_cast<int>(f.links.size());
+    if (hops <= 1) continue;
+    if (!all_flow_links && hops - 1 - f.delay_budget_frames <= 0) continue;
+    for (LinkId l : f.links) prot[static_cast<std::size_t>(l)] = true;
+  }
+  return prot;
+}
+
 }  // namespace
 
-Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
-                                      int frame_slots,
-                                      const IlpSchedulerOptions& options) {
+std::optional<ScheduleResult> schedule_tree_fast_path(
+    const SchedulingProblem& problem, int frame_slots, bool require_budgets) {
+  const trace::Span span(trace::SpanName::kTreeFastPath);
+  problem.check();
+  const auto act = active_links(problem);
+  if (act.empty()) {
+    ScheduleResult out{MeshSchedule(problem.links, frame_slots),
+                       TransmissionOrder(problem.links.count()), 0, 0};
+    out.used_tree_fast_path = true;
+    return out;
+  }
+
+  // Forest detection on the undirected support of the active links
+  // (antiparallel link pairs share one support edge; only a genuinely new
+  // edge closing a cycle disqualifies).
+  NodeId max_node = 0;
+  for (LinkId l : act) {
+    const Link& ln = problem.links.link(l);
+    max_node = std::max({max_node, ln.from, ln.to});
+  }
+  std::vector<NodeId> parent(static_cast<std::size_t>(max_node + 1));
+  for (NodeId v = 0; v <= max_node; ++v) {
+    parent[static_cast<std::size_t>(v)] = v;
+  }
+  const auto find = [&](NodeId v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  std::vector<std::pair<NodeId, NodeId>> support;
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(max_node + 1));
+  for (LinkId l : act) {
+    const Link& ln = problem.links.link(l);
+    const NodeId u = std::min(ln.from, ln.to);
+    const NodeId v = std::max(ln.from, ln.to);
+    support.push_back({u, v});
+  }
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  for (const auto& [u, v] : support) {
+    const NodeId ru = find(u), rv = find(v);
+    if (ru == rv) return std::nullopt;  // cycle in the support
+    parent[static_cast<std::size_t>(ru)] = rv;
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+  }
+
+  // BFS depths, rooting each component at its lowest-id node.
+  std::vector<int> depth(static_cast<std::size_t>(max_node + 1), -1);
+  int components = 0;
+  for (NodeId root = 0; root <= max_node; ++root) {
+    if (adj[static_cast<std::size_t>(root)].empty() ||
+        depth[static_cast<std::size_t>(root)] >= 0) {
+      continue;
+    }
+    ++components;
+    depth[static_cast<std::size_t>(root)] = 0;
+    std::vector<NodeId> queue{root};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (NodeId v : adj[static_cast<std::size_t>(u)]) {
+        if (depth[static_cast<std::size_t>(v)] >= 0) continue;
+        depth[static_cast<std::size_t>(v)] =
+            depth[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  // Canonical monotone order: up-links (child -> parent) deepest-first,
+  // then down-links (parent -> child) shallowest-first. Every root-ward or
+  // leaf-ward flow path traverses its hops in this order, hence wrap-free.
+  std::vector<LinkId> sigma = act;
+  const auto key = [&](LinkId l) {
+    const Link& ln = problem.links.link(l);
+    const int du = depth[static_cast<std::size_t>(ln.from)];
+    const int dv = depth[static_cast<std::size_t>(ln.to)];
+    const bool down = dv > du;
+    // (phase, rank): up-links phase 0 ranked by -child depth, down-links
+    // phase 1 ranked by +child depth.
+    return std::make_tuple(down ? 1 : 0, down ? dv : -du, l);
+  };
+  std::sort(sigma.begin(), sigma.end(),
+            [&](LinkId a, LinkId b) { return key(a) < key(b); });
+  std::vector<int> pos(static_cast<std::size_t>(problem.links.count()), -1);
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    pos[static_cast<std::size_t>(sigma[i])] = static_cast<int>(i);
+  }
+
+  TransmissionOrder order(problem.links.count());
+  for (EdgeId e = 0; e < problem.conflicts.edge_count(); ++e) {
+    const LinkId l = problem.conflicts.edge(e).u;
+    const LinkId m = problem.conflicts.edge(e).v;
+    if (problem.demand[static_cast<std::size_t>(l)] == 0 ||
+        problem.demand[static_cast<std::size_t>(m)] == 0) {
+      continue;
+    }
+    if (pos[static_cast<std::size_t>(l)] < pos[static_cast<std::size_t>(m)]) {
+      order.set_before(l, m);
+    } else {
+      order.set_before(m, l);
+    }
+  }
+
+  auto schedule = order_to_schedule(problem, order, frame_slots);
+  if (!schedule.has_value()) return std::nullopt;
+  if (require_budgets && !budgets_satisfied(problem, *schedule)) {
+    return std::nullopt;
+  }
+  WIMESH_ASSERT(validate_schedule(problem, *schedule));
+  int slots_used = 0;
+  for (LinkId l : act) {
+    slots_used = std::max(slots_used, schedule->grant(l)->end());
+  }
+  trace::event(trace::EventType::kIlpTreeFastPath, SimTime::zero(), -1,
+               static_cast<std::int64_t>(act.size()), slots_used, components);
+  ScheduleResult out{std::move(*schedule), std::move(order), 0, 0};
+  out.used_tree_fast_path = true;
+  return out;
+}
+
+namespace {
+
+// Shared body of schedule_ilp: `stage_basis` (optional) carries the optimal
+// root LP basis across the min-slot search's successive stages — the stage
+// models differ only in bounds and big-M/cut coefficients, never in shape,
+// so the previous stage's basis dual-repairs in a handful of pivots.
+Expected<ScheduleResult> schedule_ilp_impl(const SchedulingProblem& problem,
+                                           int frame_slots,
+                                           const IlpSchedulerOptions& options,
+                                           LpBasis* stage_basis) {
   const trace::Span span(trace::SpanName::kScheduleIlp);
   problem.check();
+
+  // Exact fast path: forests schedule wrap-free in canonical order with no
+  // LP at all.
+  if (options.tree_fast_path) {
+    if (auto fast = schedule_tree_fast_path(problem, frame_slots,
+                                            options.delay_aware)) {
+      return std::move(*fast);
+    }
+  }
+
   auto build = build_order_model(problem, frame_slots);
   if (!build.has_value()) return make_error(build.error());
   OrderModel& om = *build;
   if (options.delay_aware) add_budget_rows(om, problem);
+  if (options.clique_cuts) {
+    auto cuts = add_clique_cuts(om, problem, frame_slots);
+    if (!cuts.has_value()) return make_error(cuts.error());
+  }
+  if (options.symmetry_breaking) {
+    add_symmetry_breaking(
+        om, problem,
+        wrap_constrained_links(problem, options.delay_aware,
+                               /*all_flow_links=*/false));
+  }
+
+  const bool chain = options.warm_start && stage_basis != nullptr;
+  const LpBasis* hint =
+      (chain && !stage_basis->empty()) ? stage_basis : nullptr;
 
   // Fast path: round the root LP relaxation into an order and let
   // Bellman-Ford try to realize it. On many instances the rounded order is
   // already feasible, skipping branch & bound entirely.
   if (options.try_heuristics) {
-    const LpResult root = solve_lp(om.model.lp());
+    LpBasis root_basis;
+    const LpResult root =
+        solve_lp(om.model.lp(), LpOptions{}, hint, chain ? &root_basis : nullptr);
     if (root.status == LpStatus::kOptimal) {
+      if (chain && !root_basis.empty()) {
+        *stage_basis = root_basis;
+        hint = stage_basis;
+      }
       TransmissionOrder rounded = om.extract_order(root.x);
       if (auto schedule = order_to_schedule(problem, rounded, frame_slots)) {
         if (!options.delay_aware || budgets_satisfied(problem, *schedule)) {
@@ -217,7 +549,14 @@ Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
   iopt.stop_at_first_feasible = true;  // pure feasibility program
   iopt.max_nodes = options.max_nodes;
   iopt.time_limit_seconds = options.time_limit_seconds;
+  iopt.portfolio = options.portfolio;
+  iopt.threads = options.threads;
+  iopt.warm_start = options.warm_start;
+  iopt.root_basis = hint;
+  LpBasis bnb_root_basis;
+  iopt.root_basis_out = chain ? &bnb_root_basis : nullptr;
   const IlpResult r = solve_ilp(om.model, iopt);
+  if (chain && !bnb_root_basis.empty()) *stage_basis = bnb_root_basis;
   if (r.status == IlpStatus::kInfeasible) return make_error("infeasible");
   if (!r.has_solution()) return make_error("limit");
 
@@ -226,15 +565,54 @@ Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
                            r.nodes_explored, r.lp_iterations);
 }
 
+}  // namespace
+
+Expected<ScheduleResult> schedule_ilp(const SchedulingProblem& problem,
+                                      int frame_slots,
+                                      const IlpSchedulerOptions& options) {
+  return schedule_ilp_impl(problem, frame_slots, options, nullptr);
+}
+
 Expected<MinMaxDelayResult> schedule_ilp_min_max_delay(
     const SchedulingProblem& problem, int frame_slots,
     const IlpSchedulerOptions& options) {
   const trace::Span span(trace::SpanName::kScheduleIlp);
   problem.check();
+
+  // A wrap-free schedule has max_wraps == 0 — unbeatable. On forests the
+  // canonical monotone order often delivers exactly that.
+  if (options.tree_fast_path) {
+    if (auto fast = schedule_tree_fast_path(problem, frame_slots,
+                                            options.delay_aware)) {
+      int worst = 0;
+      for (const FlowPath& f : problem.flows) {
+        worst = std::max(worst, count_frame_wraps(fast->schedule, f));
+      }
+      if (worst == 0) {
+        MinMaxDelayResult out;
+        out.result = std::move(*fast);
+        out.max_wraps = 0;
+        out.proven = true;
+        return out;
+      }
+    }
+  }
+
   auto build = build_order_model(problem, frame_slots);
   if (!build.has_value()) return make_error(build.error());
   OrderModel& om = *build;
   if (options.delay_aware) add_budget_rows(om, problem);
+  if (options.clique_cuts) {
+    auto cuts = add_clique_cuts(om, problem, frame_slots);
+    if (!cuts.has_value()) return make_error(cuts.error());
+  }
+  if (options.symmetry_breaking) {
+    // Every multi-hop flow contributes a W row here, so all its links'
+    // relative orders are observable by the objective: protect them all.
+    add_symmetry_breaking(om, problem,
+                          wrap_constrained_links(problem, options.delay_aware,
+                                                 /*all_flow_links=*/true));
+  }
 
   // W bounds every flow's wrap count: wraps_f = hops-1 - sum(before terms)
   // <= W  ⇔  sum(before terms) + W >= hops-1.
@@ -260,6 +638,9 @@ Expected<MinMaxDelayResult> schedule_ilp_min_max_delay(
   iopt.max_nodes = options.max_nodes;
   iopt.time_limit_seconds = options.time_limit_seconds;
   iopt.objective_gap_tol = 1.0 - 1e-6;  // integral objective: prune hard
+  iopt.portfolio = options.portfolio;
+  iopt.threads = options.threads;
+  iopt.warm_start = options.warm_start;
   const IlpResult r = solve_ilp(om.model, iopt);
   if (r.status == IlpStatus::kInfeasible) return make_error("infeasible");
   if (!r.has_solution()) return make_error("limit");
@@ -303,6 +684,10 @@ Expected<MinSlotsResult> min_slots_search(const SchedulingProblem& problem,
   }
   MinSlotsResult out;
   bool ilp_limit_hit = false;
+  // The per-stage models share their shape (only bounds and big-M/cut
+  // coefficients depend on S), so each stage's optimal root basis
+  // warm-starts the next stage's root LP.
+  LpBasis stage_basis;
   for (int s = lower; s <= max_slots; ++s) {
     ++out.stages;
     if (options.try_heuristics) {
@@ -320,7 +705,7 @@ Expected<MinSlotsResult> min_slots_search(const SchedulingProblem& problem,
         }
       }
     }
-    auto attempt = schedule_ilp(problem, s, options);
+    auto attempt = schedule_ilp_impl(problem, s, options, &stage_basis);
     if (attempt.has_value()) {
       out.frame_slots = s;
       out.result = std::move(*attempt);

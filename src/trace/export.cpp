@@ -120,6 +120,26 @@ void append_args(std::string& out, const Record& r) {
       break;
     case EventType::kSpan:
       break;  // excluded from JSON export (see export.h)
+    case EventType::kIlpCuts:
+      append_int_arg(out, first, "cuts", r.a);
+      append_int_arg(out, first, "cliques", r.b);
+      append_int_arg(out, first, "root_bound", r.c);
+      break;
+    case EventType::kIlpPortfolio:
+      append_int_arg(out, first, "strategy", r.a);
+      append_int_arg(out, first, "nodes", r.b);
+      append_int_arg(out, first, "rounds", r.c);
+      append_int_arg(out, first, "winner", r.d);
+      break;
+    case EventType::kIlpWarmStart:
+      append_int_arg(out, first, "hits", r.a);
+      append_int_arg(out, first, "attempts", r.b);
+      break;
+    case EventType::kIlpTreeFastPath:
+      append_int_arg(out, first, "links", r.a);
+      append_int_arg(out, first, "slots", r.b);
+      append_int_arg(out, first, "components", r.c);
+      break;
   }
   out += '}';
 }

@@ -16,6 +16,7 @@ struct CategoryEntry {
 constexpr CategoryEntry kCategories[] = {
     {kDes, "des"},     {kTdma, "tdma"},     {kWifi, "wifi"},
     {kSync, "sync"},   {kFaults, "faults"}, {kProf, "prof"},
+    {kIlp, "ilp"},
 };
 
 // Bit position of a (single-bit) category — index into the per-category
@@ -61,8 +62,9 @@ std::uint32_t parse_categories(const std::string& csv, std::string* error) {
     }
     if (!found) {
       if (error != nullptr) {
-        *error = str_cat("unknown trace category '", token,
-                         "' (expected des|tdma|wifi|sync|faults|prof|all|off)");
+        *error =
+            str_cat("unknown trace category '", token,
+                    "' (expected des|tdma|wifi|sync|faults|prof|ilp|all|off)");
       }
       return 0;
     }
@@ -109,6 +111,14 @@ const char* event_type_name(EventType type) {
       return "faults.plan_activated";
     case EventType::kSpan:
       return "span";
+    case EventType::kIlpCuts:
+      return "ilp.cuts";
+    case EventType::kIlpPortfolio:
+      return "ilp.portfolio";
+    case EventType::kIlpWarmStart:
+      return "ilp.warm_start";
+    case EventType::kIlpTreeFastPath:
+      return "ilp.tree_fast_path";
   }
   return "?";
 }
@@ -136,6 +146,11 @@ Category event_category(EventType type) {
       return kFaults;
     case EventType::kSpan:
       return kProf;
+    case EventType::kIlpCuts:
+    case EventType::kIlpPortfolio:
+    case EventType::kIlpWarmStart:
+    case EventType::kIlpTreeFastPath:
+      return kIlp;
   }
   return kProf;
 }
@@ -158,6 +173,10 @@ const char* span_name(SpanName name) {
       return "sim.run";
     case SpanName::kBatchRun:
       return "batch.run";
+    case SpanName::kIlpCutGen:
+      return "ilp.cut_gen";
+    case SpanName::kTreeFastPath:
+      return "sched.tree_fast_path";
     case SpanName::kCount:
       break;
   }

@@ -120,7 +120,12 @@ TEST(GoldenSchedule, IlpChain6) {
   ASSERT_TRUE(r.has_value()) << r.error();
   ASSERT_TRUE(validate_schedule(p, r->schedule));
   EXPECT_TRUE(budgets_satisfied(p, r->schedule));
-  EXPECT_EQ(render(p, r->schedule), "l0:6+2 l1:14+2 l2:16+2 l3:18+2 l4:0+2 l5:2+2 l6:10+2 l7:12+2 l8:4+2 l9:8+2 | wraps 1 1");
+  // Pinned output of the tree-topology fast path: the chain's undirected
+  // support is a path, so the canonical monotone order schedules both
+  // end-to-end flows wrap-free (strictly better than the old B&B pick,
+  // which wrapped each flow once).
+  EXPECT_TRUE(r->used_tree_fast_path);
+  EXPECT_EQ(render(p, r->schedule), "l0:10+2 l1:12+2 l2:14+2 l3:16+2 l4:18+2 l5:0+2 l6:2+2 l7:4+2 l8:6+2 l9:8+2 | wraps 0 0");
 }
 
 TEST(GoldenSchedule, GreedyGrid3x3) {
@@ -145,7 +150,10 @@ TEST(GoldenSchedule, IlpGrid3x3) {
   ASSERT_TRUE(r.has_value()) << r.error();
   ASSERT_TRUE(validate_schedule(p, r->schedule));
   EXPECT_TRUE(budgets_satisfied(p, r->schedule));
-  EXPECT_EQ(render(p, r->schedule), "l0:8+1 l1:9+1 l2:7+1 l3:6+1 l4:0+3 l5:3+3 | wraps 2 0");
+  // The two routed paths' support is a tree, so the fast path applies and
+  // eliminates the corner flow's two wraps.
+  EXPECT_TRUE(r->used_tree_fast_path);
+  EXPECT_EQ(render(p, r->schedule), "l0:0+1 l1:1+1 l2:2+1 l3:6+1 l4:3+3 l5:7+3 | wraps 0 0");
 }
 
 // A cache hit must reproduce the solver's grants exactly — same key, same

@@ -234,5 +234,105 @@ TEST(IlpSolveTest, MatchesBruteForceOnRandomBinaryPrograms) {
   }
 }
 
+// ------------------------------------------------- dual bound & gap report
+
+TEST(IlpSolveTest, GapIsInfiniteWithoutIncumbent) {
+  IlpModel m;
+  m.set_objective_sense(ObjSense::kMaximize);
+  const VarId a = m.add_binary(2.0, "a");
+  const VarId b = m.add_binary(2.0, "b");
+  m.add_constraint({{a, 2.0}, {b, 2.0}}, RowSense::kLessEqual, 1.0);
+  IlpOptions opt;
+  opt.max_nodes = 1;
+  const IlpResult r = solve_ilp(m, opt);
+  ASSERT_EQ(r.status, IlpStatus::kLimitReached);
+  EXPECT_TRUE(std::isinf(r.gap()));
+}
+
+TEST(IlpSolveTest, BestBoundBracketsOptimumUnderNodeLimits) {
+  // A knapsack whose search tree is nontrivial. The full solve fixes the
+  // true optimum; every limited solve must report an incumbent no better
+  // than it and a dual bound no worse than it, with a nonnegative gap.
+  Rng rng(99);
+  IlpModel m;
+  m.set_objective_sense(ObjSense::kMaximize);
+  std::vector<VarId> xs;
+  std::vector<LpTerm> row;
+  for (int i = 0; i < 12; ++i) {
+    const VarId v = m.add_binary(std::floor(rng.uniform(3.0, 20.0)));
+    xs.push_back(v);
+    row.push_back({v, std::floor(rng.uniform(2.0, 9.0))});
+  }
+  double cap = 0.0;
+  for (const LpTerm& t : row) cap += t.coef;
+  m.add_constraint(row, RowSense::kLessEqual, std::floor(cap / 2.0));
+
+  const IlpResult full = solve_ilp(m);
+  ASSERT_EQ(full.status, IlpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(full.gap(), 0.0);
+  EXPECT_DOUBLE_EQ(full.best_bound, full.objective);
+
+  for (long budget : {2L, 4L, 8L, 16L, 64L}) {
+    IlpOptions opt;
+    opt.max_nodes = budget;
+    const IlpResult r = solve_ilp(m, opt);
+    EXPECT_GE(r.best_bound, full.objective - 1e-6) << "budget " << budget;
+    if (!r.has_solution()) continue;
+    EXPECT_LE(r.objective, full.objective + 1e-6) << "budget " << budget;
+    EXPECT_GE(r.gap(), 0.0) << "budget " << budget;
+    if (r.status == IlpStatus::kOptimal) {
+      EXPECT_DOUBLE_EQ(r.gap(), 0.0) << "budget " << budget;
+    }
+  }
+}
+
+// -------------------------------------------------- portfolio determinism
+
+TEST(IlpSolveTest, PortfolioDeterministicAcrossThreads) {
+  // The portfolio synchronizes strategies at round barriers and selects the
+  // returned incumbent deterministically, so `threads` must be a pure
+  // wall-clock knob: identical status, objective, point and node count for
+  // any thread count.
+  for (unsigned trial = 0; trial < 5; ++trial) {
+    Rng rng(500 + trial);
+    IlpModel m;
+    m.set_objective_sense(ObjSense::kMaximize);
+    const int n = 10;
+    std::vector<VarId> xs;
+    for (int j = 0; j < n; ++j) {
+      xs.push_back(m.add_binary(std::floor(rng.uniform(1.0, 12.0))));
+    }
+    for (int i = 0; i < 4; ++i) {
+      std::vector<LpTerm> terms;
+      double cap = 0.0;
+      for (VarId v : xs) {
+        if (!rng.chance(0.6)) continue;
+        const double c = std::floor(rng.uniform(1.0, 6.0));
+        terms.push_back({v, c});
+        cap += c;
+      }
+      if (terms.empty()) continue;
+      m.add_constraint(terms, RowSense::kLessEqual, std::floor(cap / 2.0));
+    }
+
+    std::vector<IlpResult> runs;
+    for (int threads : {1, 4, 8}) {
+      IlpOptions opt;
+      opt.portfolio = 4;
+      opt.threads = threads;
+      runs.push_back(solve_ilp(m, opt));
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].status, runs[0].status) << "trial " << trial;
+      EXPECT_EQ(runs[i].objective, runs[0].objective) << "trial " << trial;
+      EXPECT_EQ(runs[i].x, runs[0].x) << "trial " << trial;
+      EXPECT_EQ(runs[i].nodes_explored, runs[0].nodes_explored)
+          << "trial " << trial;
+      EXPECT_EQ(runs[i].winning_strategy, runs[0].winning_strategy)
+          << "trial " << trial;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wimesh

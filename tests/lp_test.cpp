@@ -213,5 +213,114 @@ TEST(LpSolveTest, RandomFeasibleInstances) {
   }
 }
 
+// -------------------------------------------------------------- warm starts
+
+TEST(LpWarmStartTest, PerturbedRhsReusesBasisAndMatchesColdOptimum) {
+  // Solve a small LP cold, capture the optimal basis, nudge the right-hand
+  // sides, and re-solve warm: the warm solve must install the basis, agree
+  // with a fresh cold solve of the perturbed model, and never pivot more.
+  const auto build = [](double cap1, double cap2) {
+    LpModel m;
+    m.set_objective_sense(ObjSense::kMaximize);
+    const VarId x = m.add_variable(0, 1e6, 3.0, "x");
+    const VarId y = m.add_variable(0, 1e6, 5.0, "y");
+    const VarId z = m.add_variable(0, 1e6, 4.0, "z");
+    m.add_constraint({{x, 1.0}, {y, 2.0}, {z, 1.0}}, RowSense::kLessEqual,
+                     cap1);
+    m.add_constraint({{x, 3.0}, {y, 1.0}, {z, 2.0}}, RowSense::kLessEqual,
+                     cap2);
+    return m;
+  };
+
+  const LpModel base = build(10.0, 15.0);
+  LpBasis basis;
+  const LpResult seed = solve_lp(base, LpOptions{}, nullptr, &basis);
+  ASSERT_EQ(seed.status, LpStatus::kOptimal);
+  ASSERT_FALSE(basis.empty());
+
+  const LpModel bumped = build(11.0, 14.0);
+  const LpResult cold = solve_lp(bumped);
+  const LpResult warm = solve_lp(bumped, LpOptions{}, &basis, nullptr);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_start_used);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(LpWarmStartTest, MismatchedBasisFallsBackToColdStart) {
+  LpModel small;
+  small.set_objective_sense(ObjSense::kMaximize);
+  const VarId a = small.add_variable(0, 4, 1.0, "a");
+  small.add_constraint({{a, 1.0}}, RowSense::kLessEqual, 3.0);
+  LpBasis basis;
+  ASSERT_EQ(solve_lp(small, LpOptions{}, nullptr, &basis).status,
+            LpStatus::kOptimal);
+  ASSERT_FALSE(basis.empty());
+
+  // Different dimensions: the stale basis must be rejected, not installed.
+  LpModel big;
+  big.set_objective_sense(ObjSense::kMaximize);
+  const VarId x = big.add_variable(0, 5, 2.0, "x");
+  const VarId y = big.add_variable(0, 5, 1.0, "y");
+  big.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::kLessEqual, 6.0);
+  big.add_constraint({{x, 2.0}, {y, 1.0}}, RowSense::kLessEqual, 8.0);
+  const LpResult warm = solve_lp(big, LpOptions{}, &basis, nullptr);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_FALSE(warm.warm_start_used);
+  EXPECT_NEAR(warm.objective, solve_lp(big).objective, 1e-9);
+}
+
+TEST(LpWarmStartTest, RandomRhsPerturbationsAgreeWithColdSolves) {
+  // Property check mirroring how branch & bound and the min-slot search use
+  // bases: re-solving a relaxed copy of the model warm from the original's
+  // optimal basis must reach the same optimum a cold solve finds.
+  for (unsigned trial = 0; trial < 20; ++trial) {
+    Rng rng(4000 + trial);
+    const int n = 3 + static_cast<int>(rng.uniform(0.0, 3.0));
+    const int rows = 2 + static_cast<int>(rng.uniform(0.0, 3.0));
+    LpModel m;
+    m.set_objective_sense(ObjSense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      m.add_variable(0.0, std::floor(rng.uniform(2.0, 9.0)),
+                     std::floor(rng.uniform(1.0, 6.0)));
+    }
+    std::vector<double> bumps;
+    for (int i = 0; i < rows; ++i) {
+      std::vector<LpTerm> terms;
+      for (int j = 0; j < n; ++j) {
+        if (!rng.chance(0.7)) continue;
+        terms.push_back({j, std::floor(rng.uniform(1.0, 4.0))});
+      }
+      if (terms.empty()) terms.push_back({0, 1.0});
+      m.add_constraint(terms, RowSense::kLessEqual,
+                       std::floor(rng.uniform(4.0, 16.0)));
+      bumps.push_back(std::floor(rng.uniform(0.0, 4.0)));
+    }
+    LpBasis basis;
+    const LpResult seed = solve_lp(m, LpOptions{}, nullptr, &basis);
+    ASSERT_EQ(seed.status, LpStatus::kOptimal) << "trial " << trial;
+
+    // Rebuild the model with bumped right-hand sides (the LpModel API is
+    // append-only, so rebuild rather than mutate).
+    LpModel relaxed;
+    relaxed.set_objective_sense(ObjSense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      relaxed.add_variable(m.lower_bound(j), m.upper_bound(j),
+                           m.objective_coef(j));
+    }
+    for (int k = 0; k < rows; ++k) {
+      relaxed.add_constraint(m.row(k).terms, RowSense::kLessEqual,
+                             m.row(k).rhs + bumps[static_cast<std::size_t>(k)]);
+    }
+    const LpResult cold = solve_lp(relaxed);
+    const LpResult warm = solve_lp(relaxed, LpOptions{}, &basis, nullptr);
+    ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    EXPECT_LE(relaxed.max_violation(warm.x), 1e-6) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace wimesh

@@ -203,5 +203,57 @@ TEST(ScenarioParserTest, ParsedScenarioActuallyRuns) {
   EXPECT_NE(report.find("p99"), std::string::npos);
 }
 
+// ------------------------------------------------------------ ilp knob key
+
+TEST(ScenarioParserTest, IlpKeyParsesEveryKnob) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "ilp = no-cuts, no-symmetry, no-warm, no-tree, portfolio=2, threads=8,"
+      " max_nodes=1234, time_limit_s=2.5\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  const IlpSchedulerOptions& ilp = sc->config.ilp;
+  EXPECT_FALSE(ilp.clique_cuts);
+  EXPECT_FALSE(ilp.symmetry_breaking);
+  EXPECT_FALSE(ilp.warm_start);
+  EXPECT_FALSE(ilp.tree_fast_path);
+  EXPECT_EQ(ilp.portfolio, 2);
+  EXPECT_EQ(ilp.threads, 8);
+  EXPECT_EQ(ilp.max_nodes, 1234);
+  EXPECT_DOUBLE_EQ(ilp.time_limit_seconds, 2.5);
+}
+
+TEST(ScenarioParserTest, IlpLinesAccumulateWithLaterTokensWinning) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "ilp = no-tree,threads=2\n"
+      "ilp = tree,portfolio=1\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  EXPECT_TRUE(sc->config.ilp.tree_fast_path);  // re-enabled by line 3
+  EXPECT_EQ(sc->config.ilp.threads, 2);        // untouched by line 3
+  EXPECT_EQ(sc->config.ilp.portfolio, 1);
+  // Untouched knobs keep their defaults.
+  EXPECT_TRUE(sc->config.ilp.clique_cuts);
+  EXPECT_TRUE(sc->config.ilp.warm_start);
+}
+
+TEST(ScenarioParserTest, BadIlpTokensNameTheLine) {
+  const auto flag = parse_scenario(
+      "topology = chain 4 100\n"
+      "ilp = frobnicate\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_FALSE(flag.has_value());
+  EXPECT_NE(flag.error().find("line 2"), std::string::npos);
+  EXPECT_NE(flag.error().find("unknown ilp token"), std::string::npos);
+
+  const auto knob = parse_scenario(
+      "topology = chain 4 100\n"
+      "ilp = gizmo=3\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_FALSE(knob.has_value());
+  EXPECT_NE(knob.error().find("unknown ilp knob"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wimesh

@@ -464,5 +464,125 @@ TEST(SchedulerPropertyTest, RandomProblemsAllSchedulersValid) {
   }
 }
 
+// ----------------------------------------------------------- tree fast path
+
+TEST(TreeFastPathTest, ChainScheduleIsValidAndWrapFree) {
+  const Topology t = make_chain(6, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}},
+                              2, 1);
+  const auto r = schedule_tree_fast_path(p, 40);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->used_tree_fast_path);
+  EXPECT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_TRUE(budgets_satisfied(p, r->schedule));
+  for (const auto& flow : p.flows) {
+    EXPECT_EQ(count_frame_wraps(r->schedule, flow), 0);
+  }
+}
+
+TEST(TreeFastPathTest, BranchingTreeScheduleIsValidAndWrapFree) {
+  const Topology t = make_tree(2, 3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  // Two leaf-to-root flows through different branches.
+  const auto p = make_problem(t, radio, {{3, 1, 0}, {5, 2, 0}}, 2, 0);
+  const auto r = schedule_tree_fast_path(p, 30);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_TRUE(budgets_satisfied(p, r->schedule));
+}
+
+TEST(TreeFastPathTest, DeclinesOnCyclicSupport) {
+  const Topology t = make_grid(2, 2, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  // Path 0 -> 1 -> 3 -> 2 -> 0 closes a 4-cycle in the undirected support.
+  const auto p = make_problem(t, radio, {{0, 1, 3, 2, 0}}, 1, 10);
+  EXPECT_FALSE(schedule_tree_fast_path(p, 96).has_value());
+}
+
+TEST(TreeFastPathTest, DeclinesWhenFrameTooSmall) {
+  const Topology t = make_chain(4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3}}, 2, 10);
+  // Three mutually conflicting links of demand 2 need 6 slots serialized.
+  EXPECT_FALSE(schedule_tree_fast_path(p, 5).has_value());
+}
+
+TEST(IlpSchedulerTest, TreeFastPathFlagTracksTheKnob) {
+  const Topology t = make_chain(5, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(t, radio, {{0, 1, 2, 3, 4}}, 2, 1);
+
+  const auto fast = schedule_ilp(p, 40);
+  ASSERT_TRUE(fast.has_value()) << fast.error();
+  EXPECT_TRUE(fast->used_tree_fast_path);
+  EXPECT_TRUE(validate_schedule(p, fast->schedule));
+
+  IlpSchedulerOptions opt;
+  opt.tree_fast_path = false;
+  const auto slow = schedule_ilp(p, 40, opt);
+  ASSERT_TRUE(slow.has_value()) << slow.error();
+  EXPECT_FALSE(slow->used_tree_fast_path);
+  EXPECT_TRUE(validate_schedule(p, slow->schedule));
+}
+
+// ------------------------------------------- accelerator value preservation
+
+TEST(IlpSchedulerTest, AcceleratorsPreserveTheMinimumScheduleLength) {
+  // Cuts, symmetry breaking, warm starts and the portfolio may only speed
+  // the search up — the minimum feasible S they find must match the plain
+  // branch & bound's.
+  const Topology t = make_grid(3, 3, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(
+      t, radio, {{0, 1, 2, 5}, {6, 7, 8, 5}, {0, 3, 6}}, 1, 1);
+
+  IlpSchedulerOptions accel;
+  accel.try_heuristics = false;
+  const auto fast = min_slots_search(p, 96, accel);
+  ASSERT_TRUE(fast.has_value()) << fast.error();
+  EXPECT_TRUE(fast->proven_minimal);
+
+  IlpSchedulerOptions plain;
+  plain.try_heuristics = false;
+  plain.clique_cuts = false;
+  plain.symmetry_breaking = false;
+  plain.warm_start = false;
+  plain.tree_fast_path = false;
+  plain.portfolio = 1;
+  const auto base = min_slots_search(p, 96, plain);
+  ASSERT_TRUE(base.has_value()) << base.error();
+  EXPECT_TRUE(base->proven_minimal);
+
+  EXPECT_EQ(fast->frame_slots, base->frame_slots);
+  EXPECT_TRUE(validate_schedule(p, fast->result.schedule));
+  EXPECT_TRUE(validate_schedule(p, base->result.schedule));
+  EXPECT_TRUE(budgets_satisfied(p, fast->result.schedule));
+  EXPECT_TRUE(budgets_satisfied(p, base->result.schedule));
+}
+
+TEST(IlpSchedulerTest, SymmetryBreakingKeepsParallelLinksFeasible) {
+  // Four identical cross flows over one bottleneck column: heavily
+  // symmetric, the classic case the lexicographic fix collapses.
+  const Topology t = make_grid(2, 4, 100.0);
+  const RadioModel radio(100.0, 200.0);
+  const auto p = make_problem(
+      t, radio, {{0, 4}, {1, 5}, {2, 6}, {3, 7}}, 2, 0);
+
+  IlpSchedulerOptions on;
+  on.try_heuristics = false;
+  on.tree_fast_path = false;
+  IlpSchedulerOptions off = on;
+  off.symmetry_breaking = false;
+
+  const auto a = min_slots_search(p, 96, on);
+  const auto b = min_slots_search(p, 96, off);
+  ASSERT_TRUE(a.has_value()) << a.error();
+  ASSERT_TRUE(b.has_value()) << b.error();
+  EXPECT_EQ(a->frame_slots, b->frame_slots);
+  EXPECT_TRUE(validate_schedule(p, a->result.schedule));
+  EXPECT_TRUE(budgets_satisfied(p, a->result.schedule));
+}
+
 }  // namespace
 }  // namespace wimesh
