@@ -92,8 +92,11 @@ int main(int argc, char** argv) {
                      items[i].kind, &cache);
   });
 
+  static constexpr const char* kKindNames[] = {"ilp_delay", "greedy",
+                                               "round_robin"};
   std::size_t at = 0;
-  for (const Panel& p : panels) {
+  for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+    const Panel& p = panels[pi];
     heading("R-F9", p.title);
     row("%-9s | %10s %9s | %10s %9s | %10s %9s", "erlangs", "ilp_block",
         "ilp_carry", "grd_block", "grd_carry", "rr_block", "rr_carry");
@@ -106,12 +109,27 @@ int main(int argc, char** argv) {
           greedy.blocking_probability(), greedy.mean_carried_calls,
           rr.blocking_probability(), rr.mean_carried_calls);
     }
+    // Per-decision admission latency across every load of this panel.
+    row("%-11s | %9s %9s %9s %9s %9s", "latency_us", "p50", "p90", "p99",
+        "mean", "max");
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      SampleSet merged;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].panel != pi || i % kNumKinds != k) continue;
+        for (double ns : results[i].decision_latency_ns.samples()) {
+          merged.add(ns);
+        }
+      }
+      if (merged.empty()) continue;
+      row("%-11s | %9.1f %9.1f %9.1f %9.1f %9.1f", kKindNames[k],
+          merged.quantile(0.50) / 1e3, merged.quantile(0.90) / 1e3,
+          merged.quantile(0.99) / 1e3, merged.mean() / 1e3,
+          merged.max() / 1e3);
+    }
   }
   std::printf("%s\n", cache.report().c_str());
 
   if (!args.json_path.empty()) {
-    static constexpr const char* kKindNames[] = {"ilp_delay", "greedy",
-                                                 "round_robin"};
     batch::JsonWriter w;
     w.begin_object();
     w.key("bench");
@@ -130,6 +148,22 @@ int main(int argc, char** argv) {
       w.value(results[i].blocking_probability());
       w.key("mean_carried_calls");
       w.value(results[i].mean_carried_calls);
+      const SampleSet& lat = results[i].decision_latency_ns;
+      w.key("decision_latency_us");
+      if (lat.empty()) {
+        w.null();
+      } else {
+        w.begin_object();
+        w.key("p50");
+        w.value(lat.quantile(0.50) / 1e3);
+        w.key("p90");
+        w.value(lat.quantile(0.90) / 1e3);
+        w.key("p99");
+        w.value(lat.quantile(0.99) / 1e3);
+        w.key("mean");
+        w.value(lat.mean() / 1e3);
+        w.end_object();
+      }
       w.end_object();
     }
     w.end_array();

@@ -30,6 +30,7 @@
 
 #include <memory>
 
+#include "wimesh/batch/admit_run.h"
 #include "wimesh/batch/runner.h"
 #include "wimesh/core/scenario.h"
 #include "wimesh/trace/export.h"
@@ -62,7 +63,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
                "[--audit [fail-fast]] [--faults PLAN] [--ilp KNOBS] "
-               "[--trace OUT[:cats]] <scenario-file> | --demo\n"
+               "[--admit KNOBS] [--trace OUT[:cats]] <scenario-file> | "
+               "--demo\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
                "                  (grammar: include/wimesh/faults/plan.h)\n"
@@ -74,6 +76,18 @@ int usage(const char* argv0) {
                "                  (overrides the scenario's 'ilp =' key; "
                "threads only\n"
                "                  affects wall clock, never results)\n"
+               "  --admit KNOBS   online admission churn replay instead of a "
+               "packet\n"
+               "                  simulation; comma list of on | rate=X | "
+               "holding=S |\n"
+               "                  horizon=S | events=N | codec=g711|g729|g723 "
+               "|\n"
+               "                  max_delay_ms=N | be_fraction=X | seed=N |\n"
+               "                  compaction=N | [no-]degrade | [no-]check\n"
+               "                  ('check' cross-checks every decision "
+               "against the\n"
+               "                  cold re-solve oracle; grammar: 'admit =' in "
+               "scenario.h)\n"
                "  --trace OUT[:cats]\n"
                "                  write a Perfetto/chrome://tracing JSON "
                "event trace to OUT\n"
@@ -191,6 +205,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string faults_arg;
   std::string ilp_arg;
+  std::string admit_arg;
   std::string trace_path;
   std::uint32_t trace_cats = 0;
   bool trace_requested = false;
@@ -227,6 +242,8 @@ int main(int argc, char** argv) {
       faults_arg = argv[++i];
     } else if (arg == "--ilp" && i + 1 < argc) {
       ilp_arg = argv[++i];
+    } else if (arg == "--admit" && i + 1 < argc) {
+      admit_arg = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       if (!parse_trace_arg(argv[++i], &trace_path, &trace_cats)) {
         return usage(argv[0]);
@@ -260,9 +277,10 @@ int main(int argc, char** argv) {
     text = buf.str();
   }
 
-  // --ilp knobs append an 'ilp =' line, so they ride the scenario grammar
-  // (and, coming last, override any 'ilp =' key in the file).
+  // --ilp / --admit knobs append scenario lines, so they ride the scenario
+  // grammar (and, coming last, override any matching key in the file).
   if (!ilp_arg.empty()) text += "\nilp = " + ilp_arg + "\n";
+  if (!admit_arg.empty()) text += "\nadmit = " + admit_arg + "\n";
 
   auto scenario = parse_scenario(text);
   if (!scenario.has_value()) {
@@ -294,6 +312,42 @@ int main(int argc, char** argv) {
   trace::TraceConfig trace_config;
   trace_config.categories = trace_cats;
   trace_config.capacity = std::size_t{1} << 18;
+
+  if (scenario->admit_enabled) {
+    if (sweep) {
+      std::fprintf(stderr, "--sweep does not combine with admit scenarios\n");
+      return 1;
+    }
+    std::unique_ptr<trace::Tracer> tracer;
+    if (trace_cats != 0) {
+      tracer = std::make_unique<trace::Tracer>(trace_config);
+    }
+    const trace::Scope trace_scope(tracer.get());
+    ScheduleCache cache;
+    const batch::AdmitRunResult admit_result =
+        batch::run_admission_churn(*scenario, &cache);
+    std::fputs(batch::format_admit_report(*scenario, admit_result).c_str(),
+               stdout);
+    std::printf("%s\n", cache.report().c_str());
+    if (tracer) {
+      if (!export_trace(*tracer, trace_path,
+                        static_cast<std::int64_t>(scenario->admit_churn.seed),
+                        "admit")) {
+        return 1;
+      }
+      std::fputs(trace::span_summary(*tracer).c_str(), stdout);
+    }
+    if (!json_path.empty() &&
+        !write_file(json_path, batch::admit_json(*scenario, admit_result))) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    const bool check_failed =
+        admit_result.checked &&
+        (admit_result.differential.mismatches != 0 ||
+         admit_result.differential.consistency_failures != 0);
+    return check_failed ? 1 : 0;
+  }
 
   if (sweep) {
     ScheduleCache cache;

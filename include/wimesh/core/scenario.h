@@ -32,8 +32,22 @@
 //                                    # wimesh/faults/plan.h; repeated
 //                                    # 'fault =' lines accumulate
 //   trace = off                      # off | on | all |
-//                                    # des,tdma,wifi,sync,faults,prof
+//                                    # des,tdma,wifi,sync,faults,prof,admit
 //                                    # (wimesh/trace category filter)
+//   admit = rate=0.5,holding=60      # online admission churn replay
+//                                    # (wimesh::admit) instead of a packet
+//                                    # simulation. Comma-separated knobs:
+//                                    #   on | rate=CALLS_PER_S |
+//                                    #   holding=S | horizon=S | events=N |
+//                                    #   codec=g711|g729|g723 |
+//                                    #   max_delay_ms=N | be_fraction=X |
+//                                    #   seed=N | compaction=N |
+//                                    #   [no-]degrade | [no-]check
+//                                    # 'check' cross-checks every decision
+//                                    # against the cold re-solve oracle.
+//                                    # Repeated 'admit =' lines accumulate.
+//                                    # A scenario with 'admit =' may omit
+//                                    # traffic declarations.
 //
 //   # traffic declarations (one per line):
 //   voip <id> <a> <b> <codec> <max_delay_ms>    # bidirectional call
@@ -43,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "wimesh/admit/engine.h"
 #include "wimesh/common/expected.h"
 #include "wimesh/core/mesh_network.h"
 
@@ -53,6 +68,14 @@ struct Scenario {
   std::vector<FlowSpec> flows;
   MacMode mac = MacMode::kTdmaOverlay;
   SimTime duration = SimTime::seconds(10);
+  // Online admission churn ('admit =' key / wimesh_run --admit). When
+  // enabled the CLI replays Poisson call churn through an
+  // admit::AdmissionEngine instead of running a packet-level simulation.
+  bool admit_enabled = false;
+  bool admit_check = false;    // cross-check vs the cold re-solve oracle
+  bool admit_degrade = false;  // serve rejected arrivals as best-effort
+  int admit_compaction = 8;    // departures tolerated before compaction
+  admit::ChurnSpec admit_churn;
 };
 
 // Parses the text form; returns a message naming the offending line on

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wimesh/metrics/stats.h"
 #include "wimesh/qos/planner.h"
 
 namespace wimesh {
@@ -46,6 +47,10 @@ struct CallDynamicsResult {
   int peak_carried_calls = 0;
   // Planner invocations (each arrival costs one).
   int plans_attempted = 0;
+  // Wall-clock latency of each admission decision (one sample per offered
+  // call), in nanoseconds. Reporting only — never feeds back into the
+  // simulation, so results stay deterministic in the seed.
+  SampleSet decision_latency_ns;
 
   double offered_load_erlangs(const CallDynamicsConfig& cfg) const {
     return cfg.arrival_rate_per_s * cfg.mean_holding_s;

@@ -56,6 +56,17 @@ struct FlowPlan {
   bool delay_bound_met = false;
 };
 
+// The scheduling question plan() poses, before any solver runs: routed
+// flows, per-link guaranteed demand, and the conflict graph. Exposed so
+// incremental admission (wimesh::admit) provably constructs the exact same
+// problem a cold plan() would — the differential-testing contract between
+// the two hinges on this being one code path, not two copies.
+struct BuiltProblem {
+  SchedulingProblem problem;            // links, demands, conflicts, paths
+  std::vector<FlowPlan> guaranteed;     // routed; schedule fields unset
+  std::vector<FlowPlan> best_effort;    // routed; never gates admission
+};
+
 struct MeshPlan {
   LinkSet links;
   std::vector<int> guaranteed_demand;  // minislots per link (guaranteed)
@@ -79,6 +90,13 @@ class QosPlanner {
   QosPlanner(const Topology& topology, const RadioModel& radio,
              EmulationParams params, PhyMode phy,
              RoutingPolicy routing = RoutingPolicy::kHopCount);
+
+  // Routes every flow, sizes per-link guaranteed demands and builds the
+  // conflict graph — steps 1–3 of plan(), without solving anything.
+  // Deterministic in (topology, flows): guaranteed flows are routed first
+  // (declaration order within a class), so the same flow list always
+  // yields the same problem regardless of who asks.
+  BuiltProblem build_problem(const std::vector<FlowSpec>& flows) const;
 
   // Plans all flows at once. Fails if the guaranteed class cannot be
   // scheduled within the data subframe or a delay bound cannot be met.

@@ -37,7 +37,8 @@ enum Category : std::uint32_t {
   kFaults = 1u << 4,  // fault injection / recovery phases
   kProf = 1u << 5,    // wall-clock profiling spans
   kIlp = 1u << 6,     // ILP solver internals (cuts, portfolio, warm starts)
-  kAll = (1u << 7) - 1,
+  kAdmit = 1u << 7,   // online admission control (decisions, hot-swaps)
+  kAll = (1u << 8) - 1,
 };
 
 // Parses a comma-separated category list ("tdma,sync"). "all" and "on"
@@ -71,6 +72,12 @@ enum class EventType : std::uint16_t {
                       // d=1 when this strategy produced the returned result
   kIlpWarmStart,      // a=warm-start hits, b=attempts (per solve)
   kIlpTreeFastPath,   // a=active links, b=slots used, c=forest components
+  // Online admission control (appended to keep earlier values stable).
+  kAdmitDecision,     // a=flow id, b=outcome (0 admit/1 degrade/2 reject),
+                      // c=decision path (admit::DecisionPath), d=active flows
+  kAdmitRelease,      // a=flow id, b=active flows, c=departures pending
+  kAdmitHotSwap,      // a=plan generation, b=activation frame, c=used slots
+  kAdmitCompaction,   // a=surviving flows, b=used slots after compaction
 };
 const char* event_type_name(EventType type);
 Category event_category(EventType type);
@@ -94,6 +101,8 @@ enum class SpanName : std::uint16_t {
   kBatchRun,        // one batch run body (plan + simulate)
   kIlpCutGen,       // clique-cut generation over the conflict graph
   kTreeFastPath,    // forest detection + Bellman-Ford tree scheduling
+  kAdmitDecide,     // AdmissionEngine::offer end to end
+  kAdmitCompact,    // survivor re-plan + hot-swap staging
   kCount,
 };
 const char* span_name(SpanName name);
@@ -147,7 +156,7 @@ class Tracer {
   const TraceConfig& config() const { return config_; }
 
  private:
-  static constexpr std::size_t kCategoryCount = 7;
+  static constexpr std::size_t kCategoryCount = 8;
 
   TraceConfig config_;
   std::vector<Record> ring_;

@@ -1,0 +1,545 @@
+#include "wimesh/admit/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "wimesh/common/strings.h"
+#include "wimesh/sched/conflict_graph.h"
+#include "wimesh/trace/trace.h"
+
+namespace wimesh::admit {
+
+namespace {
+
+// Gaps of the frame not overlapping any `busy` range, in slot order (same
+// as the planner's best-effort fitter).
+std::vector<SlotRange> free_gaps(std::vector<SlotRange> busy,
+                                 int frame_slots) {
+  std::sort(busy.begin(), busy.end(),
+            [](const SlotRange& a, const SlotRange& b) {
+              return a.start < b.start;
+            });
+  std::vector<SlotRange> gaps;
+  int cursor = 0;
+  for (const SlotRange& b : busy) {
+    if (b.start > cursor) gaps.push_back(SlotRange{cursor, b.start - cursor});
+    cursor = std::max(cursor, b.end());
+  }
+  if (cursor < frame_slots) {
+    gaps.push_back(SlotRange{cursor, frame_slots - cursor});
+  }
+  return gaps;
+}
+
+bool is_complete_solver(SchedulerKind kind) {
+  return kind == SchedulerKind::kIlpDelayAware ||
+         kind == SchedulerKind::kIlpDelayUnaware;
+}
+
+}  // namespace
+
+AdmissionEngine::AdmissionEngine(const Topology& topology,
+                                 const RadioModel& radio,
+                                 EmulationParams params, PhyMode phy,
+                                 EngineConfig config)
+    : topology_(topology),
+      params_(params),
+      config_(std::move(config)),
+      planner_(topology, radio, params, std::move(phy), config_.routing) {}
+
+Decision AdmissionEngine::offer(const FlowSpec& flow, SimTime now) {
+  const trace::Span span(trace::SpanName::kAdmitDecide, now);
+  const std::int64_t wall0 = trace::monotonic_ns();
+  ++stats_.offered;
+  Decision d = decide(flow, now);
+  d.latency_ns = trace::monotonic_ns() - wall0;
+  stats_.decision_latency_ns.add(static_cast<double>(d.latency_ns));
+  switch (d.outcome) {
+    case Outcome::kAdmitted:
+      ++stats_.admitted;
+      break;
+    case Outcome::kDegraded:
+      ++stats_.degraded;
+      break;
+    case Outcome::kRejected:
+      ++stats_.rejected;
+      break;
+  }
+  trace::event(trace::EventType::kAdmitDecision, now, -1, flow.id,
+               static_cast<std::int64_t>(d.outcome),
+               static_cast<std::int64_t>(d.path),
+               static_cast<std::int64_t>(active_.size()));
+  return d;
+}
+
+Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
+  Decision d;
+  // Stage 0: best-effort arrivals never gate on the guaranteed class —
+  // they are served from leftover slots, shrunk to whatever fits.
+  if (flow.service == ServiceClass::kBestEffort) {
+    active_.push_back(flow);
+    ++stats_.best_effort_fast;
+    d.outcome = Outcome::kAdmitted;
+    d.path = DecisionPath::kBestEffort;
+    return d;
+  }
+
+  ++stats_.guaranteed_offered;
+  std::vector<FlowSpec> candidate = active_;
+  candidate.push_back(flow);
+  BuiltProblem bp = planner_.build_problem(candidate);
+  const int data_slots = params_.frame.data_slots;
+
+  // Stage 1: clique-bound fast reject — the same lower bound the cold
+  // feasibility path checks first, so rejecting here never diverges from
+  // the oracle (the bound is sound for every scheduler kind).
+  if (schedule_length_lower_bound(bp.problem.links, bp.problem.demand,
+                                  bp.problem.conflicts) > data_slots) {
+    ++stats_.fast_rejects;
+    return not_admitted(flow, DecisionPath::kFastReject,
+                        "infeasible: clique bound exceeds the subframe");
+  }
+
+  // Stage 2: incremental repair. Only for the complete (ILP) solvers:
+  // a repaired schedule proves feasibility, which is exactly what they
+  // decide on; the greedy baselines' answers depend on their heuristic's
+  // own success, so repair could admit where they would not.
+  if (is_complete_solver(config_.scheduler)) {
+    if (auto repaired = try_repair(bp)) {
+      Incumbent next;
+      next.problem = std::move(bp.problem);
+      next.guaranteed = std::move(bp.guaranteed);
+      next.schedule = std::move(*repaired);
+      adopt(std::move(next), now, /*compaction=*/false);
+      active_.push_back(flow);
+      ++stats_.repair_admits;
+      d.outcome = Outcome::kAdmitted;
+      d.path = DecisionPath::kRepair;
+      return d;
+    }
+  }
+
+  // Stage 3: the cold path itself — warm-started ILP feasibility solve
+  // through the shared cache.
+  ++stats_.full_solves;
+  auto planned = planner_.plan(candidate, config_.scheduler, config_.ilp,
+                               PlanObjective::kFeasibility);
+  if (!planned.has_value()) {
+    return not_admitted(flow, DecisionPath::kFullSolve, planned.error());
+  }
+  Incumbent next;
+  next.problem.links = planned->links;
+  next.problem.demand = planned->guaranteed_demand;
+  next.problem.conflicts = planned->conflicts;
+  for (const FlowPlan& f : planned->guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    fp.delay_budget_frames = f.delay_budget_frames;
+    next.problem.flows.push_back(std::move(fp));
+  }
+  // Keep only the guaranteed skeleton: the plan's best-effort extras are
+  // tied to the batch flow set and are re-fitted at the next full solve.
+  next.schedule = MeshSchedule(next.problem.links, data_slots);
+  for (LinkId l = 0; l < next.problem.links.count(); ++l) {
+    if (const auto g = planned->schedule.grant(l)) {
+      next.schedule.set_grant(l, *g);
+    }
+  }
+  next.guaranteed = std::move(planned->guaranteed);
+  adopt(std::move(next), now, /*compaction=*/false);
+  active_.push_back(flow);
+  d.outcome = Outcome::kAdmitted;
+  d.path = DecisionPath::kFullSolve;
+  return d;
+}
+
+Decision AdmissionEngine::not_admitted(const FlowSpec& flow,
+                                       DecisionPath path,
+                                       std::string reason) {
+  Decision d;
+  d.path = path;
+  d.reason = std::move(reason);
+  if (config_.degrade_on_reject) {
+    FlowSpec degraded = flow;
+    degraded.service = ServiceClass::kBestEffort;
+    active_.push_back(degraded);
+    d.outcome = Outcome::kDegraded;
+  } else {
+    d.outcome = Outcome::kRejected;
+  }
+  return d;
+}
+
+std::optional<MeshSchedule> AdmissionEngine::try_repair(
+    const BuiltProblem& bp) const {
+  const int data_slots = params_.frame.data_slots;
+  const SchedulingProblem& np = bp.problem;
+  MeshSchedule candidate(np.links, data_slots);
+  // Keep every incumbent grant that still covers its link's demand,
+  // shrunk in place to exactly the new demand (validate_schedule requires
+  // exact coverage; shrinking a block never creates a conflict and never
+  // worsens a wrap). Links that grew, or are new, go to placement.
+  std::vector<LinkId> pending;
+  for (LinkId l = 0; l < np.links.count(); ++l) {
+    const int demand = np.demand[static_cast<std::size_t>(l)];
+    if (demand == 0) continue;
+    std::optional<SlotRange> kept;
+    const LinkId old = incumbent_.problem.links.find(np.links.link(l));
+    if (old != kInvalidLink && old < incumbent_.schedule.link_count()) {
+      kept = incumbent_.schedule.grant(old);
+    }
+    if (kept.has_value() && kept->length >= demand) {
+      candidate.set_grant(l, SlotRange{kept->start, demand});
+    } else {
+      pending.push_back(l);
+    }
+  }
+  // First-fit each remaining link into the gaps left by the grants of its
+  // conflicting neighbors (kept + already-placed).
+  for (LinkId l : pending) {
+    const int demand = np.demand[static_cast<std::size_t>(l)];
+    std::vector<SlotRange> busy;
+    for (EdgeId e : np.conflicts.incident(l)) {
+      const LinkId m = np.conflicts.other_end(e, l);
+      if (const auto g = candidate.grant(m)) busy.push_back(*g);
+    }
+    bool placed = false;
+    for (const SlotRange& gap : free_gaps(std::move(busy), data_slots)) {
+      if (gap.length < demand) continue;
+      candidate.set_grant(l, SlotRange{gap.start, demand});
+      placed = true;
+      break;
+    }
+    if (!placed) return std::nullopt;
+  }
+  if (!acceptable(np, bp.guaranteed, candidate)) return std::nullopt;
+  return candidate;
+}
+
+bool AdmissionEngine::acceptable(const SchedulingProblem& problem,
+                                 const std::vector<FlowPlan>& guaranteed,
+                                 const MeshSchedule& schedule) const {
+  if (!validate_schedule(problem, schedule)) return false;
+  if (config_.scheduler != SchedulerKind::kIlpDelayAware) return true;
+  if (!budgets_satisfied(problem, schedule)) return false;
+  // The strict per-flow check plan() runs after solving (step 5); the
+  // wrap budgets imply it whenever max_delay spans >= 2 frames, but
+  // re-checking keeps repair sound below that.
+  for (const FlowPlan& f : guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    const int slots =
+        worst_case_delay_slots(schedule, fp, params_.frame.total_slots());
+    if (params_.frame.slot_duration() * slots > f.spec.max_delay) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionEngine::adopt(Incumbent next, SimTime now, bool compaction) {
+  for (FlowPlan& f : next.guaranteed) {
+    FlowPath fp;
+    fp.links = f.links;
+    const int slots =
+        worst_case_delay_slots(next.schedule, fp, params_.frame.total_slots());
+    f.worst_case_delay = params_.frame.slot_duration() * slots;
+    f.delay_bound_met = f.worst_case_delay <= f.spec.max_delay;
+  }
+  incumbent_ = std::move(next);
+  ++generation_;
+  ++stats_.hot_swaps;
+  // Hot-swap at the top of the NEXT frame: nodes adopt atomically on a
+  // frame boundary, never mid-frame (TdmaOverlayNode::stage_grants).
+  const std::int64_t activation = params_.frame.frame_index(now) + 1;
+  trace::event(trace::EventType::kAdmitHotSwap, now, -1,
+               static_cast<std::int64_t>(generation_), activation,
+               incumbent_.schedule.used_slots());
+  if (compaction) {
+    trace::event(trace::EventType::kAdmitCompaction, now, -1,
+                 static_cast<std::int64_t>(active_.size()),
+                 incumbent_.schedule.used_slots());
+  }
+  if (deploy_) {
+    Deployment dep;
+    dep.links = incumbent_.problem.links;
+    dep.schedule = incumbent_.schedule;
+    dep.guaranteed = incumbent_.guaranteed;
+    dep.activation_frame = activation;
+    dep.guard = params_.guard_time;
+    dep.generation = generation_;
+    deploy_(dep);
+  }
+}
+
+bool AdmissionEngine::release(int flow_id, SimTime now) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [&](const FlowSpec& f) { return f.id == flow_id; });
+  if (it == active_.end()) return false;
+  active_.erase(it);
+  ++stats_.released;
+  ++departures_since_compaction_;
+  trace::event(trace::EventType::kAdmitRelease, now, -1, flow_id,
+               static_cast<std::int64_t>(active_.size()),
+               departures_since_compaction_);
+  if (departures_since_compaction_ >=
+      std::max(1, config_.compaction_departures)) {
+    compact(now);
+  }
+  return true;
+}
+
+bool AdmissionEngine::compact(SimTime now) {
+  const trace::Span span(trace::SpanName::kAdmitCompact, now);
+  departures_since_compaction_ = 0;
+  ++stats_.compactions;
+  const bool any_guaranteed =
+      std::any_of(active_.begin(), active_.end(), [](const FlowSpec& f) {
+        return f.service == ServiceClass::kGuaranteed;
+      });
+  if (!any_guaranteed) {
+    // Nothing to schedule: adopt the empty skeleton directly.
+    BuiltProblem bp = planner_.build_problem(active_);
+    Incumbent next;
+    next.schedule =
+        MeshSchedule(bp.problem.links, params_.frame.data_slots);
+    next.problem = std::move(bp.problem);
+    next.guaranteed = std::move(bp.guaranteed);
+    adopt(std::move(next), now, /*compaction=*/true);
+    return true;
+  }
+  // Survivor re-plan at minimum slots — the compaction proper. The set
+  // was feasible when admitted and departures only shrink it, so this
+  // succeeds unless the solver hits its limits; then fall back to a
+  // feasibility solve, then to the always-possible shrink repair.
+  auto planned = planner_.plan(active_, config_.scheduler, config_.ilp,
+                               PlanObjective::kMinimizeSlots);
+  if (!planned.has_value()) {
+    planned = planner_.plan(active_, config_.scheduler, config_.ilp,
+                            PlanObjective::kFeasibility);
+  }
+  if (planned.has_value()) {
+    Incumbent next;
+    next.problem.links = planned->links;
+    next.problem.demand = planned->guaranteed_demand;
+    next.problem.conflicts = planned->conflicts;
+    for (const FlowPlan& f : planned->guaranteed) {
+      FlowPath fp;
+      fp.links = f.links;
+      fp.delay_budget_frames = f.delay_budget_frames;
+      next.problem.flows.push_back(std::move(fp));
+    }
+    next.schedule =
+        MeshSchedule(next.problem.links, params_.frame.data_slots);
+    for (LinkId l = 0; l < next.problem.links.count(); ++l) {
+      if (const auto g = planned->schedule.grant(l)) {
+        next.schedule.set_grant(l, *g);
+      }
+    }
+    next.guaranteed = std::move(planned->guaranteed);
+    adopt(std::move(next), now, /*compaction=*/true);
+    return true;
+  }
+  BuiltProblem bp = planner_.build_problem(active_);
+  if (auto repaired = try_repair(bp)) {
+    Incumbent next;
+    next.problem = std::move(bp.problem);
+    next.guaranteed = std::move(bp.guaranteed);
+    next.schedule = std::move(*repaired);
+    adopt(std::move(next), now, /*compaction=*/true);
+    return true;
+  }
+  return false;
+}
+
+bool AdmissionEngine::live_consistent() const {
+  if (!validate_schedule(incumbent_.problem, incumbent_.schedule)) {
+    return false;
+  }
+  // Every active guaranteed flow must be covered by the incumbent: each of
+  // its hops holds a grant. Departed flows' stale grants are fine (they
+  // only leave survivors more room); missing coverage is not.
+  for (const FlowSpec& spec : active_) {
+    if (spec.service != ServiceClass::kGuaranteed) continue;
+    const FlowPlan* plan = nullptr;
+    for (const FlowPlan& f : incumbent_.guaranteed) {
+      if (f.spec.id == spec.id) {
+        plan = &f;
+        break;
+      }
+    }
+    if (plan == nullptr) return false;
+    for (LinkId l : plan->links) {
+      if (l < 0 || l >= incumbent_.schedule.link_count()) return false;
+      if (!incumbent_.schedule.grant(l).has_value()) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+ChurnResult replay_poisson_churn(AdmissionEngine& engine,
+                                 const ChurnSpec& spec,
+                                 const ChurnObserver* observer) {
+  WIMESH_ASSERT(spec.arrival_rate_per_s > 0.0);
+  WIMESH_ASSERT(spec.mean_holding_s > 0.0);
+  std::vector<std::pair<NodeId, NodeId>> endpoints = spec.endpoints;
+  if (endpoints.empty()) {
+    // Gateway convention: every node talks to node 0.
+    for (NodeId src = 1; src < engine.topology().node_count(); ++src) {
+      endpoints.emplace_back(src, 0);
+    }
+  }
+  WIMESH_ASSERT(!endpoints.empty());
+
+  ChurnResult out;
+  Rng rng(spec.seed);
+  const SimTime horizon = SimTime::from_seconds(spec.horizon_s);
+
+  struct Departure {
+    SimTime t;
+    int flow_id;
+    bool operator>(const Departure& o) const {
+      if (t != o.t) return t > o.t;
+      return flow_id > o.flow_id;
+    }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  SimTime next_arrival =
+      SimTime::from_seconds(rng.exponential(1.0 / spec.arrival_rate_per_s));
+  SimTime last_t = SimTime::zero();
+  double carried_integral_s = 0.0;
+  int carried = 0;
+  int next_id = 0;
+
+  while (spec.max_events == 0 || out.events < spec.max_events) {
+    const bool have_departure = !departures.empty();
+    // Same-instant ties resolve departure-first: the freed capacity is
+    // visible to an arrival at the same timestamp.
+    const bool take_departure =
+        have_departure && departures.top().t <= next_arrival;
+    const SimTime t = take_departure ? departures.top().t : next_arrival;
+    if (t > horizon) break;
+    carried_integral_s += carried * (t - last_t).to_seconds();
+    last_t = t;
+
+    if (take_departure) {
+      const Departure dep = departures.top();
+      departures.pop();
+      engine.release(dep.flow_id, t);
+      --carried;
+      ++out.departures;
+      ++out.events;
+      if (observer != nullptr && observer->on_departure) {
+        observer->on_departure(t, dep.flow_id);
+      }
+      continue;
+    }
+
+    // All draws happen in a fixed order regardless of the decision, so the
+    // offered sequence is a pure function of the spec.
+    const auto& ep = endpoints[rng.next_below(endpoints.size())];
+    const bool best_effort = spec.best_effort_fraction > 0.0 &&
+                             rng.chance(spec.best_effort_fraction);
+    const double holding_s = rng.exponential(spec.mean_holding_s);
+    const double gap_s = rng.exponential(1.0 / spec.arrival_rate_per_s);
+    FlowSpec flow =
+        best_effort
+            ? FlowSpec::best_effort(next_id, ep.first, ep.second,
+                                    spec.codec.packet_bytes(),
+                                    spec.codec.rate_bps())
+            : FlowSpec::voip(next_id, ep.first, ep.second, spec.codec,
+                             spec.max_delay);
+    ++next_id;
+    const Decision d = engine.offer(flow, t);
+    if (d.outcome != Outcome::kRejected) {
+      departures.push(Departure{t + SimTime::from_seconds(holding_s),
+                                flow.id});
+      ++carried;
+      out.peak_carried = std::max(out.peak_carried, carried);
+    }
+    ++out.arrivals;
+    ++out.events;
+    next_arrival = t + SimTime::from_seconds(gap_s);
+    if (observer != nullptr && observer->on_arrival) {
+      observer->on_arrival(t, flow, d);
+    }
+  }
+
+  out.mean_carried = last_t > SimTime::zero()
+                         ? carried_integral_s / last_t.to_seconds()
+                         : 0.0;
+  out.stats = engine.stats();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+DifferentialReport differential_replay(const Topology& topology,
+                                       const RadioModel& radio,
+                                       const EmulationParams& params,
+                                       const PhyMode& phy,
+                                       const EngineConfig& config,
+                                       const ChurnSpec& spec) {
+  DifferentialReport report;
+  AdmissionEngine engine(topology, radio, params, phy, config);
+  // The oracle is a cold from-scratch planner: no cache (so no memoized
+  // answers from the engine's own solves), no incumbent, no repair.
+  QosPlanner oracle(topology, radio, params, phy, config.routing);
+  IlpSchedulerOptions oracle_options = config.ilp;
+  oracle_options.cache = nullptr;
+  std::vector<FlowSpec> mirror;
+
+  ChurnObserver observer;
+  observer.on_arrival = [&](SimTime t, const FlowSpec& flow,
+                            const Decision& d) {
+    if (flow.service == ServiceClass::kGuaranteed) {
+      std::vector<FlowSpec> candidate = mirror;
+      candidate.push_back(flow);
+      const auto cold = oracle.plan(candidate, config.scheduler,
+                                    oracle_options,
+                                    PlanObjective::kFeasibility);
+      const bool oracle_admit = cold.has_value();
+      const bool engine_admit = d.outcome == Outcome::kAdmitted;
+      ++report.decisions;
+      if (oracle_admit != engine_admit) {
+        if (report.mismatches == 0) {
+          report.first_mismatch = str_cat(
+              "flow ", flow.id, " at ", t.to_string(), ": engine ",
+              engine_admit ? "admitted" : "did not admit",
+              " via path ", static_cast<int>(d.path), ", oracle ",
+              oracle_admit ? std::string("admitted")
+                           : str_cat("rejected (", cold.error(), ")"));
+        }
+        ++report.mismatches;
+      }
+    }
+    // Mirror the engine's own bookkeeping so the oracle always plans over
+    // the same active set.
+    if (d.outcome == Outcome::kAdmitted) {
+      mirror.push_back(flow);
+    } else if (d.outcome == Outcome::kDegraded) {
+      FlowSpec degraded = flow;
+      degraded.service = ServiceClass::kBestEffort;
+      mirror.push_back(degraded);
+    }
+    if (!engine.live_consistent()) ++report.consistency_failures;
+  };
+  observer.on_departure = [&](SimTime, int flow_id) {
+    const auto it =
+        std::find_if(mirror.begin(), mirror.end(),
+                     [&](const FlowSpec& f) { return f.id == flow_id; });
+    if (it != mirror.end()) mirror.erase(it);
+    if (!engine.live_consistent()) ++report.consistency_failures;
+  };
+
+  report.churn = replay_poisson_churn(engine, spec, &observer);
+  report.events = report.churn.events;
+  return report;
+}
+
+}  // namespace wimesh::admit

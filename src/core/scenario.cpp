@@ -93,6 +93,77 @@ Expected<bool> apply_ilp_options(IlpSchedulerOptions& opt,
   return true;
 }
 
+Expected<VoipCodec> parse_codec(const std::string& name, std::size_t line_no);
+
+// Applies one comma-separated "admit =" knob list (repeated lines
+// accumulate, later tokens win). Grammar documented in core/scenario.h.
+Expected<bool> apply_admit_options(Scenario& sc, const std::string& value,
+                                   std::size_t line_no) {
+  sc.admit_enabled = true;
+  for (const std::string& raw : split(value, ',')) {
+    const std::string tok = trim(raw);
+    if (tok.empty() || tok == "on") continue;
+    if (tok == "degrade") {
+      sc.admit_degrade = true;
+      continue;
+    }
+    if (tok == "no-degrade") {
+      sc.admit_degrade = false;
+      continue;
+    }
+    if (tok == "check") {
+      sc.admit_check = true;
+      continue;
+    }
+    if (tok == "no-check") {
+      sc.admit_check = false;
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = trim(tok.substr(0, eq));
+      const std::string val = trim(tok.substr(eq + 1));
+      if (name == "codec") {
+        auto codec = parse_codec(val, line_no);
+        if (!codec) return make_error(codec.error());
+        sc.admit_churn.codec = *codec;
+        continue;
+      }
+      const auto num = to_number(val, line_no);
+      if (!num) return make_error(num.error());
+      if (name == "rate") {
+        sc.admit_churn.arrival_rate_per_s = *num;
+      } else if (name == "holding") {
+        sc.admit_churn.mean_holding_s = *num;
+      } else if (name == "horizon") {
+        sc.admit_churn.horizon_s = *num;
+      } else if (name == "events") {
+        sc.admit_churn.max_events = static_cast<std::uint64_t>(*num);
+      } else if (name == "max_delay_ms") {
+        sc.admit_churn.max_delay =
+            SimTime::milliseconds(static_cast<std::int64_t>(*num));
+      } else if (name == "be_fraction") {
+        sc.admit_churn.best_effort_fraction = *num;
+      } else if (name == "seed") {
+        sc.admit_churn.seed = static_cast<std::uint64_t>(*num);
+      } else if (name == "compaction") {
+        sc.admit_compaction = static_cast<int>(*num);
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown admit knob '",
+                                  name, "'"));
+      }
+      continue;
+    }
+    return make_error(str_cat("line ", line_no, ": unknown admit token '",
+                              tok,
+                              "' (expected on|rate=X|holding=S|horizon=S|"
+                              "events=N|codec=NAME|max_delay_ms=N|"
+                              "be_fraction=X|seed=N|compaction=N|"
+                              "[no-]degrade|[no-]check)"));
+  }
+  return true;
+}
+
 Expected<Topology> parse_topology(const std::vector<std::string>& args,
                                   std::size_t line_no) {
   const auto need = [&](std::size_t n) {
@@ -298,6 +369,9 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     } else if (key == "ilp") {
       auto applied = apply_ilp_options(sc.config.ilp, value, line_no);
       if (!applied) return make_error(applied.error());
+    } else if (key == "admit") {
+      auto applied = apply_admit_options(sc, value, line_no);
+      if (!applied) return make_error(applied.error());
     } else if (key == "routing") {
       if (value == "hop") {
         sc.config.routing = RoutingPolicy::kHopCount;
@@ -380,7 +454,11 @@ Expected<Scenario> parse_scenario(const std::string& text) {
   }
 
   if (!have_topology) return make_error("scenario is missing 'topology'");
-  if (sc.flows.empty()) return make_error("scenario declares no traffic");
+  // Churn replays synthesize their own arrivals, so a flow-less scenario
+  // is complete once 'admit =' appears.
+  if (sc.flows.empty() && !sc.admit_enabled) {
+    return make_error("scenario declares no traffic");
+  }
   return sc;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "wimesh/des/simulator.h"
+#include "wimesh/trace/trace.h"
 
 namespace wimesh {
 
@@ -67,9 +68,12 @@ CallDynamicsResult simulate_call_dynamics(const Topology& topology,
           FlowSpec::voip(call_id + 1, endpoints.second, endpoints.first,
                          config.codec, config.max_delay)};
       ++result.plans_attempted;
+      const std::int64_t wall0 = trace::monotonic_ns();
       const auto plan =
           planner.plan(flows_with(&candidate), config.scheduler, config.ilp,
                        PlanObjective::kFeasibility);
+      result.decision_latency_ns.add(
+          static_cast<double>(trace::monotonic_ns() - wall0));
       if (plan.has_value()) {
         account();
         ++result.admitted;

@@ -122,12 +122,9 @@ std::vector<SlotRange> free_gaps(std::vector<SlotRange> busy,
 
 }  // namespace
 
-Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
-                                    SchedulerKind kind,
-                                    const IlpSchedulerOptions& ilp_options,
-                                    PlanObjective objective) const {
-  const trace::Span span(trace::SpanName::kQosPlan);
-  MeshPlan plan;
+BuiltProblem QosPlanner::build_problem(
+    const std::vector<FlowSpec>& flows) const {
+  BuiltProblem out;
 
   // ---- 1. Route everything and register links. Guaranteed flows are
   // routed first so best-effort detours cannot displace voice; within a
@@ -150,7 +147,7 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
     f.node_path = route(spec.src, spec.dst, link_load);
     for (std::size_t i = 1; i < f.node_path.size(); ++i) {
       f.links.push_back(
-          plan.links.add({f.node_path[i - 1], f.node_path[i]}));
+          out.problem.links.add({f.node_path[i - 1], f.node_path[i]}));
     }
     // Arrivals per frame the grant must absorb (persistent per-frame
     // grants, as in 802.16 mesh centralized scheduling).
@@ -173,44 +170,57 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
     f.delay_budget_frames = std::max<int>(
         0, static_cast<int>(spec.max_delay / frame) - 2);
     if (spec.service == ServiceClass::kGuaranteed) {
-      plan.guaranteed.push_back(std::move(f));
+      out.guaranteed.push_back(std::move(f));
     } else {
-      plan.best_effort.push_back(std::move(f));
+      out.best_effort.push_back(std::move(f));
     }
   }
 
   // ---- 2. Per-link guaranteed demand (busy time → slots).
-  std::vector<SimTime> busy(static_cast<std::size_t>(plan.links.count()),
-                            SimTime::zero());
-  for (const FlowPlan& f : plan.guaranteed) {
+  const auto link_count = static_cast<std::size_t>(out.problem.links.count());
+  std::vector<SimTime> busy(link_count, SimTime::zero());
+  for (const FlowPlan& f : out.guaranteed) {
     const SimTime per_packet =
         DcfMac::overlay_service_time(phy_, f.spec.packet_bytes);
     for (LinkId l : f.links) {
       busy[static_cast<std::size_t>(l)] += per_packet * f.packets_per_frame;
     }
   }
-  plan.guaranteed_demand.resize(static_cast<std::size_t>(plan.links.count()));
-  for (LinkId l = 0; l < plan.links.count(); ++l) {
-    plan.guaranteed_demand[static_cast<std::size_t>(l)] =
-        slots_for_busy_time(params_, busy[static_cast<std::size_t>(l)]);
+  out.problem.demand.resize(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    out.problem.demand[l] = slots_for_busy_time(params_, busy[l]);
   }
 
-  // ---- 3. Conflict graph.
-  plan.conflicts =
-      build_conflict_graph(plan.links, topology_.positions, radio_);
-
-  // ---- 4. Schedule the guaranteed class.
-  SchedulingProblem problem;
-  problem.links = plan.links;
-  problem.demand = plan.guaranteed_demand;
-  problem.conflicts = plan.conflicts;
-  for (const FlowPlan& f : plan.guaranteed) {
+  // ---- 3. Conflict graph, plus the flow paths the delay-aware ILP caps.
+  out.problem.conflicts =
+      build_conflict_graph(out.problem.links, topology_.positions, radio_);
+  for (const FlowPlan& f : out.guaranteed) {
     FlowPath fp;
     fp.links = f.links;
     fp.delay_budget_frames = f.delay_budget_frames;
-    problem.flows.push_back(std::move(fp));
+    out.problem.flows.push_back(std::move(fp));
   }
+  return out;
+}
 
+Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
+                                    SchedulerKind kind,
+                                    const IlpSchedulerOptions& ilp_options,
+                                    PlanObjective objective) const {
+  const trace::Span span(trace::SpanName::kQosPlan);
+  MeshPlan plan;
+
+  // ---- 1.–3. Route, size demands, build conflicts (shared with the
+  // admission engine so both sides pose byte-identical problems).
+  BuiltProblem built = build_problem(flows);
+  const SchedulingProblem& problem = built.problem;
+  plan.links = built.problem.links;
+  plan.guaranteed_demand = built.problem.demand;
+  plan.conflicts = built.problem.conflicts;
+  plan.guaranteed = std::move(built.guaranteed);
+  plan.best_effort = std::move(built.best_effort);
+
+  // ---- 4. Schedule the guaranteed class.
   const int data_slots = params_.frame.data_slots;
   // Resolved options actually fed to the solvers; also serialized into the
   // cache key so a cached answer can never cross option boundaries.

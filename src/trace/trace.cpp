@@ -16,7 +16,7 @@ struct CategoryEntry {
 constexpr CategoryEntry kCategories[] = {
     {kDes, "des"},     {kTdma, "tdma"},     {kWifi, "wifi"},
     {kSync, "sync"},   {kFaults, "faults"}, {kProf, "prof"},
-    {kIlp, "ilp"},
+    {kIlp, "ilp"},     {kAdmit, "admit"},
 };
 
 // Bit position of a (single-bit) category — index into the per-category
@@ -63,8 +63,10 @@ std::uint32_t parse_categories(const std::string& csv, std::string* error) {
     if (!found) {
       if (error != nullptr) {
         *error =
-            str_cat("unknown trace category '", token,
-                    "' (expected des|tdma|wifi|sync|faults|prof|ilp|all|off)");
+            str_cat(
+                "unknown trace category '", token,
+                "' (expected des|tdma|wifi|sync|faults|prof|ilp|admit|all|"
+                "off)");
       }
       return 0;
     }
@@ -119,6 +121,14 @@ const char* event_type_name(EventType type) {
       return "ilp.warm_start";
     case EventType::kIlpTreeFastPath:
       return "ilp.tree_fast_path";
+    case EventType::kAdmitDecision:
+      return "admit.decision";
+    case EventType::kAdmitRelease:
+      return "admit.release";
+    case EventType::kAdmitHotSwap:
+      return "admit.hot_swap";
+    case EventType::kAdmitCompaction:
+      return "admit.compaction";
   }
   return "?";
 }
@@ -151,6 +161,11 @@ Category event_category(EventType type) {
     case EventType::kIlpWarmStart:
     case EventType::kIlpTreeFastPath:
       return kIlp;
+    case EventType::kAdmitDecision:
+    case EventType::kAdmitRelease:
+    case EventType::kAdmitHotSwap:
+    case EventType::kAdmitCompaction:
+      return kAdmit;
   }
   return kProf;
 }
@@ -177,6 +192,10 @@ const char* span_name(SpanName name) {
       return "ilp.cut_gen";
     case SpanName::kTreeFastPath:
       return "sched.tree_fast_path";
+    case SpanName::kAdmitDecide:
+      return "admit.decide";
+    case SpanName::kAdmitCompact:
+      return "admit.compact";
     case SpanName::kCount:
       break;
   }

@@ -1,0 +1,310 @@
+// wimesh::admit tests: the online engine's decision-equivalence contract
+// against the cold full re-solve oracle (differential replay over several
+// topologies and seeds), the departure/consistency properties, schedule
+// safety of every hot-swapped deployment, thread-count determinism, and an
+// Erlang-B M/M/C/C cross-check of the measured blocking probability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "wimesh/admit/engine.h"
+#include "wimesh/sched/conflict_graph.h"
+
+namespace wimesh::admit {
+namespace {
+
+EmulationParams canonical_params() {
+  EmulationParams params;
+  params.frame.frame_duration = SimTime::milliseconds(10);
+  params.frame.control_slots = 4;
+  params.frame.data_slots = 96;
+  params.guard_time = SimTime::microseconds(50);
+  return params;
+}
+
+RadioModel radio() { return RadioModel(110.0, 220.0); }
+PhyMode phy() { return PhyMode::ofdm_802_11a(54); }
+
+EngineConfig engine_config() {
+  EngineConfig ec;
+  ec.scheduler = SchedulerKind::kIlpDelayAware;
+  return ec;
+}
+
+ChurnSpec churn_spec(double rate, std::uint64_t events, std::uint64_t seed) {
+  ChurnSpec spec;
+  spec.arrival_rate_per_s = rate;
+  spec.mean_holding_s = 30.0;
+  spec.horizon_s = 1e7;
+  spec.max_events = events;
+  spec.seed = seed;
+  return spec;
+}
+
+// ------------------------------------------------- differential vs oracle
+
+// Every incremental decision must match a cold full re-solve of the same
+// flow set, across topology shapes and seeds; >= 1000 randomized events in
+// total, zero mismatches, zero per-event invariant violations.
+TEST(AdmitDifferentialTest, MatchesColdOracleAcrossTopologiesAndSeeds) {
+  struct Case {
+    const char* tag;
+    Topology topo;
+    double rate;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"chain-5", make_chain(5, 100.0), 3.0});
+  cases.push_back({"grid-3x3", make_grid(3, 3, 100.0), 4.0});
+  cases.push_back({"tree-2x3", make_tree(2, 3, 100.0), 4.0});
+
+  std::uint64_t total_events = 0;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const DifferentialReport d =
+          differential_replay(c.topo, radio(), canonical_params(), phy(),
+                              engine_config(), churn_spec(c.rate, 200, seed));
+      total_events += d.events;
+      EXPECT_GT(d.decisions, 0u) << c.tag << " seed " << seed;
+      EXPECT_EQ(d.mismatches, 0u)
+          << c.tag << " seed " << seed << ": " << d.first_mismatch;
+      EXPECT_EQ(d.consistency_failures, 0u) << c.tag << " seed " << seed;
+    }
+  }
+  EXPECT_GE(total_events, 1000u);
+}
+
+// The degrade path must not change any admit/reject verdict — degraded
+// arrivals are rejected-by-the-solver arrivals served as best effort.
+TEST(AdmitDifferentialTest, DegradeModeStillMatchesOracle) {
+  EngineConfig ec = engine_config();
+  ec.degrade_on_reject = true;
+  const DifferentialReport d =
+      differential_replay(make_grid(3, 3, 100.0), radio(), canonical_params(),
+                          phy(), ec, churn_spec(6.0, 300, 11));
+  EXPECT_GT(d.decisions, 0u);
+  EXPECT_EQ(d.mismatches, 0u) << d.first_mismatch;
+  EXPECT_EQ(d.consistency_failures, 0u);
+  EXPECT_GT(d.churn.stats.degraded, 0u);
+}
+
+// ----------------------------------------------------- departure properties
+
+// Admission is monotone under departure: releasing a call can only free
+// capacity, so a clone of a call the engine was already carrying must be
+// admitted again after any one call departs. The engine must also stay
+// live-consistent through every lazy (uncompacted) departure.
+TEST(AdmitPropertyTest, AdmissionIsMonotoneUnderDeparture) {
+  const Topology topo = make_chain(4, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  const VoipCodec codec = VoipCodec::g729();
+
+  // Fill to capacity with identical gateway calls.
+  std::vector<int> admitted;
+  int next_id = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FlowSpec f = FlowSpec::voip(next_id, 3, 0, codec);
+    const Decision d = engine.offer(f, SimTime::seconds(i));
+    if (d.outcome != Outcome::kAdmitted) break;
+    admitted.push_back(next_id);
+    ++next_id;
+  }
+  ASSERT_GE(admitted.size(), 2u) << "mesh should carry at least two calls";
+  ASSERT_TRUE(engine.live_consistent());
+
+  // Each release must keep the engine consistent (grants may linger — lazy
+  // compaction — but every surviving flow stays covered)...
+  for (std::size_t k = 0; k < admitted.size() / 2; ++k) {
+    ASSERT_TRUE(engine.release(admitted[k], SimTime::seconds(300 + (int)k)));
+    EXPECT_TRUE(engine.live_consistent()) << "after release " << k;
+    // ...and an identical replacement call must be admitted again.
+    const FlowSpec clone = FlowSpec::voip(1000 + (int)k, 3, 0, codec);
+    const Decision d = engine.offer(clone, SimTime::seconds(400 + (int)k));
+    EXPECT_EQ(d.outcome, Outcome::kAdmitted)
+        << "replacement after departure " << k << " rejected: " << d.reason;
+    ASSERT_TRUE(engine.release(1000 + (int)k, SimTime::seconds(500 + (int)k)));
+  }
+}
+
+TEST(AdmitPropertyTest, ReleaseOfUnknownFlowIsRejected) {
+  const Topology topo = make_chain(3, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  EXPECT_FALSE(engine.release(42, SimTime::seconds(1)));
+  EXPECT_TRUE(engine.live_consistent());
+}
+
+// Forced compaction after lazy departures shrinks the incumbent back to
+// the survivors and stays consistent.
+TEST(AdmitPropertyTest, CompactionReclaimsDepartedGrants) {
+  EngineConfig ec = engine_config();
+  ec.compaction_departures = 1000;  // keep departures lazy until compact()
+  const Topology topo = make_chain(4, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(), ec);
+  const VoipCodec codec = VoipCodec::g729();
+  std::vector<int> ids;
+  for (int i = 0; i < 6; ++i) {
+    const Decision d =
+        engine.offer(FlowSpec::voip(i, 3, 0, codec), SimTime::seconds(i));
+    if (d.outcome == Outcome::kAdmitted) ids.push_back(i);
+  }
+  ASSERT_GE(ids.size(), 2u);
+  const int slots_full = engine.schedule().used_slots();
+  for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
+    ASSERT_TRUE(engine.release(ids[k], SimTime::seconds(100 + (int)k)));
+  }
+  ASSERT_TRUE(engine.compact(SimTime::seconds(200)));
+  EXPECT_TRUE(engine.live_consistent());
+  EXPECT_LT(engine.schedule().used_slots(), slots_full);
+  EXPECT_EQ(engine.active().size(), 1u);
+}
+
+// ------------------------------------------------------ deployment safety
+
+// Every hot-swapped deployment must be conflict-free: no two grants of
+// mutually interfering links may overlap in slot space. This is exactly
+// the invariant the runtime conflict monitor audits.
+TEST(AdmitPropertyTest, DeployedSchedulesAreConflictFree) {
+  const Topology topo = make_grid(3, 3, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  std::uint64_t deployments = 0;
+  std::uint64_t last_generation = 0;
+  engine.set_deploy_callback([&](const Deployment& d) {
+    ++deployments;
+    EXPECT_GT(d.generation, last_generation) << "generations must increase";
+    last_generation = d.generation;
+    const Graph conflicts =
+        build_conflict_graph(d.links, topo.positions, radio());
+    for (LinkId l = 0; l < d.links.count(); ++l) {
+      for (LinkId m = l + 1; m < d.links.count(); ++m) {
+        if (!conflicts.has_edge(l, m)) continue;
+        for (const SlotRange& a : d.schedule.all_grants(l)) {
+          for (const SlotRange& b : d.schedule.all_grants(m)) {
+            EXPECT_FALSE(a.overlaps(b))
+                << "conflicting links " << l << " and " << m
+                << " overlap in deployment generation " << d.generation;
+          }
+        }
+      }
+    }
+  });
+  replay_poisson_churn(engine, churn_spec(4.0, 300, 3));
+  EXPECT_GT(deployments, 0u);
+  EXPECT_EQ(deployments, engine.stats().hot_swaps);
+}
+
+// --------------------------------------------------- determinism properties
+
+std::vector<int> decision_trace(int threads, int portfolio) {
+  EngineConfig ec = engine_config();
+  ec.ilp.threads = threads;
+  ec.ilp.portfolio = portfolio;
+  const Topology topo = make_grid(3, 3, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(), ec);
+  std::vector<int> outcomes;
+  ChurnObserver obs;
+  obs.on_arrival = [&](SimTime, const FlowSpec&, const Decision& d) {
+    outcomes.push_back(static_cast<int>(d.outcome) * 10 +
+                       static_cast<int>(d.path));
+  };
+  replay_poisson_churn(engine, churn_spec(5.0, 250, 5), &obs);
+  return outcomes;
+}
+
+// ILP worker threads and portfolio width are pure wall-clock knobs: the
+// decision sequence (outcome AND pipeline stage) must be bit-identical.
+TEST(AdmitPropertyTest, DecisionsIdenticalForAnyThreadCount) {
+  const std::vector<int> base = decision_trace(1, 1);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(base, decision_trace(2, 1));
+  EXPECT_EQ(base, decision_trace(4, 2));
+}
+
+// Replaying the same spec twice is bit-identical end to end.
+TEST(AdmitPropertyTest, ReplayIsDeterministic) {
+  const std::vector<int> a = decision_trace(1, 1);
+  const std::vector<int> b = decision_trace(1, 1);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------- Erlang-B cross-check
+
+// Erlang-B blocking probability B(C, a) via the standard recurrence.
+double erlang_b(int c, double a) {
+  double b = 1.0;
+  for (int n = 1; n <= c; ++n) b = a * b / (static_cast<double>(n) + a * b);
+  return b;
+}
+
+// On a single gateway pair the engine is exactly an M/M/C/C loss system:
+// calls are identical, so admission is "fewer than C active". The measured
+// blocking probability must match the Erlang-B formula at the offered
+// load, and the capacity C itself is a pinned golden (a schedule-packing
+// regression if it moves).
+TEST(AdmitErlangTest, BlockingMatchesErlangB) {
+  const Topology topo = make_chain(2, 100.0);
+  AdmissionEngine probe(topo, radio(), canonical_params(), phy(),
+                        engine_config());
+  // Deterministic fill to find C.
+  int capacity = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Decision d = probe.offer(
+        FlowSpec::voip(i, 1, 0, VoipCodec::g729()), SimTime::seconds(i));
+    if (d.outcome != Outcome::kAdmitted) break;
+    ++capacity;
+  }
+  ASSERT_GT(capacity, 1);
+  // Pinned golden: one-hop G.729 calls share minislots (per-link demand
+  // aggregates packet busy time before rounding up to whole slots), so a
+  // 96-minislot data subframe carries 73 calls, not 96/2. A change here is
+  // a schedule-packing regression.
+  EXPECT_EQ(capacity, 73);
+
+  // Offer a = C Erlangs of load (the knee), long replay, single pair.
+  ChurnSpec spec;
+  spec.endpoints = {{1, 0}};
+  spec.mean_holding_s = 10.0;
+  spec.arrival_rate_per_s = static_cast<double>(capacity) / spec.mean_holding_s;
+  spec.horizon_s = 1e7;
+  spec.max_events = 6000;
+  spec.seed = 9;
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  const ChurnResult r = replay_poisson_churn(engine, spec);
+  ASSERT_GT(r.arrivals, 2000u);
+
+  const double analytic = erlang_b(capacity, static_cast<double>(capacity));
+  const double measured = r.stats.blocking_probability();
+  EXPECT_NEAR(measured, analytic, 0.05)
+      << "C=" << capacity << " a=" << capacity << " analytic=" << analytic;
+  // The carried load must sit below C and near a(1 - B).
+  EXPECT_LE(r.peak_carried, capacity);
+  const double carried_expected =
+      static_cast<double>(capacity) * (1.0 - analytic);
+  EXPECT_NEAR(r.mean_carried, carried_expected, 0.15 * carried_expected);
+}
+
+// ------------------------------------------------------------ stats basics
+
+TEST(AdmitStatsTest, CountersAddUp) {
+  const Topology topo = make_grid(3, 3, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  ChurnSpec spec = churn_spec(5.0, 400, 2);
+  spec.best_effort_fraction = 0.3;
+  const ChurnResult r = replay_poisson_churn(engine, spec);
+  const EngineStats& s = r.stats;
+  EXPECT_EQ(r.events, r.arrivals + r.departures);
+  EXPECT_EQ(s.offered, r.arrivals);
+  EXPECT_EQ(s.admitted + s.degraded + s.rejected, s.offered);
+  EXPECT_EQ(s.guaranteed_offered + s.best_effort_fast, s.offered);
+  EXPECT_EQ(s.decision_latency_ns.count(), s.offered);
+  EXPECT_GT(s.best_effort_fast, 0u);
+  EXPECT_EQ(s.released, r.departures);
+}
+
+}  // namespace
+}  // namespace wimesh::admit

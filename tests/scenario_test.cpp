@@ -255,5 +255,65 @@ TEST(ScenarioParserTest, BadIlpTokensNameTheLine) {
   EXPECT_NE(knob.error().find("unknown ilp knob"), std::string::npos);
 }
 
+TEST(ScenarioParserTest, AdmitKeyParsesEveryKnob) {
+  const auto sc = parse_scenario(
+      "topology = grid 3 3 100\n"
+      "admit = rate=2.5,holding=45,horizon=120,events=500,codec=g711,"
+      "max_delay_ms=80,be_fraction=0.25,seed=7,compaction=16,degrade,check\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  EXPECT_TRUE(sc->admit_enabled);
+  EXPECT_TRUE(sc->admit_degrade);
+  EXPECT_TRUE(sc->admit_check);
+  EXPECT_EQ(sc->admit_compaction, 16);
+  EXPECT_DOUBLE_EQ(sc->admit_churn.arrival_rate_per_s, 2.5);
+  EXPECT_DOUBLE_EQ(sc->admit_churn.mean_holding_s, 45.0);
+  EXPECT_DOUBLE_EQ(sc->admit_churn.horizon_s, 120.0);
+  EXPECT_EQ(sc->admit_churn.max_events, 500u);
+  EXPECT_EQ(sc->admit_churn.codec.name, VoipCodec::g711().name);
+  EXPECT_EQ(sc->admit_churn.max_delay, SimTime::milliseconds(80));
+  EXPECT_DOUBLE_EQ(sc->admit_churn.best_effort_fraction, 0.25);
+  EXPECT_EQ(sc->admit_churn.seed, 7u);
+}
+
+TEST(ScenarioParserTest, AdmitLinesAccumulateWithLaterTokensWinning) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "admit = rate=1,degrade,check\n"
+      "admit = rate=9,no-degrade\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  EXPECT_TRUE(sc->admit_enabled);
+  EXPECT_DOUBLE_EQ(sc->admit_churn.arrival_rate_per_s, 9.0);
+  EXPECT_FALSE(sc->admit_degrade);
+  EXPECT_TRUE(sc->admit_check);  // untouched by the second line
+}
+
+// 'admit =' scenarios synthesize their own arrivals, so they may omit
+// traffic declarations — but plain scenarios still must not.
+TEST(ScenarioParserTest, AdmitScenarioMayOmitTraffic) {
+  EXPECT_TRUE(parse_scenario("topology = chain 4 100\nadmit = on\n")
+                  .has_value());
+  EXPECT_FALSE(parse_scenario("topology = chain 4 100\n").has_value());
+}
+
+TEST(ScenarioParserTest, BadAdmitTokensNameTheLine) {
+  const auto token = parse_scenario(
+      "topology = chain 4 100\n"
+      "admit = frobnicate\n");
+  ASSERT_FALSE(token.has_value());
+  EXPECT_NE(token.error().find("line 2"), std::string::npos);
+  EXPECT_NE(token.error().find("unknown admit token"), std::string::npos);
+
+  const auto knob = parse_scenario(
+      "topology = chain 4 100\n"
+      "admit = gizmo=3\n");
+  ASSERT_FALSE(knob.has_value());
+  EXPECT_NE(knob.error().find("unknown admit knob"), std::string::npos);
+
+  const auto codec = parse_scenario(
+      "topology = chain 4 100\n"
+      "admit = codec=g999\n");
+  EXPECT_FALSE(codec.has_value());
+}
+
 }  // namespace
 }  // namespace wimesh
