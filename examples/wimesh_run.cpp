@@ -63,8 +63,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
                "[--audit [fail-fast]] [--faults PLAN] [--ilp KNOBS] "
-               "[--admit KNOBS] [--trace OUT[:cats]] <scenario-file> | "
-               "--demo\n"
+               "[--zones N] [--admit KNOBS] [--trace OUT[:cats]] "
+               "<scenario-file> | --demo\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
                "                  (grammar: include/wimesh/faults/plan.h)\n"
@@ -76,6 +76,12 @@ int usage(const char* argv0) {
                "                  (overrides the scenario's 'ilp =' key; "
                "threads only\n"
                "                  affects wall clock, never results)\n"
+               "  --zones N       partition the mesh into N zones and solve "
+               "them in\n"
+               "                  parallel with deterministic border "
+               "reconciliation\n"
+               "                  (wimesh::zones; overrides the scenario's "
+               "'zones =' key)\n"
                "  --admit KNOBS   online admission churn replay instead of a "
                "packet\n"
                "                  simulation; comma list of on | rate=X | "
@@ -205,6 +211,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string faults_arg;
   std::string ilp_arg;
+  std::string zones_arg;
   std::string admit_arg;
   std::string trace_path;
   std::uint32_t trace_cats = 0;
@@ -242,6 +249,8 @@ int main(int argc, char** argv) {
       faults_arg = argv[++i];
     } else if (arg == "--ilp" && i + 1 < argc) {
       ilp_arg = argv[++i];
+    } else if (arg == "--zones" && i + 1 < argc) {
+      zones_arg = argv[++i];
     } else if (arg == "--admit" && i + 1 < argc) {
       admit_arg = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -280,6 +289,7 @@ int main(int argc, char** argv) {
   // --ilp / --admit knobs append scenario lines, so they ride the scenario
   // grammar (and, coming last, override any matching key in the file).
   if (!ilp_arg.empty()) text += "\nilp = " + ilp_arg + "\n";
+  if (!zones_arg.empty()) text += "\nzones = " + zones_arg + "\n";
   if (!admit_arg.empty()) text += "\nadmit = " + admit_arg + "\n";
 
   auto scenario = parse_scenario(text);

@@ -18,6 +18,7 @@
 
 #include "wimesh/audit/auditor.h"
 #include "wimesh/common/expected.h"
+#include "wimesh/des/simulator.h"
 #include "wimesh/faults/plan.h"
 #include "wimesh/metrics/flow_stats.h"
 #include "wimesh/qos/planner.h"
@@ -64,6 +65,15 @@ struct MeshConfig {
   // the scenario ('trace =' key). 0 = tracing off. Recording changes no
   // simulation state — traced runs stay bit-identical to untraced ones.
   std::uint32_t trace_categories = 0;
+  // Zone-partitioned scheduling (wimesh/zones): split the mesh into this
+  // many zones, solve each zone's schedule in parallel (ilp.threads worker
+  // threads), then reconcile border links deterministically. 0 = off
+  // (single global solve). Zoning trades global delay optimality for
+  // city-scale tractability; the composed schedule is still conflict-free.
+  int zones = 0;
+  // DES event structure for run(); both kinds produce bit-identical
+  // results (see wimesh/des/simulator.h).
+  EventQueueKind event_queue = EventQueueKind::kCalendarQueue;
 };
 
 struct FlowResult {

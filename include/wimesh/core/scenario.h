@@ -6,7 +6,21 @@
 //
 //   # lines starting with '#' are comments; keys are 'key = value'
 //   topology = grid 3 3 100          # chain N S | grid R C S | ring N R |
-//                                    # random N SIDE RANGE SEED | tree A D S
+//                                    # random N SIDE RANGE SEED | tree A D S |
+//                                    # custom
+//   node 0 0 0                       # with 'topology = custom': one
+//   node 1 100 0                     # 'node <id> <x> <y>' line per node
+//   link 0 1                         # (dense ids 0..N-1) and one
+//                                    # 'link <u> <v>' line per edge.
+//                                    # Duplicate nodes/links, self-loops
+//                                    # and undeclared endpoints are
+//                                    # scenario errors, not crashes.
+//   zones = 4                        # partition the mesh into N zones and
+//                                    # schedule them in parallel
+//                                    # (wimesh::zones); 0 = off (default)
+//   event_queue = calendar           # calendar | heap — DES event
+//                                    # structure (bit-identical results;
+//                                    # heap is the differential reference)
 //   comm_range = 110
 //   interference_range = 220
 //   phy = ofdm54                     # ofdm{6,9,12,18,24,36,48,54},

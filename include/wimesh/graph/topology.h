@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wimesh/common/expected.h"
 #include "wimesh/common/rng.h"
 #include "wimesh/graph/graph.h"
 
@@ -37,7 +38,14 @@ Topology make_chain(NodeId n, double spacing = 100.0);
 // n nodes on a circle, consecutive nodes connected.
 Topology make_ring(NodeId n, double radius = 200.0);
 
-// rows x cols lattice with 4-neighbour connectivity.
+// rows x cols lattice with 4-neighbour connectivity. Dimensions are taken
+// as 64-bit so rows * cols is computed without overflow; returns an error
+// when either dimension is < 1 or the node count exceeds the NodeId range.
+Expected<Topology> try_make_grid(std::int64_t rows, std::int64_t cols,
+                                 double spacing = 100.0);
+
+// Assertion-checked convenience wrapper over try_make_grid for callers
+// with known-small dimensions.
 Topology make_grid(NodeId rows, NodeId cols, double spacing = 100.0);
 
 // n nodes uniform in a side x side square; nodes within `range` metres are

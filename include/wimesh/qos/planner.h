@@ -15,6 +15,7 @@
 #include "wimesh/qos/flow.h"
 #include "wimesh/sched/scheduler.h"
 #include "wimesh/tdma/overlay.h"
+#include "wimesh/zones/zones.h"
 
 namespace wimesh {
 
@@ -77,6 +78,13 @@ struct MeshPlan {
   int guaranteed_slots_used = 0;
   long ilp_nodes = 0;
   int search_stages = 0;
+  // Zone-partitioned solve accounting (zone_count stays 0 for global
+  // solves). With zoning, per-flow delay_bound_met is reported but not
+  // enforced — see plan().
+  int zone_count = 0;
+  int border_links = 0;
+  int relocated_border_links = 0;
+  std::vector<int> zone_slots;  // phase-1 schedule length per zone
 
   // Next hop of flow `flow_id` at node `at`, or kInvalidNode.
   NodeId next_hop(int flow_id, NodeId at) const;
@@ -100,10 +108,19 @@ class QosPlanner {
 
   // Plans all flows at once. Fails if the guaranteed class cannot be
   // scheduled within the data subframe or a delay bound cannot be met.
+  //
+  // When `zoned` is non-null (and the kind is one of the ILP schedulers
+  // with the min-slots objective), the guaranteed class is scheduled with
+  // the zone-partitioned solver (wimesh::zones) instead of one global
+  // search: zones solve in parallel, border links reconcile
+  // deterministically, and the plan carries the zone accounting fields.
+  // Zoning trades the global delay-optimality proof for scale, so missed
+  // delay bounds are then reported per flow instead of failing the plan.
   Expected<MeshPlan> plan(
       const std::vector<FlowSpec>& flows, SchedulerKind kind,
       const IlpSchedulerOptions& ilp_options = {},
-      PlanObjective objective = PlanObjective::kMinimizeSlots) const;
+      PlanObjective objective = PlanObjective::kMinimizeSlots,
+      const zones::ZoneOptions* zoned = nullptr) const;
 
   // Largest number of flow sets admissible: convenience incremental
   // admission — returns the plan for the longest feasible prefix of

@@ -25,6 +25,13 @@
 namespace wimesh {
 
 // Conflict graph over links.count() nodes (indexed by LinkId).
+//
+// Built by sparse neighborhood enumeration: a spatial hash with cell size
+// == interference range maps each link to the links whose endpoints could
+// possibly interfere with its own, so only O(L * local density) candidate
+// pairs are tested instead of all O(L^2). The result — including edge
+// insertion order, hence EdgeIds — is bit-identical to the pairwise
+// reference builder below (proven by the golden scale-equivalence suite).
 Graph build_conflict_graph(const LinkSet& links,
                            const std::vector<Point>& positions,
                            const RadioModel& radio);
@@ -33,7 +40,18 @@ Graph build_conflict_graph(const LinkSet& links,
 // they share an endpoint or one link's transmitter is a graph-neighbor of
 // the other link's receiver. Equivalent to the protocol model with
 // interference range == comm range; useful for abstract topologies.
+// Sparse like the geometric variant: candidates are the links incident to
+// the 1-hop neighborhood of either endpoint (2-hop link adjacency).
 Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity);
+
+// Reference O(L^2) pairwise builders — the original implementations, kept
+// as the oracle for the sparse builders' differential tests. Same graph,
+// bit for bit, just quadratic.
+Graph build_conflict_graph_naive(const LinkSet& links,
+                                 const std::vector<Point>& positions,
+                                 const RadioModel& radio);
+Graph build_conflict_graph_naive(const LinkSet& links,
+                                 const Graph& connectivity);
 
 // Lower bound on the number of slots any conflict-free schedule needs:
 // the demand of every clique must serialize. Evaluates the per-node clique

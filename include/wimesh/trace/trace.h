@@ -38,7 +38,8 @@ enum Category : std::uint32_t {
   kProf = 1u << 5,    // wall-clock profiling spans
   kIlp = 1u << 6,     // ILP solver internals (cuts, portfolio, warm starts)
   kAdmit = 1u << 7,   // online admission control (decisions, hot-swaps)
-  kAll = (1u << 8) - 1,
+  kZones = 1u << 8,   // zone partitioning / per-zone solves / border pass
+  kAll = (1u << 9) - 1,
 };
 
 // Parses a comma-separated category list ("tdma,sync"). "all" and "on"
@@ -78,6 +79,13 @@ enum class EventType : std::uint16_t {
   kAdmitRelease,      // a=flow id, b=active flows, c=departures pending
   kAdmitHotSwap,      // a=plan generation, b=activation frame, c=used slots
   kAdmitCompaction,   // a=surviving flows, b=used slots after compaction
+  // Zone-partitioned scheduling (appended to keep earlier values stable).
+  kZonePartition,     // a=zones, b=nodes, c=border links, d=interior links
+  kZoneSolve,         // a=zone index, b=zone links, c=zone slots,
+                      // d=1 when the zone solve was proven minimal
+  kZoneBorder,        // a=border link id, b=granted slot start,
+                      // c=slot length, d=1 when relocated from the
+                      // zone-local request
 };
 const char* event_type_name(EventType type);
 Category event_category(EventType type);
@@ -103,6 +111,8 @@ enum class SpanName : std::uint16_t {
   kTreeFastPath,    // forest detection + Bellman-Ford tree scheduling
   kAdmitDecide,     // AdmissionEngine::offer end to end
   kAdmitCompact,    // survivor re-plan + hot-swap staging
+  kZoneSolve,       // one zone's min-slot search (phase 1)
+  kZoneCompose,     // border reconciliation + composition (phase 2)
   kCount,
 };
 const char* span_name(SpanName name);
@@ -156,7 +166,7 @@ class Tracer {
   const TraceConfig& config() const { return config_; }
 
  private:
-  static constexpr std::size_t kCategoryCount = 8;
+  static constexpr std::size_t kCategoryCount = 9;
 
   TraceConfig config_;
   std::vector<Record> ring_;

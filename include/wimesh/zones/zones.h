@@ -1,0 +1,99 @@
+#pragma once
+
+// wimesh::zones — zone-partitioned scheduling for city-scale meshes.
+//
+// One global delay-aware ILP over thousands of links is intractable; a
+// city-scale mesh is scheduled hierarchically instead:
+//
+//  1. Partition the nodes into zones (deterministic BFS growth from the
+//     lowest unassigned NodeId, so the partition is reproducible and
+//     zones are connected whenever the mesh is).
+//  2. Phase 1 — solve every zone's scheduling problem independently and
+//     in parallel (wimesh::exec): each zone runs the existing min-slot
+//     search over the links whose transmitter lives in the zone.
+//  3. Phase 2 — reconcile border links (links with a conflict-graph
+//     neighbor in another zone) with a deterministic two-phase
+//     reservation pass, echoing the distributed three-way handshake of
+//     802.16 coordinated distributed scheduling: each border link
+//     *requests* its zone-local grant, then *confirms* in ascending
+//     global LinkId order, first-fit relocating past already-committed
+//     conflicting grants when the request collides.
+//
+// Interior links conflict only within their zone (a cross-zone conflict
+// would make them border by definition), so the composed schedule is
+// conflict-free by construction; validate_schedule / wimesh::audit verify
+// it independently. The trade: cross-zone flows lose the global delay
+// guarantee (their budgets are not constraints of any single zone solve),
+// which the QoS planner reports instead of enforcing when zoning is on.
+//
+// Results are bit-identical for any worker-thread count: zone solves are
+// independent and the border pass runs single-threaded in LinkId order.
+
+#include <string>
+#include <vector>
+
+#include "wimesh/common/expected.h"
+#include "wimesh/graph/graph.h"
+#include "wimesh/sched/scheduler.h"
+
+namespace wimesh::zones {
+
+struct ZoneOptions {
+  // Requested zone count; clamped to [1, node count]. The partitioner
+  // always produces exactly this many (possibly uneven) zones.
+  int zone_count = 4;
+  // Worker threads for the phase-1 zone solves. Pure wall-clock knob —
+  // the composed schedule never depends on it.
+  int jobs = 1;
+  // Per-zone solver configuration. `threads` is overridden to 1 (the
+  // zone fan-out already owns the worker pool) and `cache` to null (zone
+  // subproblems are keyed differently from global ones).
+  IlpSchedulerOptions ilp;
+};
+
+// zone_of_node[v] in [0, zone_count) for every NodeId of the partitioned
+// graph.
+struct ZonePartition {
+  int zone_count = 0;
+  std::vector<int> zone_of_node;
+};
+
+// Deterministic BFS-grown partition into exactly min(zone_count, n) zones
+// of near-equal size. Each zone grows breadth-first from the lowest
+// unassigned NodeId (neighbors visited in ascending order) until it
+// reaches its target share of the remaining nodes; disconnected leftovers
+// seed the same zone until the target is met.
+ZonePartition partition_zones(const Graph& connectivity, int zone_count);
+
+// Per-zone accounting from a zoned solve.
+struct ZoneStats {
+  int links = 0;         // links whose transmitter is in the zone
+  int border_links = 0;  // of those, links with cross-zone conflicts
+  int demanded_links = 0;
+  int slots = 0;                // phase-1 schedule length of the zone
+  bool proven_minimal = true;   // the zone's min-slot search proved S
+};
+
+struct ZonedScheduleResult {
+  MeshSchedule schedule;  // composed over all zones; conflict-free
+  int frame_slots = 0;    // composed schedule length (max grant end)
+  std::vector<int> zone_of_link;   // by LinkId: zone of link.from
+  std::vector<bool> border_link;   // by LinkId
+  std::vector<ZoneStats> zones;
+  int border_links = 0;            // total border links
+  int relocated_border_links = 0;  // confirmations that had to move
+  // True when every zone's search proved minimality. The composition
+  // itself never proves global minimality — zoning trades that proof for
+  // tractability.
+  bool proven_minimal = true;
+};
+
+// Runs the two-phase zoned solve described above. `max_slots` caps both
+// the per-zone searches and the composed schedule length; exceeding it
+// (or any zone being unschedulable) returns an error.
+Expected<ZonedScheduleResult> schedule_zoned(const SchedulingProblem& problem,
+                                             const ZonePartition& partition,
+                                             int max_slots,
+                                             const ZoneOptions& options = {});
+
+}  // namespace wimesh::zones

@@ -84,7 +84,17 @@ void MeshNetwork::add_voip_call(int id_base, NodeId a, NodeId b,
 }
 
 Expected<const MeshPlan*> MeshNetwork::compute_plan() {
-  auto result = planner_.plan(flows_, config_.scheduler, config_.ilp);
+  zones::ZoneOptions zone_opts;
+  if (config_.zones > 0) {
+    zone_opts.zone_count = config_.zones;
+    // ilp.threads is already the scenario's wall-clock parallelism knob;
+    // the zone fan-out consumes it as its worker count (per-zone solves
+    // run single-threaded underneath).
+    zone_opts.jobs = config_.ilp.threads;
+  }
+  auto result = planner_.plan(flows_, config_.scheduler, config_.ilp,
+                              PlanObjective::kMinimizeSlots,
+                              config_.zones > 0 ? &zone_opts : nullptr);
   if (!result.has_value()) return make_error(result.error());
   plan_ = std::move(*result);
   has_plan_ = true;
@@ -132,7 +142,7 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     has_plan_ = true;
   }
 
-  Simulator sim;
+  Simulator sim(config_.event_queue);
   Rng root(config_.seed);
   const NodeId n = config_.topology.node_count();
   const RadioModel radio(config_.comm_range, config_.interference_range);

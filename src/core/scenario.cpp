@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -164,6 +165,77 @@ Expected<bool> apply_admit_options(Scenario& sc, const std::string& value,
   return true;
 }
 
+// Accumulates 'node <id> <x> <y>' / 'link <u> <v>' lines that follow a
+// 'topology = custom' header; build_custom_topology validates and builds
+// the graph once the whole file is read.
+struct CustomTopologyState {
+  bool active = false;
+  std::size_t header_line = 0;
+  struct NodeDecl {
+    std::int64_t id = 0;
+    Point pos;
+    std::size_t line = 0;
+  };
+  struct LinkDecl {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    std::size_t line = 0;
+  };
+  std::vector<NodeDecl> nodes;
+  std::vector<LinkDecl> links;
+};
+
+Expected<Topology> build_custom_topology(const CustomTopologyState& st) {
+  if (st.nodes.empty()) {
+    return make_error(str_cat("line ", st.header_line,
+                              ": custom topology declares no nodes"));
+  }
+  const auto n = static_cast<std::int64_t>(st.nodes.size());
+  if (n > std::numeric_limits<NodeId>::max()) {
+    return make_error(str_cat("line ", st.header_line, ": custom topology of ",
+                              n, " nodes exceeds the NodeId range"));
+  }
+  Topology t;
+  t.graph.resize(static_cast<NodeId>(n));
+  t.positions.resize(static_cast<std::size_t>(n));
+  std::vector<bool> declared(static_cast<std::size_t>(n), false);
+  for (const auto& node : st.nodes) {
+    if (node.id < 0 || node.id >= n) {
+      return make_error(str_cat("line ", node.line, ": node id ", node.id,
+                                " out of range (ids must be dense 0..",
+                                n - 1, ")"));
+    }
+    if (declared[static_cast<std::size_t>(node.id)]) {
+      return make_error(str_cat("line ", node.line, ": duplicate node id ",
+                                node.id));
+    }
+    declared[static_cast<std::size_t>(node.id)] = true;
+    t.positions[static_cast<std::size_t>(node.id)] = node.pos;
+  }
+  for (const auto& link : st.links) {
+    if (link.u < 0 || link.u >= n || link.v < 0 || link.v >= n) {
+      return make_error(str_cat("line ", link.line, ": link ", link.u, " ",
+                                link.v, " references an undeclared node"));
+    }
+    if (link.u == link.v) {
+      return make_error(str_cat("line ", link.line, ": link ", link.u, " ",
+                                link.v, " is a self-loop"));
+    }
+    const auto u = static_cast<NodeId>(link.u);
+    const auto v = static_cast<NodeId>(link.v);
+    // The assertion inside Graph::add_edge would make a malformed input
+    // file a crash; here a parallel edge is an ordinary scenario error
+    // that names the offending line.
+    if (t.graph.has_edge(u, v)) {
+      return make_error(str_cat("line ", link.line, ": duplicate link ",
+                                link.u, " ", link.v,
+                                " (parallel edges are not allowed)"));
+    }
+    t.graph.add_edge(u, v);
+  }
+  return t;
+}
+
 Expected<Topology> parse_topology(const std::vector<std::string>& args,
                                   std::size_t line_no) {
   const auto need = [&](std::size_t n) {
@@ -184,7 +256,11 @@ Expected<Topology> parse_topology(const std::vector<std::string>& args,
     const auto c = num(2);
     const auto s = num(3);
     if (!r || !c || !s) return make_error("bad grid arguments");
-    return make_grid(static_cast<NodeId>(*r), static_cast<NodeId>(*c), *s);
+    auto topo = try_make_grid(static_cast<std::int64_t>(*r),
+                              static_cast<std::int64_t>(*c), *s);
+    if (!topo) return make_error(str_cat("line ", line_no, ": ",
+                                         topo.error()));
+    return std::move(*topo);
   }
   if (kind == "ring" && need(3)) {
     const auto n = num(1);
@@ -246,6 +322,7 @@ Expected<VoipCodec> parse_codec(const std::string& name,
 Expected<Scenario> parse_scenario(const std::string& text) {
   Scenario sc;
   bool have_topology = false;
+  CustomTopologyState custom;
   std::size_t line_no = 0;
 
   for (const std::string& raw : split(text, '\n')) {
@@ -268,6 +345,29 @@ Expected<Scenario> parse_scenario(const std::string& text) {
         }
         return to_number(tokens[i], line_no);
       };
+      if (kind == "node" || kind == "link") {
+        if (!custom.active) {
+          return make_error(str_cat("line ", line_no, ": '", kind,
+                                    "' lines require 'topology = custom'"));
+        }
+        if (kind == "node" && tokens.size() == 4) {
+          const auto id = num(1), x = num(2), y = num(3);
+          if (!id || !x || !y) return make_error("bad node line");
+          custom.nodes.push_back({static_cast<std::int64_t>(*id),
+                                  Point{*x, *y}, line_no});
+          continue;
+        }
+        if (kind == "link" && tokens.size() == 3) {
+          const auto u = num(1), v = num(2);
+          if (!u || !v) return make_error("bad link line");
+          custom.links.push_back({static_cast<std::int64_t>(*u),
+                                  static_cast<std::int64_t>(*v), line_no});
+          continue;
+        }
+        return make_error(str_cat("line ", line_no, ": bad ", kind,
+                                  " line (expected 'node <id> <x> <y>' / "
+                                  "'link <u> <v>')"));
+      }
       if (kind == "voip" && tokens.size() == 6) {
         const auto id = num(1), a = num(2), b = num(3), delay = num(5);
         const auto codec = parse_codec(tokens[4], line_no);
@@ -314,10 +414,36 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     const auto numeric = [&]() { return to_number(value, line_no); };
 
     if (key == "topology") {
+      if (value == "custom") {
+        // Node/link declarations follow on their own lines; the topology
+        // is assembled after the whole file is read.
+        custom.active = true;
+        custom.header_line = line_no;
+        have_topology = true;
+        continue;
+      }
       auto topo = parse_topology(tokenize(value), line_no);
       if (!topo) return make_error(topo.error());
       sc.config.topology = std::move(*topo);
       have_topology = true;
+    } else if (key == "zones") {
+      const auto v = numeric();
+      if (!v) return make_error(v.error());
+      if (*v < 0) {
+        return make_error(str_cat("line ", line_no,
+                                  ": zones must be >= 0 (0 disables "
+                                  "zoning)"));
+      }
+      sc.config.zones = static_cast<int>(*v);
+    } else if (key == "event_queue") {
+      if (value == "calendar") {
+        sc.config.event_queue = EventQueueKind::kCalendarQueue;
+      } else if (value == "heap") {
+        sc.config.event_queue = EventQueueKind::kBinaryHeap;
+      } else {
+        return make_error(str_cat("line ", line_no,
+                                  ": event_queue must be calendar|heap"));
+      }
     } else if (key == "comm_range") {
       const auto v = numeric();
       if (!v) return make_error(v.error());
@@ -453,6 +579,11 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     }
   }
 
+  if (custom.active) {
+    auto topo = build_custom_topology(custom);
+    if (!topo) return make_error(topo.error());
+    sc.config.topology = std::move(*topo);
+  }
   if (!have_topology) return make_error("scenario is missing 'topology'");
   // Churn replays synthesize their own arrivals, so a flow-less scenario
   // is complete once 'admit =' appears.

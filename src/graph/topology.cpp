@@ -1,8 +1,10 @@
 #include "wimesh/graph/topology.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <queue>
+#include <string>
 
 namespace wimesh {
 
@@ -37,21 +39,45 @@ Topology make_ring(NodeId n, double radius) {
   return t;
 }
 
-Topology make_grid(NodeId rows, NodeId cols, double spacing) {
-  WIMESH_ASSERT(rows >= 1 && cols >= 1);
+Expected<Topology> try_make_grid(std::int64_t rows, std::int64_t cols,
+                                 double spacing) {
+  if (rows < 1 || cols < 1) {
+    return make_error("grid dimensions must be >= 1 (got " +
+                      std::to_string(rows) + " x " + std::to_string(cols) +
+                      ")");
+  }
+  // rows * cols in 64-bit: both factors are bounded by the NodeId max
+  // first, so the product cannot overflow int64 either.
+  constexpr std::int64_t kMaxNodes = std::numeric_limits<NodeId>::max();
+  if (rows > kMaxNodes || cols > kMaxNodes || rows * cols > kMaxNodes) {
+    return make_error("grid of " + std::to_string(rows) + " x " +
+                      std::to_string(cols) +
+                      " nodes exceeds the NodeId range");
+  }
+  const auto n = static_cast<NodeId>(rows * cols);
   Topology t;
-  t.graph.resize(rows * cols);
-  t.positions.resize(static_cast<std::size_t>(rows * cols));
-  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
-  for (NodeId r = 0; r < rows; ++r) {
-    for (NodeId c = 0; c < cols; ++c) {
+  t.graph.resize(n);
+  t.positions.resize(static_cast<std::size_t>(n));
+  const auto id = [cols](std::int64_t r, std::int64_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
       t.positions[static_cast<std::size_t>(id(r, c))] =
-          Point{spacing * c, spacing * r};
+          Point{spacing * static_cast<double>(c),
+                spacing * static_cast<double>(r)};
       if (c > 0) t.graph.add_edge(id(r, c - 1), id(r, c));
       if (r > 0) t.graph.add_edge(id(r - 1, c), id(r, c));
     }
   }
   return t;
+}
+
+Topology make_grid(NodeId rows, NodeId cols, double spacing) {
+  auto t = try_make_grid(rows, cols, spacing);
+  WIMESH_ASSERT_MSG(t.has_value(),
+                    t.has_value() ? std::string{} : t.error());
+  return *std::move(t);
 }
 
 Topology make_random_geometric(NodeId n, double side, double range, Rng& rng) {

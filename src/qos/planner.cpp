@@ -206,9 +206,15 @@ BuiltProblem QosPlanner::build_problem(
 Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
                                     SchedulerKind kind,
                                     const IlpSchedulerOptions& ilp_options,
-                                    PlanObjective objective) const {
+                                    PlanObjective objective,
+                                    const zones::ZoneOptions* zoned) const {
   const trace::Span span(trace::SpanName::kQosPlan);
   MeshPlan plan;
+  const bool use_zones =
+      zoned != nullptr && zoned->zone_count > 0 &&
+      (kind == SchedulerKind::kIlpDelayAware ||
+       kind == SchedulerKind::kIlpDelayUnaware) &&
+      objective == PlanObjective::kMinimizeSlots;
 
   // ---- 1.–3. Route, size demands, build conflicts (shared with the
   // admission engine so both sides pose byte-identical problems).
@@ -300,14 +306,36 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
     return out;
   };
 
-  CachedSchedule solved =
-      ilp_options.cache != nullptr
-          ? ilp_options.cache->get_or_compute(
-                schedule_cache_key(problem, data_slots,
-                                   static_cast<int>(kind),
-                                   static_cast<int>(objective), opt),
-                solve)
-          : solve();
+  CachedSchedule solved;
+  if (use_zones) {
+    // Zoned path: phase-1 parallel per-zone searches + deterministic
+    // border reconciliation. Bypasses the schedule cache (zone-local
+    // subproblems would alias global cache keys).
+    const trace::Span compose_span(trace::SpanName::kZoneCompose);
+    zones::ZoneOptions zone_opts = *zoned;
+    zone_opts.ilp = opt;
+    const zones::ZonePartition partition =
+        zones::partition_zones(topology_.graph, zone_opts.zone_count);
+    auto zoned_result =
+        zones::schedule_zoned(problem, partition, data_slots, zone_opts);
+    if (!zoned_result.has_value()) return make_error(zoned_result.error());
+    solved.feasible = true;
+    solved.schedule = std::move(zoned_result->schedule);
+    plan.zone_count = partition.zone_count;
+    plan.border_links = zoned_result->border_links;
+    plan.relocated_border_links = zoned_result->relocated_border_links;
+    for (const zones::ZoneStats& z : zoned_result->zones) {
+      plan.zone_slots.push_back(z.slots);
+    }
+  } else {
+    solved = ilp_options.cache != nullptr
+                 ? ilp_options.cache->get_or_compute(
+                       schedule_cache_key(problem, data_slots,
+                                          static_cast<int>(kind),
+                                          static_cast<int>(objective), opt),
+                       solve)
+                 : solve();
+  }
   if (!solved.feasible) return make_error(std::move(solved.error));
   plan.ilp_nodes = solved.ilp_nodes;
   plan.search_stages = solved.search_stages;
@@ -328,7 +356,11 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
                                              params_.frame.total_slots());
     f.worst_case_delay = params_.frame.slot_duration() * slots;
     f.delay_bound_met = f.worst_case_delay <= f.spec.max_delay;
-    if (kind == SchedulerKind::kIlpDelayAware && !f.delay_bound_met) {
+    // Zoned solves give up the global delay proof (cross-zone flows and
+    // border relocations escape any single zone's constraints), so a
+    // missed bound is reported via delay_bound_met rather than fatal.
+    if (kind == SchedulerKind::kIlpDelayAware && !f.delay_bound_met &&
+        !use_zones) {
       return make_error(str_cat("flow ", f.spec.id,
                                 " misses its delay bound: ",
                                 f.worst_case_delay.to_string(), " > ",

@@ -1,6 +1,8 @@
 #include "wimesh/sched/conflict_graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 
 namespace wimesh {
 namespace {
@@ -10,50 +12,197 @@ bool share_endpoint(const Link& l, const Link& m) {
          l.to == m.to;
 }
 
-}  // namespace
-
-Graph build_conflict_graph(const LinkSet& links,
-                           const std::vector<Point>& positions,
-                           const RadioModel& radio) {
-  Graph g(links.count());
+// The one conflict predicate both the sparse and the reference geometric
+// builders evaluate. Over WiFi hardware every data frame is answered by a
+// link-layer ACK from the receiver, so BOTH endpoints of a scheduled link
+// transmit within its minislots. Two links may share a slot only if no
+// endpoint of one can interfere at any endpoint of the other.
+bool geometric_conflict(const Link& a, const Link& b,
+                        const std::vector<Point>& positions,
+                        const RadioModel& radio) {
   const auto pos = [&](NodeId n) {
     WIMESH_ASSERT(n >= 0 && static_cast<std::size_t>(n) < positions.size());
     return positions[static_cast<std::size_t>(n)];
   };
+  return share_endpoint(a, b) ||
+         radio.interferes(pos(a.from), pos(b.to)) ||
+         radio.interferes(pos(a.from), pos(b.from)) ||
+         radio.interferes(pos(a.to), pos(b.to)) ||
+         radio.interferes(pos(a.to), pos(b.from));
+}
+
+// Likewise for the connectivity-only variant: any endpoint adjacency
+// between the two links serializes them (ACK-aware).
+bool connectivity_conflict(const Link& a, const Link& b,
+                           const Graph& connectivity) {
+  return share_endpoint(a, b) || connectivity.has_edge(a.from, b.to) ||
+         connectivity.has_edge(a.from, b.from) ||
+         connectivity.has_edge(a.to, b.to) ||
+         connectivity.has_edge(a.to, b.from);
+}
+
+// Links incident (as from OR to) to each node, ascending LinkId per node.
+std::vector<std::vector<LinkId>> links_by_node(const LinkSet& links) {
+  NodeId max_node = -1;
+  for (const Link& l : links.links()) {
+    max_node = std::max({max_node, l.from, l.to});
+  }
+  std::vector<std::vector<LinkId>> out(static_cast<std::size_t>(max_node + 1));
   for (LinkId l = 0; l < links.count(); ++l) {
-    for (LinkId m = l + 1; m < links.count(); ++m) {
-      const Link& a = links.link(l);
-      const Link& b = links.link(m);
-      // Over WiFi hardware every data frame is answered by a link-layer
-      // ACK from the receiver, so BOTH endpoints of a scheduled link
-      // transmit within its minislots. Two links may share a slot only if
-      // no endpoint of one can interfere at any endpoint of the other.
-      const bool conflict =
-          share_endpoint(a, b) ||
-          radio.interferes(pos(a.from), pos(b.to)) ||
-          radio.interferes(pos(a.from), pos(b.from)) ||
-          radio.interferes(pos(a.to), pos(b.to)) ||
-          radio.interferes(pos(a.to), pos(b.from));
-      if (conflict) g.add_edge(l, m);
+    const Link& link = links.link(l);
+    out[static_cast<std::size_t>(link.from)].push_back(l);
+    if (link.to != link.from) {
+      out[static_cast<std::size_t>(link.to)].push_back(l);
+    }
+  }
+  return out;
+}
+
+// Shared sparse skeleton: `candidates_of(l, out)` appends every link that
+// could possibly conflict with l (a superset is fine; duplicates are
+// fine); the exact predicate then filters. Candidates are sorted so edges
+// are added in the same (l asc, m asc) order the pairwise reference uses —
+// the resulting Graph is bit-identical, EdgeIds included.
+template <typename CandidatesFn, typename ConflictFn>
+Graph build_sparse(const LinkSet& links, const CandidatesFn& candidates_of,
+                   const ConflictFn& conflict) {
+  Graph g(links.count());
+  std::vector<LinkId> candidates;
+  for (LinkId l = 0; l < links.count(); ++l) {
+    candidates.clear();
+    candidates_of(l, &candidates);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (LinkId m : candidates) {
+      if (m <= l) continue;
+      if (conflict(links.link(l), links.link(m))) g.add_edge(l, m);
     }
   }
   return g;
 }
 
+// Spatial hash over node positions with cell size == interference range:
+// every node within range of p lies in the 3x3 cell block around p's cell.
+class CellIndex {
+ public:
+  CellIndex(const std::vector<Point>& positions,
+            const std::vector<std::vector<LinkId>>& incident, double cell) {
+    WIMESH_ASSERT(cell > 0);
+    cell_ = cell;
+    for (NodeId n = 0; n < static_cast<NodeId>(incident.size()); ++n) {
+      if (incident[static_cast<std::size_t>(n)].empty()) continue;
+      cells_[key_of(positions[static_cast<std::size_t>(n)])].push_back(n);
+    }
+  }
+
+  // Nodes in the 3x3 cell block around p (a superset of the nodes within
+  // cell_ of p), in unspecified order.
+  void nearby(const Point& p, std::vector<NodeId>* out) const {
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        out->insert(out->end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(cx) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  std::uint64_t key_of(const Point& p) const {
+    return key(static_cast<std::int64_t>(std::floor(p.x / cell_)),
+               static_cast<std::int64_t>(std::floor(p.y / cell_)));
+  }
+
+  double cell_ = 1.0;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+};
+
+}  // namespace
+
+Graph build_conflict_graph(const LinkSet& links,
+                           const std::vector<Point>& positions,
+                           const RadioModel& radio) {
+  if (links.count() == 0) return Graph(0);
+  const auto incident = links_by_node(links);
+  const CellIndex index(positions, incident, radio.interference_range());
+  std::vector<NodeId> nodes;
+  return build_sparse(
+      links,
+      [&](LinkId l, std::vector<LinkId>* out) {
+        // Any conflicting link has an endpoint within interference range
+        // of one of l's endpoints (shared endpoints are distance 0), so
+        // the links incident to the 3x3 cell blocks around l's endpoints
+        // form a complete candidate set.
+        nodes.clear();
+        const Link& a = links.link(l);
+        index.nearby(positions[static_cast<std::size_t>(a.from)], &nodes);
+        index.nearby(positions[static_cast<std::size_t>(a.to)], &nodes);
+        for (NodeId n : nodes) {
+          const auto& at = incident[static_cast<std::size_t>(n)];
+          out->insert(out->end(), at.begin(), at.end());
+        }
+      },
+      [&](const Link& a, const Link& b) {
+        return geometric_conflict(a, b, positions, radio);
+      });
+}
+
 Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity) {
+  if (links.count() == 0) return Graph(0);
+  const auto incident = links_by_node(links);
+  return build_sparse(
+      links,
+      [&](LinkId l, std::vector<LinkId>* out) {
+        // A conflicting link has an endpoint equal or graph-adjacent to
+        // one of l's endpoints: enumerate the links incident to that
+        // closed 1-hop neighborhood (2-hop adjacency in link space).
+        const Link& a = links.link(l);
+        for (NodeId u : {a.from, a.to}) {
+          const auto& at = incident[static_cast<std::size_t>(u)];
+          out->insert(out->end(), at.begin(), at.end());
+          for (EdgeId e : connectivity.incident(u)) {
+            const NodeId v = connectivity.other_end(e, u);
+            if (static_cast<std::size_t>(v) >= incident.size()) continue;
+            const auto& atv = incident[static_cast<std::size_t>(v)];
+            out->insert(out->end(), atv.begin(), atv.end());
+          }
+        }
+      },
+      [&](const Link& a, const Link& b) {
+        return connectivity_conflict(a, b, connectivity);
+      });
+}
+
+Graph build_conflict_graph_naive(const LinkSet& links,
+                                 const std::vector<Point>& positions,
+                                 const RadioModel& radio) {
   Graph g(links.count());
   for (LinkId l = 0; l < links.count(); ++l) {
     for (LinkId m = l + 1; m < links.count(); ++m) {
-      const Link& a = links.link(l);
-      const Link& b = links.link(m);
-      // ACK-aware, as in the geometric variant: any endpoint adjacency
-      // between the two links serializes them.
-      const bool conflict = share_endpoint(a, b) ||
-                            connectivity.has_edge(a.from, b.to) ||
-                            connectivity.has_edge(a.from, b.from) ||
-                            connectivity.has_edge(a.to, b.to) ||
-                            connectivity.has_edge(a.to, b.from);
-      if (conflict) g.add_edge(l, m);
+      if (geometric_conflict(links.link(l), links.link(m), positions,
+                             radio)) {
+        g.add_edge(l, m);
+      }
+    }
+  }
+  return g;
+}
+
+Graph build_conflict_graph_naive(const LinkSet& links,
+                                 const Graph& connectivity) {
+  Graph g(links.count());
+  for (LinkId l = 0; l < links.count(); ++l) {
+    for (LinkId m = l + 1; m < links.count(); ++m) {
+      if (connectivity_conflict(links.link(l), links.link(m), connectivity)) {
+        g.add_edge(l, m);
+      }
     }
   }
   return g;

@@ -140,6 +140,44 @@ void append_args(std::string& out, const Record& r) {
       append_int_arg(out, first, "slots", r.b);
       append_int_arg(out, first, "components", r.c);
       break;
+    case EventType::kAdmitDecision:
+      append_int_arg(out, first, "flow", r.a);
+      append_int_arg(out, first, "outcome", r.b);
+      append_int_arg(out, first, "path", r.c);
+      append_int_arg(out, first, "active", r.d);
+      break;
+    case EventType::kAdmitRelease:
+      append_int_arg(out, first, "flow", r.a);
+      append_int_arg(out, first, "active", r.b);
+      append_int_arg(out, first, "pending", r.c);
+      break;
+    case EventType::kAdmitHotSwap:
+      append_int_arg(out, first, "generation", r.a);
+      append_int_arg(out, first, "frame", r.b);
+      append_int_arg(out, first, "slots", r.c);
+      break;
+    case EventType::kAdmitCompaction:
+      append_int_arg(out, first, "flows", r.a);
+      append_int_arg(out, first, "slots", r.b);
+      break;
+    case EventType::kZonePartition:
+      append_int_arg(out, first, "zones", r.a);
+      append_int_arg(out, first, "nodes", r.b);
+      append_int_arg(out, first, "border", r.c);
+      append_int_arg(out, first, "interior", r.d);
+      break;
+    case EventType::kZoneSolve:
+      append_int_arg(out, first, "zone", r.a);
+      append_int_arg(out, first, "links", r.b);
+      append_int_arg(out, first, "slots", r.c);
+      append_int_arg(out, first, "proven", r.d);
+      break;
+    case EventType::kZoneBorder:
+      append_int_arg(out, first, "link", r.a);
+      append_int_arg(out, first, "start", r.b);
+      append_int_arg(out, first, "len", r.c);
+      append_int_arg(out, first, "relocated", r.d);
+      break;
   }
   out += '}';
 }

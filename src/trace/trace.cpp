@@ -16,7 +16,7 @@ struct CategoryEntry {
 constexpr CategoryEntry kCategories[] = {
     {kDes, "des"},     {kTdma, "tdma"},     {kWifi, "wifi"},
     {kSync, "sync"},   {kFaults, "faults"}, {kProf, "prof"},
-    {kIlp, "ilp"},     {kAdmit, "admit"},
+    {kIlp, "ilp"},     {kAdmit, "admit"},   {kZones, "zones"},
 };
 
 // Bit position of a (single-bit) category — index into the per-category
@@ -65,8 +65,8 @@ std::uint32_t parse_categories(const std::string& csv, std::string* error) {
         *error =
             str_cat(
                 "unknown trace category '", token,
-                "' (expected des|tdma|wifi|sync|faults|prof|ilp|admit|all|"
-                "off)");
+                "' (expected des|tdma|wifi|sync|faults|prof|ilp|admit|zones|"
+                "all|off)");
       }
       return 0;
     }
@@ -129,6 +129,12 @@ const char* event_type_name(EventType type) {
       return "admit.hot_swap";
     case EventType::kAdmitCompaction:
       return "admit.compaction";
+    case EventType::kZonePartition:
+      return "zones.partition";
+    case EventType::kZoneSolve:
+      return "zones.solve";
+    case EventType::kZoneBorder:
+      return "zones.border";
   }
   return "?";
 }
@@ -166,6 +172,10 @@ Category event_category(EventType type) {
     case EventType::kAdmitHotSwap:
     case EventType::kAdmitCompaction:
       return kAdmit;
+    case EventType::kZonePartition:
+    case EventType::kZoneSolve:
+    case EventType::kZoneBorder:
+      return kZones;
   }
   return kProf;
 }
@@ -196,6 +206,10 @@ const char* span_name(SpanName name) {
       return "admit.decide";
     case SpanName::kAdmitCompact:
       return "admit.compact";
+    case SpanName::kZoneSolve:
+      return "zones.solve";
+    case SpanName::kZoneCompose:
+      return "zones.compose";
     case SpanName::kCount:
       break;
   }

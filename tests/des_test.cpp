@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "wimesh/des/simulator.h"
@@ -122,6 +125,164 @@ TEST(SimulatorTest, CancelFromWithinEarlierEvent) {
   sim.schedule_at(SimTime::milliseconds(5), [&] { sim.cancel(later); });
   sim.run_all();
   EXPECT_FALSE(fired);
+}
+
+// schedule_in must reject a negative delay by name — not fall through to
+// schedule_at's past-check, whose message would blame the wrong API.
+TEST(SimulatorDeathTest, NegativeDelayAsserts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.schedule_in(SimTime::nanoseconds(-1), [] {}),
+               "non-negative delay");
+}
+
+TEST(SimulatorTest, NegativeDelayFromWithinEventAsserts) {
+  Simulator sim;
+  sim.schedule_at(SimTime::milliseconds(5), [&] {
+    // now() is 5ms here, so the absolute time would be valid — the delay
+    // itself is still a caller bug and must die.
+    EXPECT_DEATH(sim.schedule_in(SimTime::milliseconds(-1), [] {}),
+                 "non-negative delay");
+  });
+  sim.run_all();
+}
+
+// Regression for the calendar queue's cursor: events pushed out of time
+// order before the first pop (no now-barrier constrains them) must still
+// execute in time order. The far-future push aims the cursor at its
+// bucket; the near push must re-aim it or the sweep returns the wrong
+// minimum.
+TEST(SimulatorTest, OutOfOrderPushesBeforeFirstPopRunInOrder) {
+  Simulator sim;  // calendar queue is the default
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::nanoseconds(5), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::milliseconds(1), [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(1));
+}
+
+// Heavy cancel traffic on both queue kinds: pending_events must track
+// exactly (queued - cancelled), double-cancels must be no-ops, and only
+// surviving events may fire.
+TEST(SimulatorTest, CancelAccountingStress) {
+  for (const EventQueueKind kind :
+       {EventQueueKind::kCalendarQueue, EventQueueKind::kBinaryHeap}) {
+    Simulator sim(kind);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    const auto next = [&x] {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return x;
+    };
+    std::vector<EventHandle> handles;
+    std::size_t fired = 0;
+    constexpr std::size_t kEvents = 3000;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      handles.push_back(sim.schedule_at(
+          SimTime::nanoseconds(static_cast<std::int64_t>(next() % 1'000'000)),
+          [&] { ++fired; }));
+    }
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+      sim.cancel(handles[i]);
+      ++cancelled;
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 9) {
+      sim.cancel(handles[i]);  // repeat cancels must not double-count
+    }
+    sim.cancel(EventHandle{});  // invalid handle is a no-op
+    EXPECT_EQ(sim.pending_events(), kEvents - cancelled);
+    sim.run_all();
+    EXPECT_EQ(fired, kEvents - cancelled);
+    EXPECT_EQ(sim.events_executed(), kEvents - cancelled);
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+// Differential stress: the calendar queue and the binary heap must produce
+// the exact same execution — same event order, same clock, same counters —
+// on a workload of random times, equal-time bursts (FIFO ties), nested
+// scheduling and random cancels. The workload is a pure function of the
+// event order, so any ordering divergence desynchronizes the RNG streams
+// and shows up as a log mismatch.
+struct RunLog {
+  std::vector<std::int64_t> times;
+  std::vector<int> tags;
+  std::uint64_t executed = 0;
+  std::int64_t end_ns = 0;
+
+  friend bool operator==(const RunLog&, const RunLog&) = default;
+};
+
+TEST(SimulatorTest, CalendarMatchesHeapOnRandomWorkload) {
+  const auto run = [](EventQueueKind kind) {
+    Simulator sim(kind);
+    std::uint64_t x = 0x243f6a8885a308d3ull;
+    const auto next = [&x] {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return x;
+    };
+    RunLog log;
+    std::vector<EventHandle> handles;
+    int next_tag = 0;
+    std::function<void(SimTime, int)> spawn = [&](SimTime t, int depth) {
+      const int tag = next_tag++;
+      handles.push_back(sim.schedule_at(t, [&, tag, depth] {
+        log.times.push_back(sim.now().ns());
+        log.tags.push_back(tag);
+        if (depth < 2) {
+          const int children = static_cast<int>(next() % 3);
+          for (int c = 0; c < children; ++c) {
+            spawn(sim.now() + SimTime::nanoseconds(
+                                  static_cast<std::int64_t>(next() % 50'000)),
+                  depth + 1);
+          }
+        }
+        if (next() % 4 == 0) {
+          sim.cancel(handles[next() % handles.size()]);
+        }
+      }));
+    };
+    for (int i = 0; i < 400; ++i) {
+      spawn(SimTime::nanoseconds(static_cast<std::int64_t>(next() % 2'000'000)),
+            0);
+    }
+    // Equal-time bursts: FIFO tie-breaking must match between the kinds.
+    for (int i = 0; i < 64; ++i) spawn(SimTime::microseconds(700), 0);
+    sim.run_all();
+    log.executed = sim.events_executed();
+    log.end_ns = sim.now().ns();
+    return log;
+  };
+  const RunLog calendar = run(EventQueueKind::kCalendarQueue);
+  const RunLog heap = run(EventQueueKind::kBinaryHeap);
+  EXPECT_EQ(calendar, heap);
+  EXPECT_GT(calendar.executed, 400u);  // the workload actually fanned out
+}
+
+// run_until interleaved with fresh pushes across horizons exercises the
+// calendar cursor through repeated drain/refill cycles and resizes.
+TEST(SimulatorTest, CalendarSurvivesDrainRefillCycles) {
+  Simulator sim;
+  std::size_t fired = 0;
+  std::int64_t last_ns = -1;
+  for (int round = 0; round < 20; ++round) {
+    const std::int64_t base = round * 1'000'000;
+    for (int i = 19; i >= 0; --i) {  // descending pushes inside each round
+      sim.schedule_at(SimTime::nanoseconds(base + i * 1000), [&] {
+        EXPECT_GE(sim.now().ns(), last_ns);
+        last_ns = sim.now().ns();
+        ++fired;
+      });
+    }
+    sim.run_until(SimTime::nanoseconds(base + 500'000));
+  }
+  sim.run_all();
+  EXPECT_EQ(fired, 400u);
 }
 
 TEST(SimulatorTest, DeterministicAcrossRuns) {

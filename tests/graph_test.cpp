@@ -295,5 +295,45 @@ TEST(TopologyTest, SpanningTreeParents) {
   EXPECT_EQ(roots, 1);
 }
 
+// try_make_grid must reject bad dimensions as typed errors — including
+// node counts whose rows * cols product would overflow a plain int before
+// widening (the historical bug: `resize(rows * cols)` multiplied 32-bit
+// ints and resized to a garbage count instead of failing).
+TEST(TopologyTest, TryMakeGridRejectsBadDimensions) {
+  EXPECT_FALSE(try_make_grid(0, 5).has_value());
+  EXPECT_FALSE(try_make_grid(5, 0).has_value());
+  EXPECT_FALSE(try_make_grid(-3, 4).has_value());
+  const auto r = try_make_grid(0, 4);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.error().find(">= 1"), std::string::npos);
+}
+
+TEST(TopologyTest, TryMakeGridRejectsNodeCountBeyondNodeIdRange) {
+  // 70000 * 70000 = 4.9e9 overflows int32 to a small positive number; the
+  // 64-bit validation must catch it instead.
+  const auto huge = try_make_grid(70'000, 70'000);
+  ASSERT_FALSE(huge.has_value());
+  EXPECT_NE(huge.error().find("NodeId range"), std::string::npos);
+  // A single dimension beyond the range fails even when the other is 1.
+  EXPECT_FALSE(try_make_grid(3'000'000'000LL, 1).has_value());
+  // 2^31 - 1 rows of one node is within the NodeId range *numerically*,
+  // but 46341 * 46341 just exceeds it.
+  EXPECT_FALSE(try_make_grid(46'341, 46'341).has_value());
+}
+
+TEST(TopologyTest, TryMakeGridMatchesMakeGrid) {
+  const auto r = try_make_grid(3, 4, 120.0);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  const Topology direct = make_grid(3, 4, 120.0);
+  EXPECT_EQ(r->graph.node_count(), direct.graph.node_count());
+  EXPECT_EQ(r->graph.edge_count(), direct.graph.edge_count());
+  for (NodeId v = 0; v < direct.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(r->positions[static_cast<std::size_t>(v)].x,
+                     direct.positions[static_cast<std::size_t>(v)].x);
+    EXPECT_DOUBLE_EQ(r->positions[static_cast<std::size_t>(v)].y,
+                     direct.positions[static_cast<std::size_t>(v)].y);
+  }
+}
+
 }  // namespace
 }  // namespace wimesh

@@ -315,5 +315,151 @@ TEST(ScenarioParserTest, BadAdmitTokensNameTheLine) {
   EXPECT_FALSE(codec.has_value());
 }
 
+// --------------------------------------------------- custom topology lines
+
+TEST(ScenarioParserTest, CustomTopologyBuildsDeclaredGraph) {
+  const auto sc = parse_scenario(
+      "topology = custom\n"
+      "node 0 0 0\n"
+      "node 1 100 0\n"
+      "node 2 100 100\n"
+      "link 0 1\n"
+      "link 1 2\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  const Topology& t = sc->config.topology;
+  ASSERT_EQ(t.node_count(), 3);
+  EXPECT_EQ(t.graph.edge_count(), 2);
+  EXPECT_TRUE(t.graph.has_edge(0, 1));
+  EXPECT_TRUE(t.graph.has_edge(1, 2));
+  EXPECT_FALSE(t.graph.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(t.positions[1].x, 100.0);
+  EXPECT_DOUBLE_EQ(t.positions[2].y, 100.0);
+}
+
+// A parallel edge used to be an assertion failure inside Graph::add_edge —
+// a crash, with the message blaming the graph library instead of the
+// scenario. It must be an ordinary scenario error naming the line.
+TEST(ScenarioParserTest, CustomTopologyRejectsDuplicateLinkAsError) {
+  const auto sc = parse_scenario(
+      "topology = custom\n"
+      "node 0 0 0\n"
+      "node 1 100 0\n"
+      "link 0 1\n"
+      "link 1 0\n"
+      "voip 0 0 1 g729 100\n");
+  ASSERT_FALSE(sc.has_value());
+  EXPECT_NE(sc.error().find("line 5"), std::string::npos);
+  EXPECT_NE(sc.error().find("duplicate link"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, CustomTopologyRejectsBadDeclarations) {
+  const std::string head = "topology = custom\nnode 0 0 0\nnode 1 100 0\n";
+  const std::string tail = "voip 0 0 1 g729 100\n";
+
+  const auto self_loop = parse_scenario(head + "link 1 1\n" + tail);
+  ASSERT_FALSE(self_loop.has_value());
+  EXPECT_NE(self_loop.error().find("self-loop"), std::string::npos);
+
+  const auto undeclared = parse_scenario(head + "link 0 7\n" + tail);
+  ASSERT_FALSE(undeclared.has_value());
+  EXPECT_NE(undeclared.error().find("undeclared node"), std::string::npos);
+
+  const auto dup_node =
+      parse_scenario(head + "node 1 0 100\nlink 0 1\n" + tail);
+  ASSERT_FALSE(dup_node.has_value());
+  EXPECT_NE(dup_node.error().find("duplicate node id"), std::string::npos);
+
+  // Node ids must be dense 0..N-1.
+  const auto gap = parse_scenario(
+      "topology = custom\nnode 0 0 0\nnode 5 100 0\nlink 0 5\n" + tail);
+  ASSERT_FALSE(gap.has_value());
+  EXPECT_NE(gap.error().find("out of range"), std::string::npos);
+
+  const auto empty = parse_scenario("topology = custom\n" + tail);
+  ASSERT_FALSE(empty.has_value());
+  EXPECT_NE(empty.error().find("no nodes"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, NodeLinkLinesRequireCustomTopology) {
+  const auto sc = parse_scenario(
+      "topology = chain 4 100\n"
+      "node 0 0 0\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_FALSE(sc.has_value());
+  EXPECT_NE(sc.error().find("line 2"), std::string::npos);
+  EXPECT_NE(sc.error().find("topology = custom"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, CustomTopologyActuallyRuns) {
+  const auto sc = parse_scenario(
+      "topology = custom\n"
+      "node 0 0 0\n"
+      "node 1 100 0\n"
+      "node 2 200 0\n"
+      "link 0 1\n"
+      "link 1 2\n"
+      "duration_s = 1\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  MeshNetwork net(sc->config);
+  for (const FlowSpec& f : sc->flows) net.add_flow(f);
+  ASSERT_TRUE(net.compute_plan().has_value());
+  const SimulationResult r = net.run(sc->mac, sc->duration);
+  for (const FlowResult& f : r.flows) EXPECT_LT(f.stats.loss_rate(), 0.01);
+}
+
+// ------------------------------------------------- zones / event_queue keys
+
+TEST(ScenarioParserTest, ZonesKeyParses) {
+  const std::string base = "topology = grid 3 3 100\nvoip 0 8 0 g729 100\n";
+  const auto off = parse_scenario(base);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->config.zones, 0);  // default: global solve
+  const auto on = parse_scenario(base + "zones = 4\n");
+  ASSERT_TRUE(on.has_value()) << on.error();
+  EXPECT_EQ(on->config.zones, 4);
+  const auto neg = parse_scenario(base + "zones = -1\n");
+  ASSERT_FALSE(neg.has_value());
+  EXPECT_NE(neg.error().find("zones"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, EventQueueKeyParses) {
+  const std::string base = "topology = chain 3 100\nvoip 0 0 2 g729 100\n";
+  const auto def = parse_scenario(base);
+  ASSERT_TRUE(def.has_value());
+  EXPECT_EQ(def->config.event_queue, EventQueueKind::kCalendarQueue);
+  const auto heap = parse_scenario(base + "event_queue = heap\n");
+  ASSERT_TRUE(heap.has_value());
+  EXPECT_EQ(heap->config.event_queue, EventQueueKind::kBinaryHeap);
+  const auto cal = parse_scenario(base + "event_queue = calendar\n");
+  ASSERT_TRUE(cal.has_value());
+  EXPECT_EQ(cal->config.event_queue, EventQueueKind::kCalendarQueue);
+  const auto bad = parse_scenario(base + "event_queue = skiplist\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().find("calendar|heap"), std::string::npos);
+}
+
+// A zoned scenario must plan and run end-to-end, with the zone accounting
+// visible in the plan and the schedule conflict-free (audit on).
+TEST(ScenarioParserTest, ZonedScenarioPlansAndRuns) {
+  const auto sc = parse_scenario(
+      "topology = grid 4 4 100\n"
+      "zones = 4\n"
+      "duration_s = 1\n"
+      "audit = on\n"
+      "voip 0 15 0 g729 100\n"
+      "voip 2 12 3 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  MeshNetwork net(sc->config);
+  for (const FlowSpec& f : sc->flows) net.add_flow(f);
+  ASSERT_TRUE(net.compute_plan().has_value());
+  EXPECT_EQ(net.plan().zone_count, 4);
+  EXPECT_EQ(net.plan().zone_slots.size(), 4u);
+  const SimulationResult r = net.run(sc->mac, sc->duration);
+  ASSERT_TRUE(r.audit.enabled);
+  EXPECT_EQ(r.audit.total_violations(), 0u);
+}
+
 }  // namespace
 }  // namespace wimesh

@@ -1,0 +1,190 @@
+// wimesh::zones tests: partition determinism and coverage, conflict-free
+// composition, degenerate single-zone equivalence with the global search,
+// and worker-count invariance of the composed schedule.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wimesh/common/strings.h"
+#include "wimesh/graph/topology.h"
+#include "wimesh/sched/conflict_graph.h"
+#include "wimesh/sched/scheduler.h"
+#include "wimesh/zones/zones.h"
+
+namespace wimesh {
+namespace {
+
+IlpSchedulerOptions deterministic_options() {
+  // Wall-clock limits make results depend on machine load; only the node
+  // budget may bound these solves (same rationale as the golden tests).
+  IlpSchedulerOptions opt;
+  opt.time_limit_seconds = 600.0;
+  return opt;
+}
+
+// Row flows across an R x C grid (each row's nodes right-to-left), unit
+// demand per hop — enough cross-zone structure that a vertical-cut
+// partition produces genuine border links.
+SchedulingProblem grid_row_problem(NodeId rows, NodeId cols,
+                                   const Topology& topo) {
+  SchedulingProblem p;
+  for (NodeId r = 0; r < rows; ++r) {
+    FlowPath flow;
+    flow.delay_budget_frames = 2;
+    for (NodeId c = cols - 1; c > 0; --c) {
+      flow.links.push_back(
+          p.links.add({r * cols + c, r * cols + c - 1}));
+    }
+    p.flows.push_back(flow);
+  }
+  p.demand.assign(static_cast<std::size_t>(p.links.count()), 1);
+  p.conflicts =
+      build_conflict_graph(p.links, topo.positions, RadioModel(110.0, 220.0));
+  return p;
+}
+
+// Chain-6 with two opposite end-to-end flows (the golden tests' pattern).
+SchedulingProblem chain6_problem(const Topology& topo) {
+  SchedulingProblem p;
+  FlowPath down, up;
+  down.delay_budget_frames = 1;
+  up.delay_budget_frames = 1;
+  for (NodeId n = 0; n < 5; ++n) down.links.push_back(p.links.add({n, n + 1}));
+  for (NodeId n = 5; n > 0; --n) up.links.push_back(p.links.add({n, n - 1}));
+  p.demand.assign(static_cast<std::size_t>(p.links.count()), 2);
+  p.flows.push_back(down);
+  p.flows.push_back(up);
+  p.conflicts =
+      build_conflict_graph(p.links, topo.positions, RadioModel(110.0, 220.0));
+  return p;
+}
+
+std::string render(const SchedulingProblem& p, const MeshSchedule& s) {
+  std::string out;
+  for (LinkId l = 0; l < p.links.count(); ++l) {
+    if (p.demand[static_cast<std::size_t>(l)] == 0) continue;
+    const auto g = s.grant(l);
+    out += str_cat("l", l, ":");
+    out += g.has_value() ? str_cat(g->start, "+", g->length) : "none";
+    out += " ";
+  }
+  return out;
+}
+
+TEST(ZonePartitionTest, CoversEveryNodeWithExactlyKZones) {
+  const Topology topo = make_grid(6, 6, 100.0);
+  const zones::ZonePartition part = zones::partition_zones(topo.graph, 4);
+  ASSERT_EQ(part.zone_count, 4);
+  ASSERT_EQ(part.zone_of_node.size(), 36u);
+  std::vector<int> population(4, 0);
+  for (const int z : part.zone_of_node) {
+    ASSERT_GE(z, 0);
+    ASSERT_LT(z, 4);
+    ++population[static_cast<std::size_t>(z)];
+  }
+  for (const int n : population) EXPECT_EQ(n, 9);  // 36 nodes, even split
+}
+
+TEST(ZonePartitionTest, IsDeterministic) {
+  const Topology topo = make_grid(7, 5, 100.0);
+  const zones::ZonePartition a = zones::partition_zones(topo.graph, 3);
+  const zones::ZonePartition b = zones::partition_zones(topo.graph, 3);
+  EXPECT_EQ(a.zone_of_node, b.zone_of_node);
+}
+
+TEST(ZonePartitionTest, ClampsZoneCountToNodeCount) {
+  const Topology topo = make_chain(4, 100.0);
+  const zones::ZonePartition many = zones::partition_zones(topo.graph, 100);
+  EXPECT_EQ(many.zone_count, 4);  // one node per zone
+  const zones::ZonePartition one = zones::partition_zones(topo.graph, 1);
+  EXPECT_EQ(one.zone_count, 1);
+  for (const int z : one.zone_of_node) EXPECT_EQ(z, 0);
+}
+
+TEST(ZonedScheduleTest, ComposedScheduleIsConflictFree) {
+  const Topology topo = make_grid(6, 6, 100.0);
+  const SchedulingProblem p = grid_row_problem(6, 6, topo);
+  const zones::ZonePartition part = zones::partition_zones(topo.graph, 4);
+  zones::ZoneOptions opt;
+  opt.zone_count = 4;
+  opt.ilp = deterministic_options();
+  const auto r = zones::schedule_zoned(p, part, 96, opt);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_TRUE(validate_schedule(p, r->schedule));
+  EXPECT_LE(r->frame_slots, 96);
+  // Per-link accounting is self-consistent.
+  ASSERT_EQ(r->zone_of_link.size(), static_cast<std::size_t>(p.links.count()));
+  ASSERT_EQ(r->border_link.size(), static_cast<std::size_t>(p.links.count()));
+  int borders = 0;
+  for (LinkId l = 0; l < p.links.count(); ++l) {
+    EXPECT_EQ(r->zone_of_link[static_cast<std::size_t>(l)],
+              part.zone_of_node[static_cast<std::size_t>(p.links.link(l).from)]);
+    if (r->border_link[static_cast<std::size_t>(l)]) ++borders;
+  }
+  EXPECT_EQ(borders, r->border_links);
+  // A vertical/horizontal cut of a grid with row flows must produce at
+  // least one genuine border link, or the test is not exercising phase 2.
+  EXPECT_GT(r->border_links, 0);
+  ASSERT_EQ(r->zones.size(), 4u);
+}
+
+TEST(ZonedScheduleTest, SingleZoneMatchesGlobalSearch) {
+  const Topology topo = make_chain(6, 100.0);
+  const SchedulingProblem p = chain6_problem(topo);
+  const IlpSchedulerOptions ilp = deterministic_options();
+
+  const auto global = min_slots_search(p, 48, ilp);
+  ASSERT_TRUE(global.has_value()) << global.error();
+
+  const zones::ZonePartition part = zones::partition_zones(topo.graph, 1);
+  zones::ZoneOptions opt;
+  opt.zone_count = 1;
+  opt.ilp = ilp;
+  const auto zoned = zones::schedule_zoned(p, part, 48, opt);
+  ASSERT_TRUE(zoned.has_value()) << zoned.error();
+
+  // One zone means phase 1 IS the global search and phase 2 has nothing to
+  // move: the composed schedule must be grant-for-grant identical.
+  EXPECT_EQ(render(p, zoned->schedule), render(p, global->result.schedule));
+  EXPECT_EQ(zoned->frame_slots, global->frame_slots);
+  EXPECT_EQ(zoned->border_links, 0);
+  EXPECT_EQ(zoned->relocated_border_links, 0);
+  EXPECT_EQ(zoned->proven_minimal, global->proven_minimal);
+}
+
+TEST(ZonedScheduleTest, ResultIsInvariantAcrossWorkerCounts) {
+  const Topology topo = make_grid(6, 6, 100.0);
+  const SchedulingProblem p = grid_row_problem(6, 6, topo);
+  const zones::ZonePartition part = zones::partition_zones(topo.graph, 4);
+  const auto solve = [&](int jobs) {
+    zones::ZoneOptions opt;
+    opt.zone_count = 4;
+    opt.jobs = jobs;
+    opt.ilp = deterministic_options();
+    const auto r = zones::schedule_zoned(p, part, 96, opt);
+    EXPECT_TRUE(r.has_value()) << (r.has_value() ? "" : r.error());
+    return r.has_value() ? render(p, r->schedule) : std::string();
+  };
+  const std::string serial = solve(1);
+  EXPECT_EQ(solve(4), serial);
+  EXPECT_EQ(solve(8), serial);
+}
+
+TEST(ZonedScheduleTest, TightCapReportsTypedError) {
+  const Topology topo = make_grid(6, 6, 100.0);
+  const SchedulingProblem p = grid_row_problem(6, 6, topo);
+  const zones::ZonePartition part = zones::partition_zones(topo.graph, 4);
+  zones::ZoneOptions opt;
+  opt.zone_count = 4;
+  opt.ilp = deterministic_options();
+  // Each row alone needs 5 slots of mutually-conflicting demand; 2 slots
+  // cannot fit any zone. The error must be a value, not a crash.
+  const auto r = zones::schedule_zoned(p, part, 2, opt);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_FALSE(r.error().empty());
+}
+
+}  // namespace
+}  // namespace wimesh
