@@ -32,6 +32,7 @@
 
 #include "wimesh/batch/admit_run.h"
 #include "wimesh/batch/runner.h"
+#include "wimesh/chaos/chaos.h"
 #include "wimesh/core/scenario.h"
 #include "wimesh/trace/export.h"
 #include "wimesh/trace/trace.h"
@@ -64,7 +65,7 @@ int usage(const char* argv0) {
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
                "[--audit [fail-fast]] [--faults PLAN] [--ilp KNOBS] "
                "[--zones N] [--admit KNOBS] [--trace OUT[:cats]] "
-               "<scenario-file> | --demo\n"
+               "<scenario-file> | --demo | --chaos KNOBS\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
                "                  (grammar: include/wimesh/faults/plan.h)\n"
@@ -94,13 +95,23 @@ int usage(const char* argv0) {
                "against the\n"
                "                  cold re-solve oracle; grammar: 'admit =' in "
                "scenario.h)\n"
+               "  --chaos KNOBS   seeded fault/churn fuzzing instead of a "
+               "scenario run;\n"
+               "                  comma list of on | seed=N | events=N | "
+               "trials=N |\n"
+               "                  detect_ms=N | inject-bug (test fixture)\n"
+               "                  exits non-zero with a minimized "
+               "reproducing fault\n"
+               "                  script on the first oracle/audit "
+               "failure\n"
                "  --trace OUT[:cats]\n"
                "                  write a Perfetto/chrome://tracing JSON "
                "event trace to OUT\n"
                "                  (per seed under --sweep) plus a slot "
                "timeline CSV; cats is a\n"
                "                  comma list of "
-               "des,tdma,wifi,sync,faults,prof,ilp (default all)\n",
+               "des,tdma,wifi,sync,faults,prof,ilp,admit,zones,chaos "
+               "(default all)\n",
                argv0);
   return 1;
 }
@@ -204,6 +215,46 @@ bool export_trace(const trace::Tracer& tracer, const std::string& json_path,
   return true;
 }
 
+// Parses "--chaos on,seed=3,events=20000" style knobs and runs the fuzzer.
+// Returns the process exit code: 0 clean, 1 on a reproduced failure (with
+// the minimized script on stderr so it can be replayed via --faults).
+int run_chaos_cli(const std::string& knobs) {
+  chaos::ChaosOptions options;
+  std::stringstream ss(knobs);
+  std::string knob;
+  while (std::getline(ss, knob, ',')) {
+    if (knob.empty() || knob == "on") continue;
+    const auto eq = knob.find('=');
+    const std::string key = knob.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? "" : knob.substr(eq + 1);
+    if (key == "seed") {
+      options.seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "events") {
+      options.event_budget = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "trials") {
+      options.max_trials = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "detect_ms") {
+      options.detect_ms = std::atoi(val.c_str());
+    } else if (key == "inject-bug") {
+      options.inject_recover_loss_bug = true;
+    } else {
+      std::fprintf(stderr, "--chaos: unknown knob '%s'\n", knob.c_str());
+      return 1;
+    }
+  }
+  const chaos::ChaosReport report = chaos::run_chaos(options);
+  std::printf("%s\n", report.summary().c_str());
+  if (report.failure.has_value()) {
+    std::fprintf(stderr, "minimized fault script (replay via --faults):\n%s\n",
+                 chaos::format_event_script(
+                     report.failure->script,
+                     SimTime::milliseconds(options.detect_ms))
+                     .c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +304,8 @@ int main(int argc, char** argv) {
       zones_arg = argv[++i];
     } else if (arg == "--admit" && i + 1 < argc) {
       admit_arg = argv[++i];
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      return run_chaos_cli(argv[++i]);
     } else if (arg == "--trace" && i + 1 < argc) {
       if (!parse_trace_arg(argv[++i], &trace_path, &trace_cats)) {
         return usage(argv[0]);

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -63,9 +64,22 @@ enum class DecisionPath : int {
 
 enum class Outcome : int { kAdmitted = 0, kDegraded = 1, kRejected = 2 };
 
+// Why an arrival was not admitted as requested. Capacity shortfalls are
+// kInfeasible; the fault-aware pre-stage distinguishes arrivals the current
+// topology epoch cannot serve at all: an endpoint that is crashed
+// (kEndpointDown) or endpoints separated by a partition cut (kNoRoute).
+enum class RejectReason : int {
+  kNone = 0,          // admitted as requested
+  kInfeasible = 1,    // capacity / delay infeasibility (stages 1 and 3)
+  kEndpointDown = 2,  // an endpoint is dead in the current epoch
+  kNoRoute = 3,       // endpoints alive but in different islands
+};
+const char* reject_reason_name(RejectReason r);
+
 struct Decision {
   Outcome outcome = Outcome::kRejected;
   DecisionPath path = DecisionPath::kFullSolve;
+  RejectReason reject = RejectReason::kNone;  // set when not admitted as-is
   std::string reason;           // why, when not admitted as requested
   std::int64_t latency_ns = 0;  // wall clock; reporting only, never decisions
 };
@@ -115,6 +129,15 @@ struct EngineStats {
   std::uint64_t full_solves = 0;  // stage-3 invocations (either answer)
   std::uint64_t hot_swaps = 0;
   std::uint64_t compactions = 0;
+  // Not-admitted-as-requested counts, by typed cause (degrades count
+  // toward the cause that denied the guaranteed request).
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_endpoint_down = 0;
+  std::uint64_t rejected_no_route = 0;
+  // Fault-awareness: topology epoch installs and the active flows they
+  // evicted (dead endpoint or severed route).
+  std::uint64_t epoch_updates = 0;
+  std::uint64_t epoch_evictions = 0;
   // Wall-clock latency of every offer() decision, in nanoseconds.
   SampleSet decision_latency_ns;
 
@@ -144,6 +167,24 @@ class AdmissionEngine {
   // new schedule was staged. Resets the lazy-departure counter.
   bool compact(SimTime now);
 
+  // Fault-awareness: installs a new topology epoch — `alive` masks the
+  // construction topology (dead nodes lose every incident edge but keep
+  // their NodeId). Rebuilds the planner over the surviving subgraph,
+  // recomputes the island decomposition, evicts active flows the epoch can
+  // no longer serve (a dead endpoint, or endpoints separated by a cut) and
+  // re-validates the booked set with a survivor re-plan. Subsequent offers
+  // fast-reject unservable arrivals with a typed RejectReason before any
+  // solver work. Returns the evicted flow ids in ascending order.
+  // `down_links` lists additionally-severed undirected edges (hard link
+  // outages), as unordered endpoint pairs.
+  std::vector<int> set_topology_epoch(
+      const std::vector<char>& alive, SimTime now,
+      const std::vector<std::pair<NodeId, NodeId>>& down_links = {});
+  std::uint64_t topology_epoch() const { return epoch_; }
+  // Current island index per node (-1 = dead); empty before the first
+  // epoch install (no fault-awareness overhead until then).
+  const std::vector<int>& island_of_node() const { return island_of_node_; }
+
   // Currently admitted flows, in arrival order (degraded arrivals appear
   // with service == kBestEffort).
   const std::vector<FlowSpec>& active() const { return active_; }
@@ -167,7 +208,7 @@ class AdmissionEngine {
   void set_deploy_callback(DeployFn fn) { deploy_ = std::move(fn); }
 
   const EngineStats& stats() const { return stats_; }
-  const QosPlanner& planner() const { return planner_; }
+  const QosPlanner& planner() const { return *planner_; }
   const EngineConfig& config() const { return config_; }
   const Topology& topology() const { return topology_; }
 
@@ -179,6 +220,9 @@ class AdmissionEngine {
   };
 
   Decision decide(const FlowSpec& flow, SimTime now);
+  // Fault-aware pre-stage: rejects `flow` with a typed cause when the
+  // current epoch cannot serve it at all; nullopt when it may proceed.
+  std::optional<Decision> epoch_gate(const FlowSpec& flow);
   // Stage 2: extend the incumbent to serve `bp` without solving. Keeps
   // every surviving grant (shrunk to the new demand), first-fits grown or
   // new links into the free gaps, and accepts only a schedule that
@@ -192,12 +236,23 @@ class AdmissionEngine {
                   const MeshSchedule& schedule) const;
   void adopt(Incumbent next, SimTime now, bool compaction);
   Decision not_admitted(const FlowSpec& flow, DecisionPath path,
-                        std::string reason);
+                        RejectReason why, std::string reason);
 
   const Topology& topology_;
   EmulationParams params_;
   EngineConfig config_;
-  QosPlanner planner_;
+  RadioModel radio_;  // kept so the planner can be rebuilt per epoch
+  PhyMode phy_;
+  // The planner plans over `topology_` until the first epoch install, then
+  // over the owned surviving subgraph (QosPlanner holds a topology
+  // reference, so the engine must own what an epoch planner points at).
+  Topology epoch_topology_;
+  std::unique_ptr<QosPlanner> planner_;
+  // Fault-awareness state; empty until the first set_topology_epoch (the
+  // fault-free fast path pays nothing).
+  std::vector<char> alive_;
+  std::vector<int> island_of_node_;
+  std::uint64_t epoch_ = 0;
   std::vector<FlowSpec> active_;
   Incumbent incumbent_;
   std::uint64_t generation_ = 0;

@@ -52,8 +52,9 @@ enum class DropReason : std::uint8_t {
   kNoCapacity,          // TDMA link exists but holds no minislot grant
   kNodeDown,            // fault injection: a node on the path is crashed
   kScheduleRevoked,     // fault repair: packet's link vanished in a hot-swap
+  kPartitioned,         // fault split the mesh; flow's route crosses the cut
 };
-inline constexpr std::size_t kDropReasonCount = 7;
+inline constexpr std::size_t kDropReasonCount = 8;
 const char* drop_reason_name(DropReason r);
 
 enum class ViolationKind : std::uint8_t {

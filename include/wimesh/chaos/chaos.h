@@ -1,0 +1,107 @@
+#pragma once
+
+// wimesh::chaos — seeded randomized fault/churn fuzzing for the recovery
+// and admission paths.
+//
+// Each trial derives everything from (seed, trial index): a topology drawn
+// from the chain / grid / tree families, a set of VoIP calls, a fault
+// script (crashes, recoveries, link outages, master failure, PER bursts,
+// clock steps) that is consistent by construction, and a Poisson admission
+// churn. The trial then runs two independent legs:
+//
+//   * Packet leg — the full MeshNetwork simulation with auditing on and
+//     the script installed. Checked: zero audit violations outside waived
+//     fault windows, and every recovery pass's recorded partition outcome
+//     (FaultReport::repair_history) against an independent connectivity
+//     oracle that replays the script with plain BFS — island count, per-
+//     island master validity, severed-flow count and the peak island count
+//     must all match.
+//   * Control leg — an AdmissionEngine fed the same structural events as
+//     topology epochs, interleaved with churn arrivals/departures.
+//     Checked: every arrival's typed decision against what the epoch
+//     state implies (dead endpoint -> endpoint_down, severed route ->
+//     no_route, otherwise never liveness-rejected), and live_consistent()
+//     after every event.
+//
+// On the first failing trial the fuzzer shrinks the fault script with a
+// ddmin-style pass — repeatedly re-running the trial with one event
+// removed, keeping every removal that still reproduces — and reports the
+// minimal script. `inject_recover_loss_bug` is a test fixture that drops
+// node-recover events from the system-side plan (the oracle still sees
+// them), emulating a lost recovery notification; the fuzzer must catch it
+// and shrink the reproducer to a handful of events.
+//
+// Determinism: a ChaosReport is a pure function of ChaosOptions. Trials
+// run sequentially; per-trial RNG streams are derived, never shared.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wimesh/faults/plan.h"
+#include "wimesh/qos/planner.h"
+
+namespace wimesh::chaos {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  // Stop once this many fault + churn events have been exercised (or on
+  // the first failure). `max_trials` is a hard cap against degenerate
+  // option combinations.
+  std::uint64_t event_budget = 10000;
+  std::uint64_t max_trials = 100000;
+  // Scheduler used by both legs. The default keeps 10k-event smokes fast;
+  // the ILP kinds exercise the same recovery machinery at higher cost.
+  SchedulerKind scheduler = SchedulerKind::kGreedy;
+  // Failure-detection delay for generated fault plans, milliseconds.
+  // Events are spaced 100 ms apart, so any value < 100 keeps recovery
+  // points unambiguous.
+  int detect_ms = 50;
+  // Test fixture: drop node-recover events from the system-side plan while
+  // the oracle replays the full script (a deliberately injected bug the
+  // fuzzer must catch and shrink).
+  bool inject_recover_loss_bug = false;
+};
+
+// The minimal reproducing script for the first failure, after shrinking.
+struct TrialFailure {
+  std::uint64_t trial = 0;
+  std::string family;                       // "chain-6", "grid-4x4", ...
+  std::string detail;                       // first check that failed
+  std::vector<faults::FaultEvent> script;   // minimized
+  std::size_t original_events = 0;          // script size before shrinking
+  int shrink_rounds = 0;                    // successful removals
+};
+
+struct ChaosReport {
+  std::uint64_t trials = 0;
+  std::uint64_t events = 0;        // fault + churn events exercised
+  std::uint64_t fault_events = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t skipped_trials = 0;  // initial plan infeasible (not a bug)
+  // Failure tallies across all trials run (the fuzzer stops at the first
+  // failing trial, so at most one trial contributes).
+  std::uint64_t audit_violations = 0;
+  std::uint64_t oracle_mismatches = 0;
+  std::uint64_t consistency_failures = 0;
+  std::optional<TrialFailure> failure;
+
+  bool ok() const {
+    return audit_violations == 0 && oracle_mismatches == 0 &&
+           consistency_failures == 0 && !failure.has_value();
+  }
+  std::string summary() const;
+};
+
+// Runs trials until the event budget is met or a check fails (then shrinks
+// and stops).
+ChaosReport run_chaos(const ChaosOptions& options);
+
+// Renders a fault script in the parse_fault_plan grammar (one event per
+// "kind@T ..." clause, ';'-separated, detect_ms appended) — suitable for
+// replay via `wimesh_run --faults` or a scenario `fault =` line.
+std::string format_event_script(const std::vector<faults::FaultEvent>& events,
+                                SimTime detection_delay);
+
+}  // namespace wimesh::chaos

@@ -78,6 +78,14 @@ struct FaultPlan {
 
 // Parses the grammar above. Errors are typed and name the offending event
 // and key, e.g. "fault 'node-crash@4': unknown key 'nod'".
+//
+// Contradictory scripts are rejected rather than silently last-wins
+// resolved; the error names the offending event and its 1-based position
+// in the script, e.g. "fault 'node-crash@5' (event 3): node 2 is already
+// crashed". Checked contradictions:
+//   * node-crash of a node that is already crashed,
+//   * link-up for a link that is not down at that point,
+//   * two Gilbert–Elliott bursts with overlapping windows on one link.
 Expected<FaultPlan> parse_fault_plan(const std::string& spec);
 
 // One guaranteed flow's service interruption. Opened when a structural
@@ -91,8 +99,21 @@ struct FlowOutageRecord {
   SimTime outage{};                 // restored_at - interrupted_at (or
                                     // run end - interrupted_at if never)
   bool shed = false;                // dropped by the degradation policy
+  bool partitioned = false;         // shed because its route crossed a cut
 
   bool restored() const { return restored_at > SimTime::zero(); }
+};
+
+// One recovery pass's partition outcome, appended per repair so an
+// external oracle (wimesh::chaos) can replay connectivity independently
+// and cross-check island decomposition and master election.
+struct RepairRecord {
+  SimTime at{};                  // fault time that triggered the repair
+  SimTime activation{};          // frame boundary the new plan went live
+  int islands = 1;               // connected components over survivors
+  std::vector<NodeId> masters;   // elected per-island masters (ascending)
+  int flows_planned = 0;         // guaranteed flows in the repaired plan
+  int flows_severed = 0;         // guaranteed flows crossing a cut
 };
 
 // Continuity metrics for one simulation run, carried in SimulationResult.
@@ -108,7 +129,14 @@ struct FaultReport {
   SimTime time_to_restore{};
   int flows_preserved = 0;    // guaranteed flows admitted by the final plan
   int flows_shed = 0;         // guaranteed flows shed to regain feasibility
+  // Partition lifecycle (all zero/one unless a fault actually split the
+  // mesh): peak island count, heal merges (island count returning to 1),
+  // and guaranteed flows that were severed by a cut at some point.
+  int max_islands = 1;
+  int heals = 0;
+  int flows_partitioned = 0;
   std::vector<FlowOutageRecord> outages;
+  std::vector<RepairRecord> repair_history;
 
   std::string summary() const;
 };

@@ -20,6 +20,19 @@
 //    id) first within a class — until the plan is feasible. The repaired
 //    schedule is handed to the embedder through Callbacks::deploy for a
 //    hot-swap at the next frame boundary.
+//  * Partition tolerance — when faults cut the surviving mesh into several
+//    connected components ("islands"), each island elects a deterministic
+//    master (lowest surviving NodeId not already failed as master), the
+//    sync tree becomes a forest (SyncProtocol::re_root_forest) and the
+//    islands' schedules are planned in parallel by feeding the island
+//    membership to wimesh::zones as an explicit partition — islands are
+//    fault-induced zones, and the zones border pass resolves cross-island
+//    interference. Flows whose route crosses a cut are severed (typed
+//    "partitioned", never silently broken). When a later recovery merges
+//    the islands back into one component, the first post-heal plan runs
+//    the same two-phase border reconciliation over the pre-heal island
+//    membership, hot-swaps the composed schedule at a frame boundary and
+//    re-admits severed flows in deterministic declaration order.
 //
 // Around each fault and each swap the runtime opens an audit waive window
 // (InvariantAuditor::waive_until); outside those windows the audit
@@ -30,6 +43,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "wimesh/audit/auditor.h"
@@ -95,6 +109,18 @@ class FaultRuntime {
     return alive_[static_cast<std::size_t>(node)] != 0;
   }
 
+  // True while the flow's endpoints are alive but in different islands —
+  // its route crosses a partition cut. The runner types such drops as
+  // DropReason::kPartitioned instead of a generic no-route/no-capacity.
+  bool flow_severed(int flow_id) const {
+    return severed_ids_.count(flow_id) != 0;
+  }
+
+  // Current island count (1 = connected survivors) and per-node island
+  // index (-1 for dead nodes); refreshed by every recovery pass.
+  int islands() const { return islands_; }
+  const std::vector<int>& island_of_node() const { return island_of_node_; }
+
   // The plan traffic should be forwarded under right now (the original
   // until the first hot-swap activates).
   const MeshPlan* live_plan() const { return current_plan_; }
@@ -107,7 +133,21 @@ class FaultRuntime {
   void apply(const FaultEvent& event);
   void schedule_recovery(SimTime fault_at);
   void run_recovery(SimTime fault_at);
-  void repair_schedule(SimTime now);
+  // Surviving topology: original nodes, minus edges with a dead endpoint
+  // or an injected hard outage (dead nodes stay as isolated vertices so
+  // NodeIds keep their meaning).
+  Topology build_survivors() const;
+  // Refreshes island_of_node_/islands_/severed_ids_ from `survivors` and
+  // records the partition metrics. Returns the previous island membership
+  // (for the heal-time merge partition).
+  std::vector<int> decompose_islands(const Topology& survivors);
+  // Elects one master per island: the current master keeps its island when
+  // it is alive and healthy; otherwise the lowest surviving NodeId not yet
+  // failed as master, falling back to the lowest surviving NodeId.
+  std::vector<NodeId> elect_island_masters() const;
+  void repair_schedule(SimTime fault_at, const Topology& survivors,
+                       int prev_islands,
+                       const std::vector<int>& prev_island_of_node);
   void open_outages_through(NodeId node, SimTime now);
   void open_outages_on_link(NodeId a, NodeId b, SimTime now);
   void open_outage(int flow_id, SimTime now);
@@ -130,6 +170,13 @@ class FaultRuntime {
   const MeshPlan* current_plan_;
   // Repaired plans; deque so deployed pointers stay stable.
   std::deque<MeshPlan> repaired_plans_;
+
+  // Partition state, refreshed by every recovery pass.
+  int islands_ = 1;
+  std::vector<int> island_of_node_;        // -1 = dead
+  std::vector<NodeId> island_masters_;     // by island index
+  std::unordered_set<int> severed_ids_;    // flows crossing a cut right now
+  std::unordered_set<int> ever_severed_;   // guaranteed flows ever severed
 
   FaultReport report_;
   std::unordered_map<int, std::size_t> open_outage_;  // flow id -> index

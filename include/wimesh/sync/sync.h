@@ -85,6 +85,15 @@ class SyncProtocol {
   // `new_master` must be alive.
   void re_root(NodeId new_master, const std::vector<char>& alive);
 
+  // Partition-tolerant variant: re-roots an independent spanning tree at
+  // each of `masters` (one per island, every one alive) over the
+  // alive-induced subgraph, so each island keeps its own time reference
+  // while the mesh is split. Waves resume immediately and cover every tree
+  // in the forest; masters() lists the roots and master() the primary
+  // (first) one. Nodes unreachable from every master keep free-running.
+  void re_root_forest(const std::vector<NodeId>& masters,
+                      const std::vector<char>& alive);
+
   // Applies a one-off step to node n's clock (crystal glitch / operator
   // error); the next wave re-absorbs it.
   void step_clock(NodeId n, SimTime delta);
@@ -109,6 +118,15 @@ class SyncProtocol {
   SimTime global_time_for_local(NodeId n, SimTime local_target) const;
 
   NodeId master() const { return master_; }
+  // All current tree roots: one entry per island after re_root_forest(),
+  // a single entry otherwise. masters().front() == master().
+  const std::vector<NodeId>& masters() const { return masters_; }
+  // The root of the sync tree that reaches node n (one of masters()), or
+  // kInvalidNode when n free-runs unreachable from every master.
+  NodeId master_of(NodeId n) const {
+    return root_of_[static_cast<std::size_t>(n)];
+  }
+  // Forest-wide maximum depth (the guard dimensioning input).
   int max_tree_depth() const { return max_depth_; }
   const SyncConfig& config() const { return config_; }
   std::uint64_t waves_completed() const { return waves_; }
@@ -126,10 +144,12 @@ class SyncProtocol {
   Simulator& sim_;
   const Graph* topology_;  // not owned; needed again by re_root()
   NodeId master_;
+  std::vector<NodeId> masters_;  // forest roots; front() == master_
   SyncConfig config_;
   Rng rng_;
-  std::vector<NodeId> parent_;  // spanning tree
-  std::vector<int> depth_;      // -1 = unreachable from the master
+  std::vector<NodeId> parent_;  // spanning forest
+  std::vector<NodeId> root_of_;  // reaching master, kInvalidNode = none
+  std::vector<int> depth_;      // -1 = unreachable from every master
   int max_depth_ = 0;
   std::vector<ClockState> clocks_;
   std::uint64_t waves_ = 0;

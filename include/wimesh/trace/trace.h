@@ -39,7 +39,8 @@ enum Category : std::uint32_t {
   kIlp = 1u << 6,     // ILP solver internals (cuts, portfolio, warm starts)
   kAdmit = 1u << 7,   // online admission control (decisions, hot-swaps)
   kZones = 1u << 8,   // zone partitioning / per-zone solves / border pass
-  kAll = (1u << 9) - 1,
+  kChaos = 1u << 9,   // chaos fuzzing trials / oracle checks / shrinking
+  kAll = (1u << 10) - 1,
 };
 
 // Parses a comma-separated category list ("tdma,sync"). "all" and "on"
@@ -86,6 +87,13 @@ enum class EventType : std::uint16_t {
   kZoneBorder,        // a=border link id, b=granted slot start,
                       // c=slot length, d=1 when relocated from the
                       // zone-local request
+  // Partition-aware recovery (appended to keep earlier values stable).
+  kIslandsFormed,     // a=island count, b=surviving nodes, c=severed flows
+  kIslandMaster,      // node=island master, a=island index, b=island size
+  kIslandsHealed,     // a=islands merged, b=flows re-admitted
+  // Chaos fuzzing engine (appended to keep earlier values stable).
+  kChaosTrial,        // a=trial index, b=events in script, c=0 ok / 1 failed
+  kChaosShrink,       // a=shrink round, b=events remaining, c=events removed
 };
 const char* event_type_name(EventType type);
 Category event_category(EventType type);
@@ -166,7 +174,7 @@ class Tracer {
   const TraceConfig& config() const { return config_; }
 
  private:
-  static constexpr std::size_t kCategoryCount = 9;
+  static constexpr std::size_t kCategoryCount = 10;
 
   TraceConfig config_;
   std::vector<Record> ring_;

@@ -42,6 +42,12 @@ struct ZoneOptions {
   // Requested zone count; clamped to [1, node count]. The partitioner
   // always produces exactly this many (possibly uneven) zones.
   int zone_count = 4;
+  // When non-empty, this per-node zone assignment is used verbatim instead
+  // of running partition_zones — the fault runtime injects connected-
+  // component islands here so partition recovery reuses the whole zoned
+  // pipeline (islands are fault-induced zones). Must assign every link
+  // transmitter a zone in [0, zone_count).
+  std::vector<int> explicit_zone_of_node;
   // Worker threads for the phase-1 zone solves. Pure wall-clock knob —
   // the composed schedule never depends on it.
   int jobs = 1;

@@ -38,6 +38,20 @@ bool is_complete_solver(SchedulerKind kind) {
 
 }  // namespace
 
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kInfeasible:
+      return "infeasible";
+    case RejectReason::kEndpointDown:
+      return "endpoint_down";
+    case RejectReason::kNoRoute:
+      return "no_route";
+  }
+  return "?";
+}
+
 AdmissionEngine::AdmissionEngine(const Topology& topology,
                                  const RadioModel& radio,
                                  EmulationParams params, PhyMode phy,
@@ -45,7 +59,10 @@ AdmissionEngine::AdmissionEngine(const Topology& topology,
     : topology_(topology),
       params_(params),
       config_(std::move(config)),
-      planner_(topology, radio, params, std::move(phy), config_.routing) {}
+      radio_(radio),
+      phy_(std::move(phy)),
+      planner_(std::make_unique<QosPlanner>(topology, radio_, params, phy_,
+                                            config_.routing)) {}
 
 Decision AdmissionEngine::offer(const FlowSpec& flow, SimTime now) {
   const trace::Span span(trace::SpanName::kAdmitDecide, now);
@@ -74,6 +91,11 @@ Decision AdmissionEngine::offer(const FlowSpec& flow, SimTime now) {
 
 Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
   Decision d;
+  // Fault-aware pre-stage: arrivals the current topology epoch cannot
+  // serve at all die here, typed by cause, before any class or capacity
+  // logic (degrading to best-effort cannot conjure a route).
+  if (auto gated = epoch_gate(flow)) return *std::move(gated);
+
   // Stage 0: best-effort arrivals never gate on the guaranteed class —
   // they are served from leftover slots, shrunk to whatever fits.
   if (flow.service == ServiceClass::kBestEffort) {
@@ -87,7 +109,7 @@ Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
   ++stats_.guaranteed_offered;
   std::vector<FlowSpec> candidate = active_;
   candidate.push_back(flow);
-  BuiltProblem bp = planner_.build_problem(candidate);
+  BuiltProblem bp = planner_->build_problem(candidate);
   const int data_slots = params_.frame.data_slots;
 
   // Stage 1: clique-bound fast reject — the same lower bound the cold
@@ -97,6 +119,7 @@ Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
                                   bp.problem.conflicts) > data_slots) {
     ++stats_.fast_rejects;
     return not_admitted(flow, DecisionPath::kFastReject,
+                        RejectReason::kInfeasible,
                         "infeasible: clique bound exceeds the subframe");
   }
 
@@ -122,10 +145,11 @@ Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
   // Stage 3: the cold path itself — warm-started ILP feasibility solve
   // through the shared cache.
   ++stats_.full_solves;
-  auto planned = planner_.plan(candidate, config_.scheduler, config_.ilp,
-                               PlanObjective::kFeasibility);
+  auto planned = planner_->plan(candidate, config_.scheduler, config_.ilp,
+                                PlanObjective::kFeasibility);
   if (!planned.has_value()) {
-    return not_admitted(flow, DecisionPath::kFullSolve, planned.error());
+    return not_admitted(flow, DecisionPath::kFullSolve,
+                        RejectReason::kInfeasible, planned.error());
   }
   Incumbent next;
   next.problem.links = planned->links;
@@ -154,11 +178,25 @@ Decision AdmissionEngine::decide(const FlowSpec& flow, SimTime now) {
 }
 
 Decision AdmissionEngine::not_admitted(const FlowSpec& flow,
-                                       DecisionPath path,
+                                       DecisionPath path, RejectReason why,
                                        std::string reason) {
   Decision d;
   d.path = path;
+  d.reject = why;
   d.reason = std::move(reason);
+  switch (why) {
+    case RejectReason::kNone:
+      break;
+    case RejectReason::kInfeasible:
+      ++stats_.rejected_infeasible;
+      break;
+    case RejectReason::kEndpointDown:
+      ++stats_.rejected_endpoint_down;
+      break;
+    case RejectReason::kNoRoute:
+      ++stats_.rejected_no_route;
+      break;
+  }
   if (config_.degrade_on_reject) {
     FlowSpec degraded = flow;
     degraded.service = ServiceClass::kBestEffort;
@@ -168,6 +206,109 @@ Decision AdmissionEngine::not_admitted(const FlowSpec& flow,
     d.outcome = Outcome::kRejected;
   }
   return d;
+}
+
+std::optional<Decision> AdmissionEngine::epoch_gate(const FlowSpec& flow) {
+  if (alive_.empty()) return std::nullopt;  // no epoch installed yet
+  const auto src = static_cast<std::size_t>(flow.src);
+  const auto dst = static_cast<std::size_t>(flow.dst);
+  const bool src_dead = alive_[src] == 0;
+  const bool dst_dead = alive_[dst] == 0;
+  if (!src_dead && !dst_dead &&
+      island_of_node_[src] == island_of_node_[dst]) {
+    return std::nullopt;
+  }
+  // Hard reject regardless of the degrade policy: best-effort service to a
+  // dead or unreachable endpoint is not service.
+  if (flow.service == ServiceClass::kGuaranteed) ++stats_.guaranteed_offered;
+  Decision d;
+  d.outcome = Outcome::kRejected;
+  d.path = DecisionPath::kFastReject;
+  if (src_dead || dst_dead) {
+    d.reject = RejectReason::kEndpointDown;
+    ++stats_.rejected_endpoint_down;
+    d.reason = str_cat("endpoint down: node ",
+                       src_dead ? flow.src : flow.dst, " is crashed");
+  } else {
+    d.reject = RejectReason::kNoRoute;
+    ++stats_.rejected_no_route;
+    d.reason = str_cat("no route: nodes ", flow.src, " and ", flow.dst,
+                       " are in different islands");
+  }
+  return d;
+}
+
+std::vector<int> AdmissionEngine::set_topology_epoch(
+    const std::vector<char>& alive, SimTime now,
+    const std::vector<std::pair<NodeId, NodeId>>& down_links) {
+  WIMESH_ASSERT(static_cast<NodeId>(alive.size()) == topology_.node_count());
+  alive_ = alive;
+  ++epoch_;
+  ++stats_.epoch_updates;
+
+  const auto link_is_down = [&](NodeId u, NodeId v) {
+    for (const auto& [a, b] : down_links) {
+      if ((a == u && b == v) || (a == v && b == u)) return true;
+    }
+    return false;
+  };
+
+  // Surviving subgraph: dead nodes keep their NodeId as isolated vertices.
+  epoch_topology_.positions = topology_.positions;
+  epoch_topology_.graph = Graph();
+  epoch_topology_.graph.resize(topology_.node_count());
+  for (EdgeId e = 0; e < topology_.graph.edge_count(); ++e) {
+    const Graph::Edge& edge = topology_.graph.edge(e);
+    if (alive_[static_cast<std::size_t>(edge.u)] == 0) continue;
+    if (alive_[static_cast<std::size_t>(edge.v)] == 0) continue;
+    if (link_is_down(edge.u, edge.v)) continue;
+    epoch_topology_.graph.add_edge(edge.u, edge.v);
+  }
+  planner_ = std::make_unique<QosPlanner>(epoch_topology_, radio_, params_,
+                                          phy_, config_.routing);
+
+  // Island decomposition, components seeded in ascending NodeId order.
+  island_of_node_.assign(alive_.size(), -1);
+  int islands = 0;
+  for (NodeId s = 0; s < topology_.node_count(); ++s) {
+    if (alive_[static_cast<std::size_t>(s)] == 0) continue;
+    if (island_of_node_[static_cast<std::size_t>(s)] >= 0) continue;
+    island_of_node_[static_cast<std::size_t>(s)] = islands;
+    std::vector<NodeId> queue{s};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const NodeId v : epoch_topology_.graph.neighbors(queue[head])) {
+        if (island_of_node_[static_cast<std::size_t>(v)] >= 0) continue;
+        island_of_node_[static_cast<std::size_t>(v)] = islands;
+        queue.push_back(v);
+      }
+    }
+    ++islands;
+  }
+
+  // Evict booked flows the epoch can no longer serve: a dead endpoint, or
+  // endpoints separated by a cut.
+  std::vector<int> evicted;
+  auto keep = active_.begin();
+  for (FlowSpec& f : active_) {
+    const auto src = static_cast<std::size_t>(f.src);
+    const auto dst = static_cast<std::size_t>(f.dst);
+    const bool servable = alive_[src] != 0 && alive_[dst] != 0 &&
+                          island_of_node_[src] == island_of_node_[dst];
+    if (servable) {
+      *keep++ = std::move(f);
+    } else {
+      evicted.push_back(f.id);
+    }
+  }
+  active_.erase(keep, active_.end());
+  std::sort(evicted.begin(), evicted.end());
+  stats_.epoch_evictions += evicted.size();
+
+  // Re-validate the booked set against the new topology: the survivors are
+  // re-planned (and re-routed) over the epoch planner, and the refreshed
+  // schedule hot-swaps at the next frame boundary.
+  compact(now);
+  return evicted;
 }
 
 std::optional<MeshSchedule> AdmissionEngine::try_repair(
@@ -300,7 +441,7 @@ bool AdmissionEngine::compact(SimTime now) {
       });
   if (!any_guaranteed) {
     // Nothing to schedule: adopt the empty skeleton directly.
-    BuiltProblem bp = planner_.build_problem(active_);
+    BuiltProblem bp = planner_->build_problem(active_);
     Incumbent next;
     next.schedule =
         MeshSchedule(bp.problem.links, params_.frame.data_slots);
@@ -313,10 +454,10 @@ bool AdmissionEngine::compact(SimTime now) {
   // was feasible when admitted and departures only shrink it, so this
   // succeeds unless the solver hits its limits; then fall back to a
   // feasibility solve, then to the always-possible shrink repair.
-  auto planned = planner_.plan(active_, config_.scheduler, config_.ilp,
+  auto planned = planner_->plan(active_, config_.scheduler, config_.ilp,
                                PlanObjective::kMinimizeSlots);
   if (!planned.has_value()) {
-    planned = planner_.plan(active_, config_.scheduler, config_.ilp,
+    planned = planner_->plan(active_, config_.scheduler, config_.ilp,
                             PlanObjective::kFeasibility);
   }
   if (planned.has_value()) {
@@ -341,7 +482,7 @@ bool AdmissionEngine::compact(SimTime now) {
     adopt(std::move(next), now, /*compaction=*/true);
     return true;
   }
-  BuiltProblem bp = planner_.build_problem(active_);
+  BuiltProblem bp = planner_->build_problem(active_);
   if (auto repaired = try_repair(bp)) {
     Incumbent next;
     next.problem = std::move(bp.problem);

@@ -22,6 +22,8 @@ const char* drop_reason_name(DropReason r) {
       return "node_down";
     case DropReason::kScheduleRevoked:
       return "schedule_revoked";
+    case DropReason::kPartitioned:
+      return "partitioned";
   }
   return "unknown";
 }

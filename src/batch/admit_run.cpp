@@ -92,6 +92,17 @@ std::string format_admit_report(const Scenario& scenario,
           static_cast<unsigned long long>(s.rejected),
           s.blocking_probability());
   appendf(&out,
+          "  reject reasons: %llu infeasible, %llu endpoint_down, "
+          "%llu no_route\n",
+          static_cast<unsigned long long>(s.rejected_infeasible),
+          static_cast<unsigned long long>(s.rejected_endpoint_down),
+          static_cast<unsigned long long>(s.rejected_no_route));
+  if (s.epoch_updates > 0) {
+    appendf(&out, "  topology epochs: %llu installed, %llu flows evicted\n",
+            static_cast<unsigned long long>(s.epoch_updates),
+            static_cast<unsigned long long>(s.epoch_evictions));
+  }
+  appendf(&out,
           "  pipeline: %llu best-effort fast, %llu fast-reject, "
           "%llu repair, %llu full solve\n",
           static_cast<unsigned long long>(s.best_effort_fast),
@@ -177,6 +188,19 @@ std::string admit_json(const Scenario& scenario, const AdmitRunResult& result) {
   w.value(s.released);
   w.key("blocking_probability");
   w.value(s.blocking_probability());
+  w.key("reject_reasons");
+  w.begin_object();
+  w.key("infeasible");
+  w.value(s.rejected_infeasible);
+  w.key("endpoint_down");
+  w.value(s.rejected_endpoint_down);
+  w.key("no_route");
+  w.value(s.rejected_no_route);
+  w.end_object();
+  w.key("epoch_updates");
+  w.value(s.epoch_updates);
+  w.key("epoch_evictions");
+  w.value(s.epoch_evictions);
   w.end_object();
   w.key("pipeline");
   w.begin_object();

@@ -194,6 +194,12 @@ void faults_json(JsonWriter& w, const faults::FaultReport& f) {
   w.value(static_cast<std::int64_t>(f.flows_preserved));
   w.key("flows_shed");
   w.value(static_cast<std::int64_t>(f.flows_shed));
+  w.key("max_islands");
+  w.value(static_cast<std::int64_t>(f.max_islands));
+  w.key("heals");
+  w.value(static_cast<std::int64_t>(f.heals));
+  w.key("flows_partitioned");
+  w.value(static_cast<std::int64_t>(f.flows_partitioned));
   w.key("outages");
   w.begin_array();
   for (const faults::FlowOutageRecord& o : f.outages) {
@@ -208,6 +214,31 @@ void faults_json(JsonWriter& w, const faults::FaultReport& f) {
     w.value(o.restored());
     w.key("shed");
     w.value(o.shed);
+    w.key("partitioned");
+    w.value(o.partitioned);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("repairs_log");
+  w.begin_array();
+  for (const faults::RepairRecord& r : f.repair_history) {
+    w.begin_object();
+    w.key("fault_at_ms");
+    w.value(r.at.to_ms());
+    w.key("activation_ms");
+    w.value(r.activation.to_ms());
+    w.key("islands");
+    w.value(static_cast<std::int64_t>(r.islands));
+    w.key("masters");
+    w.begin_array();
+    for (const NodeId m : r.masters) {
+      w.value(static_cast<std::int64_t>(m));
+    }
+    w.end_array();
+    w.key("flows_planned");
+    w.value(static_cast<std::int64_t>(r.flows_planned));
+    w.key("flows_severed");
+    w.value(static_cast<std::int64_t>(r.flows_severed));
     w.end_object();
   }
   w.end_array();

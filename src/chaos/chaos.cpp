@@ -1,0 +1,709 @@
+#include "wimesh/chaos/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "wimesh/admit/engine.h"
+#include "wimesh/common/rng.h"
+#include "wimesh/common/strings.h"
+#include "wimesh/core/mesh_network.h"
+#include "wimesh/trace/trace.h"
+
+namespace wimesh::chaos {
+
+namespace {
+
+using faults::FaultEvent;
+using faults::FaultKind;
+
+// Everything one trial needs, derived from (seed, trial index) alone.
+struct Trial {
+  std::string family;
+  Topology topology;
+  std::vector<FlowSpec> calls;  // guaranteed VoIP flows (both directions)
+  std::vector<FaultEvent> script;
+  SimTime detection_delay{};
+  std::uint64_t leg_seed = 1;  // MeshNetwork seed + churn stream
+};
+
+// Structural network state the oracle replays with plain BFS.
+struct NetState {
+  std::vector<char> alive;
+  std::vector<std::pair<NodeId, NodeId>> down;  // unordered link pairs
+
+  bool link_down(NodeId u, NodeId v) const {
+    for (const auto& [a, b] : down) {
+      if ((a == u && b == v) || (a == v && b == u)) return true;
+    }
+    return false;
+  }
+  void set_link(NodeId u, NodeId v, bool is_down) {
+    for (std::size_t i = 0; i < down.size(); ++i) {
+      const auto& [a, b] = down[i];
+      if ((a == u && b == v) || (a == v && b == u)) {
+        if (!is_down) down.erase(down.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+    if (is_down) down.emplace_back(u, v);
+  }
+};
+
+// Connected components over the surviving subgraph, seeded in ascending
+// NodeId order (the same rule FaultRuntime::decompose_islands uses, so
+// island indices are directly comparable). Dead nodes get -1.
+std::vector<int> components(const Topology& topo, const NetState& s,
+                            int* count) {
+  std::vector<int> comp(s.alive.size(), -1);
+  int islands = 0;
+  for (NodeId seed = 0; seed < topo.node_count(); ++seed) {
+    if (s.alive[static_cast<std::size_t>(seed)] == 0) continue;
+    if (comp[static_cast<std::size_t>(seed)] >= 0) continue;
+    comp[static_cast<std::size_t>(seed)] = islands;
+    std::vector<NodeId> queue{seed};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const NodeId v : topo.graph.neighbors(queue[head])) {
+        if (s.alive[static_cast<std::size_t>(v)] == 0) continue;
+        if (s.link_down(queue[head], v)) continue;
+        if (comp[static_cast<std::size_t>(v)] >= 0) continue;
+        comp[static_cast<std::size_t>(v)] = islands;
+        queue.push_back(v);
+      }
+    }
+    ++islands;
+  }
+  *count = std::max(islands, 1);
+  return comp;
+}
+
+bool is_structural(FaultKind k) {
+  return k == FaultKind::kNodeCrash || k == FaultKind::kNodeRecover ||
+         k == FaultKind::kMasterFail || k == FaultKind::kLinkDown ||
+         k == FaultKind::kLinkUp;
+}
+
+// Mirrors FaultRuntime::apply's no-op rules: a crash of a dead node or a
+// recover of a live one changes nothing and triggers no recovery.
+// Returns true when the event takes effect (=> a recovery pass follows).
+bool apply_to_state(const FaultEvent& e, NetState* s) {
+  switch (e.kind) {
+    case FaultKind::kNodeCrash: {
+      auto& a = s->alive[static_cast<std::size_t>(e.node)];
+      if (a == 0) return false;
+      a = 0;
+      return true;
+    }
+    case FaultKind::kNodeRecover: {
+      auto& a = s->alive[static_cast<std::size_t>(e.node)];
+      if (a != 0) return false;
+      a = 1;
+      return true;
+    }
+    case FaultKind::kLinkDown:
+      s->set_link(e.link_a, e.link_b, true);
+      return true;
+    case FaultKind::kLinkUp:
+      s->set_link(e.link_a, e.link_b, false);
+      return true;
+    case FaultKind::kMasterFail:
+      return true;  // no island change, but recovery still runs
+    case FaultKind::kLinkBurst:
+    case FaultKind::kClockStep:
+      return false;  // transient; absorbed without a recovery pass
+  }
+  return false;
+}
+
+// One expected recovery pass: the island decomposition the runtime must
+// arrive at for the fault applied at `fault_at`.
+struct OraclePoint {
+  SimTime fault_at{};
+  int islands = 1;
+  std::vector<int> island_of_node;
+  int severed = 0;  // guaranteed flows with live endpoints across a cut
+};
+
+std::vector<OraclePoint> replay_oracle(const Trial& trial,
+                                       const std::vector<FaultEvent>& script) {
+  NetState state;
+  state.alive.assign(static_cast<std::size_t>(trial.topology.node_count()), 1);
+  std::vector<OraclePoint> points;
+  for (const FaultEvent& e : script) {
+    if (!is_structural(e.kind)) continue;
+    if (!apply_to_state(e, &state)) continue;
+    OraclePoint p;
+    p.fault_at = e.at;
+    p.island_of_node = components(trial.topology, state, &p.islands);
+    for (const FlowSpec& f : trial.calls) {
+      const int cs = p.island_of_node[static_cast<std::size_t>(f.src)];
+      const int cd = p.island_of_node[static_cast<std::size_t>(f.dst)];
+      if (cs >= 0 && cd >= 0 && cs != cd) ++p.severed;
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Trial generation.
+
+Topology pick_topology(Rng& rng, std::string* family) {
+  switch (rng.next_below(3)) {
+    case 0: {
+      const auto n = static_cast<NodeId>(rng.uniform_int(4, 8));
+      *family = str_cat("chain-", n);
+      return make_chain(n);
+    }
+    case 1: {
+      const auto side = static_cast<NodeId>(rng.uniform_int(3, 4));
+      *family = str_cat("grid-", side, "x", side);
+      return make_grid(side, side);
+    }
+    default:
+      // 7 nodes: binary tree, depth 2. make_tree fans children out along
+      // x, so deep parent-child links get longer than the level spacing —
+      // 45 m keeps every edge (max ~sqrt(5)*45 = 100.6 m) inside the
+      // default 110 m comm range, matching the 100 m chain/grid regime.
+      *family = "tree-2x2";
+      return make_tree(2, 2, 45.0);
+  }
+}
+
+Trial generate_trial(const ChaosOptions& options, std::uint64_t index) {
+  Rng rng(Rng::derive_stream(options.seed, index));
+  Trial trial;
+  trial.topology = pick_topology(rng, &trial.family);
+  trial.detection_delay = SimTime::milliseconds(options.detect_ms);
+  trial.leg_seed = Rng::derive_stream(options.seed, index * 2 + 1);
+  const NodeId n = trial.topology.node_count();
+
+  // 1-2 VoIP calls (two guaranteed flows each) between distinct nodes.
+  const int call_count = static_cast<int>(rng.uniform_int(1, 2));
+  for (int c = 0; c < call_count; ++c) {
+    const auto a = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    auto b = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n) - 1));
+    if (b >= a) ++b;
+    trial.calls.push_back(FlowSpec::voip(2 * c, a, b, VoipCodec::g729()));
+    trial.calls.push_back(FlowSpec::voip(2 * c + 1, b, a, VoipCodec::g729()));
+  }
+
+  // Two pinned nodes that never crash. Together with the <=1 master-fail
+  // cap this guarantees an alive never-failed sync-master candidate exists
+  // at every recovery, so every structural event yields a repair record
+  // (the oracle counts on that 1:1 correspondence).
+  const auto pin_a = static_cast<NodeId>(rng.next_below(
+      static_cast<std::uint64_t>(n)));
+  auto pin_b = static_cast<NodeId>(rng.next_below(
+      static_cast<std::uint64_t>(n) - 1));
+  if (pin_b >= pin_a) ++pin_b;
+
+  NetState state;
+  state.alive.assign(static_cast<std::size_t>(n), 1);
+  bool master_failed = false;
+  const int event_count = static_cast<int>(rng.uniform_int(4, 10));
+  // 100 ms spacing with detect_ms < 100 keeps every recovery pass strictly
+  // between consecutive faults — recovery points are unambiguous.
+  double t = 0.2;
+  for (int k = 0; k < event_count; ++k, t += 0.1) {
+    // Feasible kinds under the current state, weighted by repetition.
+    enum Kind { kCrash, kRecover, kDown, kUp, kMaster, kStep, kBurst };
+    std::vector<Kind> pool;
+    std::vector<NodeId> crashable, dead;
+    for (NodeId i = 0; i < n; ++i) {
+      if (state.alive[static_cast<std::size_t>(i)] == 0) {
+        dead.push_back(i);
+      } else if (i != pin_a && i != pin_b) {
+        crashable.push_back(i);
+      }
+    }
+    std::vector<EdgeId> up_edges;
+    for (EdgeId e = 0; e < trial.topology.graph.edge_count(); ++e) {
+      const Graph::Edge& edge = trial.topology.graph.edge(e);
+      if (!state.link_down(edge.u, edge.v)) up_edges.push_back(e);
+    }
+    if (!crashable.empty()) pool.insert(pool.end(), 5, kCrash);
+    if (!dead.empty()) pool.insert(pool.end(), 5, kRecover);
+    if (!up_edges.empty()) pool.insert(pool.end(), 3, kDown);
+    if (!state.down.empty()) pool.insert(pool.end(), 3, kUp);
+    if (!master_failed) pool.insert(pool.end(), 1, kMaster);
+    pool.insert(pool.end(), 2, kStep);
+    pool.insert(pool.end(), 2, kBurst);
+
+    FaultEvent ev;
+    ev.at = SimTime::from_seconds(t);
+    switch (pool[rng.next_below(pool.size())]) {
+      case kCrash: {
+        ev.kind = FaultKind::kNodeCrash;
+        ev.node = crashable[rng.next_below(crashable.size())];
+        break;
+      }
+      case kRecover: {
+        ev.kind = FaultKind::kNodeRecover;
+        ev.node = dead[rng.next_below(dead.size())];
+        break;
+      }
+      case kDown: {
+        const Graph::Edge& edge =
+            trial.topology.graph.edge(up_edges[rng.next_below(
+                up_edges.size())]);
+        ev.kind = FaultKind::kLinkDown;
+        ev.link_a = edge.u;
+        ev.link_b = edge.v;
+        break;
+      }
+      case kUp: {
+        const auto& [a, b] = state.down[rng.next_below(state.down.size())];
+        ev.kind = FaultKind::kLinkUp;
+        ev.link_a = a;
+        ev.link_b = b;
+        break;
+      }
+      case kMaster:
+        ev.kind = FaultKind::kMasterFail;
+        master_failed = true;
+        break;
+      case kStep: {
+        ev.kind = FaultKind::kClockStep;
+        ev.node = static_cast<NodeId>(rng.next_below(
+            static_cast<std::uint64_t>(n)));
+        ev.step = SimTime::microseconds(rng.uniform_int(-300, 300));
+        break;
+      }
+      case kBurst: {
+        const Graph::Edge& edge = trial.topology.graph.edge(
+            static_cast<EdgeId>(rng.next_below(static_cast<std::uint64_t>(
+                trial.topology.graph.edge_count()))));
+        ev.kind = FaultKind::kLinkBurst;
+        ev.link_a = edge.u;
+        ev.link_b = edge.v;
+        ev.until = ev.at + SimTime::milliseconds(80);
+        break;
+      }
+    }
+    apply_to_state(ev, &state);
+    trial.script.push_back(ev);
+  }
+  return trial;
+}
+
+// ---------------------------------------------------------------------------
+// Trial execution.
+
+struct TrialOutcome {
+  bool skipped = false;  // initial plan infeasible; counts nothing
+  std::uint64_t fault_events = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t oracle_mismatches = 0;
+  std::uint64_t consistency_failures = 0;
+  std::string detail;  // first failed check
+
+  bool failed() const {
+    return audit_violations + oracle_mismatches + consistency_failures > 0;
+  }
+  void mismatch(std::string d) {
+    ++oracle_mismatches;
+    if (detail.empty()) detail = std::move(d);
+  }
+};
+
+// The system-side plan: the full script, minus node-recover events when
+// the injected-bug fixture is active (the oracle always sees everything).
+std::vector<FaultEvent> system_script(const ChaosOptions& options,
+                                      const std::vector<FaultEvent>& script) {
+  if (!options.inject_recover_loss_bug) return script;
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : script) {
+    if (e.kind != FaultKind::kNodeRecover) out.push_back(e);
+  }
+  return out;
+}
+
+// Packet leg: full MeshNetwork run, audit on, oracle cross-check of every
+// recorded recovery pass.
+void run_packet_leg(const Trial& trial, const ChaosOptions& options,
+                    TrialOutcome* out) {
+  MeshConfig cfg;
+  cfg.topology = trial.topology;
+  cfg.scheduler = options.scheduler;
+  cfg.audit = true;
+  cfg.seed = trial.leg_seed;
+  cfg.faults.events = system_script(options, trial.script);
+  cfg.faults.detection_delay = trial.detection_delay;
+  MeshNetwork net(cfg);
+  for (const FlowSpec& f : trial.calls) net.add_flow(f);
+  if (!net.compute_plan().has_value()) {
+    out->skipped = true;
+    return;
+  }
+  const SimTime duration =
+      trial.script.back().at + SimTime::milliseconds(300);
+  const SimulationResult r =
+      net.run(MacMode::kTdmaOverlay, duration, SimTime::milliseconds(100));
+  out->fault_events += static_cast<std::uint64_t>(r.faults.events_applied);
+
+  if (r.audit.total_violations() > 0) {
+    out->audit_violations += r.audit.total_violations();
+    if (out->detail.empty()) {
+      out->detail = str_cat("audit: ", r.audit.total_violations(),
+                            " violation(s) outside waived windows");
+    }
+  }
+
+  // Oracle: one recovery pass (and one repair record) per effective
+  // structural event, with matching island decomposition.
+  const std::vector<OraclePoint> points = replay_oracle(trial, trial.script);
+  int expected_max = 1;
+  for (const OraclePoint& p : points) {
+    expected_max = std::max(expected_max, p.islands);
+  }
+  if (r.faults.max_islands != expected_max) {
+    out->mismatch(str_cat("oracle: peak islands ", r.faults.max_islands,
+                          ", connectivity replay expects ", expected_max));
+  }
+  if (r.faults.repair_history.size() != points.size()) {
+    out->mismatch(str_cat("oracle: ", r.faults.repair_history.size(),
+                          " repair record(s) for ", points.size(),
+                          " structural fault(s)"));
+  }
+  for (const OraclePoint& p : points) {
+    const faults::RepairRecord* rec = nullptr;
+    for (const faults::RepairRecord& cand : r.faults.repair_history) {
+      if (cand.at == p.fault_at) {
+        rec = &cand;
+        break;
+      }
+    }
+    if (rec == nullptr) {
+      out->mismatch(str_cat("oracle: no repair record for the fault at ",
+                            p.fault_at.to_ms(), " ms"));
+      continue;
+    }
+    if (rec->islands != p.islands) {
+      out->mismatch(str_cat("oracle: repair at ", p.fault_at.to_ms(),
+                            " ms saw ", rec->islands, " island(s), replay ",
+                            p.islands));
+    }
+    if (rec->flows_severed != p.severed) {
+      out->mismatch(str_cat("oracle: repair at ", p.fault_at.to_ms(),
+                            " ms severed ", rec->flows_severed,
+                            " flow(s), replay ", p.severed));
+    }
+    if (static_cast<int>(rec->masters.size()) != p.islands) {
+      out->mismatch(str_cat("oracle: repair at ", p.fault_at.to_ms(), " ms: ",
+                            rec->masters.size(), " master(s) for ", p.islands,
+                            " island(s)"));
+      continue;
+    }
+    for (std::size_t k = 0; k < rec->masters.size(); ++k) {
+      const NodeId m = rec->masters[k];
+      if (m == kInvalidNode ||
+          p.island_of_node[static_cast<std::size_t>(m)] !=
+              static_cast<int>(k)) {
+        out->mismatch(str_cat("oracle: island ", k, " master ", m,
+                              " is not a member of its island"));
+      }
+    }
+  }
+}
+
+// Control leg: AdmissionEngine under topology epochs + Poisson churn, with
+// typed-decision and invariant checks at every event.
+void run_control_leg(const Trial& trial, const ChaosOptions& options,
+                     TrialOutcome* out) {
+  admit::EngineConfig ec;
+  ec.scheduler = options.scheduler;
+  admit::AdmissionEngine engine(trial.topology, RadioModel(110.0, 220.0),
+                                EmulationParams{}, PhyMode::ofdm_802_11a(54),
+                                ec);
+  const auto check_consistent = [&](const char* what, SimTime t) {
+    if (!engine.live_consistent()) {
+      ++out->consistency_failures;
+      if (out->detail.empty()) {
+        out->detail = str_cat("admit: live_consistent() failed after ", what,
+                              " at ", t.to_ms(), " ms");
+      }
+    }
+  };
+
+  // Interleave the structural fault timeline (epoch installs) with a
+  // derived churn stream on one clock.
+  struct Arrival {
+    SimTime t;
+    FlowSpec flow;
+    SimTime holding{};
+  };
+  Rng rng(trial.leg_seed);
+  std::vector<Arrival> arrivals;
+  const SimTime horizon = trial.script.back().at + SimTime::milliseconds(300);
+  SimTime t = SimTime::zero();
+  int next_id = 1000;  // above the trial's own call ids
+  const NodeId n = trial.topology.node_count();
+  for (;;) {
+    t = t + SimTime::from_seconds(rng.exponential(0.020));
+    if (t > horizon) break;
+    const auto a = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    auto b = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n) - 1));
+    if (b >= a) ++b;
+    Arrival arr;
+    arr.t = t;
+    arr.flow = FlowSpec::voip(next_id++, a, b, VoipCodec::g729());
+    arr.holding = SimTime::from_seconds(rng.exponential(0.4));
+    arrivals.push_back(arr);
+  }
+
+  struct Departure {
+    SimTime t;
+    int flow_id;
+  };
+  std::vector<Departure> departures;
+  NetState state;
+  state.alive.assign(static_cast<std::size_t>(n), 1);
+  std::size_t next_arrival = 0, next_fault = 0;
+
+  const auto drain_departures = [&](SimTime until) {
+    // Departures are processed lazily, in id order within a batch; order
+    // does not affect any checked property.
+    auto keep = departures.begin();
+    for (Departure& dep : departures) {
+      if (dep.t <= until) {
+        engine.release(dep.flow_id, dep.t);
+        ++out->churn_events;
+        check_consistent("release", dep.t);
+      } else {
+        *keep++ = dep;
+      }
+    }
+    departures.erase(keep, departures.end());
+  };
+
+  while (next_arrival < arrivals.size() || next_fault < trial.script.size()) {
+    const bool take_fault =
+        next_fault < trial.script.size() &&
+        (next_arrival >= arrivals.size() ||
+         trial.script[next_fault].at <= arrivals[next_arrival].t);
+    if (take_fault) {
+      const FaultEvent& e = trial.script[next_fault++];
+      if (!is_structural(e.kind)) continue;
+      drain_departures(e.at);
+      apply_to_state(e, &state);
+      const std::vector<int> evicted =
+          engine.set_topology_epoch(state.alive, e.at, state.down);
+      ++out->churn_events;
+      check_consistent("epoch install", e.at);
+      // Every evicted flow must genuinely be unservable now.
+      int comp_count = 0;
+      const std::vector<int> comp =
+          components(trial.topology, state, &comp_count);
+      for (const int id : evicted) {
+        bool found = false;
+        for (const Arrival& arr : arrivals) {
+          if (arr.flow.id != id) continue;
+          found = true;
+          const auto src = static_cast<std::size_t>(arr.flow.src);
+          const auto dst = static_cast<std::size_t>(arr.flow.dst);
+          if (state.alive[src] != 0 && state.alive[dst] != 0 &&
+              comp[src] == comp[dst]) {
+            out->mismatch(str_cat("admit: epoch evicted flow ", id,
+                                  " which is still servable"));
+          }
+        }
+        if (!found) {
+          out->mismatch(str_cat("admit: epoch evicted unknown flow ", id));
+        }
+      }
+      continue;
+    }
+
+    const Arrival& arr = arrivals[next_arrival++];
+    drain_departures(arr.t);
+    int comp_count = 0;
+    const std::vector<int> comp =
+        components(trial.topology, state, &comp_count);
+    const auto src = static_cast<std::size_t>(arr.flow.src);
+    const auto dst = static_cast<std::size_t>(arr.flow.dst);
+    const bool endpoint_down =
+        state.alive[src] == 0 || state.alive[dst] == 0;
+    const bool severed = !endpoint_down && comp[src] != comp[dst];
+
+    const admit::Decision d = engine.offer(arr.flow, arr.t);
+    ++out->churn_events;
+    check_consistent("offer", arr.t);
+    if (endpoint_down) {
+      if (d.reject != admit::RejectReason::kEndpointDown ||
+          d.outcome != admit::Outcome::kRejected) {
+        out->mismatch(str_cat("admit: flow ", arr.flow.id,
+                              " with a dead endpoint got reason '",
+                              admit::reject_reason_name(d.reject), "'"));
+      }
+    } else if (severed) {
+      if (d.reject != admit::RejectReason::kNoRoute ||
+          d.outcome != admit::Outcome::kRejected) {
+        out->mismatch(str_cat("admit: flow ", arr.flow.id,
+                              " across a cut got reason '",
+                              admit::reject_reason_name(d.reject), "'"));
+      }
+    } else if (d.reject == admit::RejectReason::kEndpointDown ||
+               d.reject == admit::RejectReason::kNoRoute) {
+      out->mismatch(str_cat("admit: servable flow ", arr.flow.id,
+                            " liveness-rejected ('",
+                            admit::reject_reason_name(d.reject), "')"));
+    }
+    if (d.outcome != admit::Outcome::kRejected) {
+      departures.push_back(Departure{arr.t + arr.holding, arr.flow.id});
+    }
+  }
+  drain_departures(horizon);
+}
+
+TrialOutcome run_trial(const Trial& trial, const ChaosOptions& options) {
+  TrialOutcome out;
+  run_packet_leg(trial, options, &out);
+  if (out.skipped) return out;
+  run_control_leg(trial, options, &out);
+  return out;
+}
+
+// ddmin-lite: remove one event at a time, keeping every removal that still
+// reproduces, to a fixed point.
+void shrink_failure(Trial trial, const ChaosOptions& options,
+                    TrialFailure* failure) {
+  failure->original_events = trial.script.size();
+  bool improved = true;
+  while (improved && trial.script.size() > 1) {
+    improved = false;
+    for (std::size_t i = 0; i < trial.script.size(); ++i) {
+      Trial candidate = trial;
+      candidate.script.erase(candidate.script.begin() +
+                             static_cast<long>(i));
+      TrialOutcome probe = run_trial(candidate, options);
+      if (!probe.skipped && probe.failed()) {
+        trial = std::move(candidate);
+        ++failure->shrink_rounds;
+        improved = true;
+        trace::event(trace::EventType::kChaosShrink, SimTime::zero(), -1,
+                     failure->shrink_rounds,
+                     static_cast<std::int64_t>(trial.script.size()), 1);
+        break;
+      }
+    }
+  }
+  // Re-run the minimal script to report its (possibly sharper) detail.
+  const TrialOutcome last = run_trial(trial, options);
+  if (!last.detail.empty()) failure->detail = last.detail;
+  failure->script = std::move(trial.script);
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& options) {
+  ChaosReport report;
+  for (std::uint64_t index = 0;
+       report.events < options.event_budget && report.trials <
+       options.max_trials;
+       ++index) {
+    const Trial trial = generate_trial(options, index);
+    const TrialOutcome out = run_trial(trial, options);
+    if (out.skipped) {
+      ++report.skipped_trials;
+      continue;
+    }
+    ++report.trials;
+    report.fault_events += out.fault_events;
+    report.churn_events += out.churn_events;
+    report.events += out.fault_events + out.churn_events;
+    report.audit_violations += out.audit_violations;
+    report.oracle_mismatches += out.oracle_mismatches;
+    report.consistency_failures += out.consistency_failures;
+    trace::event(trace::EventType::kChaosTrial, SimTime::zero(), -1,
+                 static_cast<std::int64_t>(index),
+                 static_cast<std::int64_t>(trial.script.size()),
+                 out.failed() ? 1 : 0);
+    if (out.failed()) {
+      TrialFailure failure;
+      failure.trial = index;
+      failure.family = trial.family;
+      failure.detail = out.detail;
+      shrink_failure(trial, options, &failure);
+      report.failure = std::move(failure);
+      break;
+    }
+  }
+  return report;
+}
+
+std::string format_event_script(const std::vector<faults::FaultEvent>& events,
+                                SimTime detection_delay) {
+  std::string out;
+  char buf[160];
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += "; ";
+    const double at_s = e.at.to_seconds();
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        std::snprintf(buf, sizeof buf, "node-crash@%g node=%d", at_s, e.node);
+        break;
+      case FaultKind::kNodeRecover:
+        std::snprintf(buf, sizeof buf, "node-recover@%g node=%d", at_s,
+                      e.node);
+        break;
+      case FaultKind::kMasterFail:
+        std::snprintf(buf, sizeof buf, "master-fail@%g", at_s);
+        break;
+      case FaultKind::kLinkDown:
+        std::snprintf(buf, sizeof buf, "link-down@%g link=%d-%d", at_s,
+                      e.link_a, e.link_b);
+        break;
+      case FaultKind::kLinkUp:
+        std::snprintf(buf, sizeof buf, "link-up@%g link=%d-%d", at_s,
+                      e.link_a, e.link_b);
+        break;
+      case FaultKind::kLinkBurst:
+        std::snprintf(buf, sizeof buf,
+                      "burst@%g..%g link=%d-%d p_gb=%g p_bg=%g per_good=%g "
+                      "per_bad=%g",
+                      at_s, e.until.to_seconds(), e.link_a, e.link_b,
+                      e.ge.p_good_to_bad, e.ge.p_bad_to_good, e.ge.per_good,
+                      e.ge.per_bad);
+        break;
+      case FaultKind::kClockStep:
+        std::snprintf(buf, sizeof buf, "clock-step@%g node=%d step_us=%lld",
+                      at_s, e.node,
+                      static_cast<long long>(e.step.ns() / 1000));
+        break;
+    }
+    out += buf;
+  }
+  if (!out.empty()) out += "; ";
+  out += str_cat("detect_ms=",
+                 static_cast<long long>(detection_delay.ns() / 1000000));
+  return out;
+}
+
+std::string ChaosReport::summary() const {
+  std::string out = str_cat(
+      "chaos: ", trials, " trial(s), ", events, " event(s) (", fault_events,
+      " fault, ", churn_events, " churn), ", skipped_trials, " skipped");
+  if (ok()) {
+    out += " [ok]";
+    return out;
+  }
+  out += str_cat(" [FAIL: ", audit_violations, " audit violation(s), ",
+                 oracle_mismatches, " oracle mismatch(es), ",
+                 consistency_failures, " consistency failure(s)]");
+  if (failure.has_value()) {
+    out += str_cat("\n  trial ", failure->trial, " (", failure->family,
+                   "): ", failure->detail, "\n  minimized to ",
+                   failure->script.size(), " of ", failure->original_events,
+                   " event(s) in ", failure->shrink_rounds,
+                   " shrink round(s)");
+  }
+  return out;
+}
+
+}  // namespace wimesh::chaos

@@ -192,6 +192,16 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
   std::unique_ptr<faults::FaultRuntime> fault_rt;
   const MeshPlan* live_plan = &plan_;
 
+  // A flow whose route crosses a partition cut gets its drops typed
+  // kPartitioned — never a generic no-route/no-capacity — so split-brain
+  // loss is attributable in the audit report.
+  const auto typed_drop = [&](audit::DropReason fallback, int flow_id) {
+    if (fault_rt && fault_rt->flow_severed(flow_id)) {
+      return audit::DropReason::kPartitioned;
+    }
+    return fallback;
+  };
+
   // Hands a packet to the node's contention MAC, honoring the flow's
   // access category under EDCA.
   const auto mac_send = [&](NodeId at, MacPacket p, ServiceClass service) {
@@ -222,7 +232,8 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
     const NodeId next = live_plan->next_hop(packet.flow_id, at);
     if (next == kInvalidNode) {  // stale route; drop
       if (auditor) {
-        auditor->on_packet_dropped(packet, audit::DropReason::kNoRoute);
+        auditor->on_packet_dropped(
+            packet, typed_drop(audit::DropReason::kNoRoute, packet.flow_id));
       }
       return;
     }
@@ -230,7 +241,8 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       // Known-dead next hop: drop at the relay instead of burning MAC
       // retries toward a silent radio.
       if (auditor) {
-        auditor->on_packet_dropped(packet, audit::DropReason::kNodeDown);
+        auditor->on_packet_dropped(
+            packet, typed_drop(audit::DropReason::kNodeDown, packet.flow_id));
       }
       return;
     }
@@ -238,7 +250,9 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
       const LinkId link = live_plan->out_link(packet.flow_id, at);
       if (live_plan->schedule.all_grants(link).empty()) {  // no capacity
         if (auditor) {
-          auditor->on_packet_dropped(packet, audit::DropReason::kNoCapacity);
+          auditor->on_packet_dropped(
+              packet,
+              typed_drop(audit::DropReason::kNoCapacity, packet.flow_id));
         }
         return;
       }
@@ -246,8 +260,9 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
               link, packet, fr.spec.service == ServiceClass::kGuaranteed)) {
         // The packet raced a schedule hot-swap and its link was revoked.
         if (auditor) {
-          auditor->on_packet_dropped(packet,
-                                     audit::DropReason::kScheduleRevoked);
+          auditor->on_packet_dropped(
+              packet,
+              typed_drop(audit::DropReason::kScheduleRevoked, packet.flow_id));
         }
       }
     } else {
@@ -371,7 +386,8 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
             live_plan->schedule.all_grants(link).empty()) {
           // No capacity granted; counts as loss.
           if (auditor) {
-            auditor->on_packet_dropped(p, audit::DropReason::kNoCapacity);
+            auditor->on_packet_dropped(
+                p, typed_drop(audit::DropReason::kNoCapacity, spec_id));
           }
           return;
         }
@@ -379,8 +395,8 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
                 link, p,
                 stats_entry.spec.service == ServiceClass::kGuaranteed)) {
           if (auditor) {
-            auditor->on_packet_dropped(p,
-                                       audit::DropReason::kScheduleRevoked);
+            auditor->on_packet_dropped(
+                p, typed_drop(audit::DropReason::kScheduleRevoked, spec_id));
           }
         }
       } else {

@@ -621,7 +621,7 @@ std::string format_report(const Scenario& scenario,
                                    : str_cat(", not restored (",
                                              o.outage.to_string(),
                                              " outage)")),
-                     "\n");
+                     o.partitioned ? " [partitioned]" : "", "\n");
     }
   }
   out += "flow  class       loss     mean_ms  p99_ms    tput_kbps\n";

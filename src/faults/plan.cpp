@@ -85,6 +85,7 @@ Expected<std::pair<NodeId, NodeId>> to_link(const std::string& s,
 
 Expected<FaultPlan> parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
+  std::vector<std::string> heads;  // literal 'kind@T' per event, for errors
   for (const std::string& raw : split(spec, ';')) {
     const std::string entry = trim(raw);
     if (entry.empty()) continue;
@@ -224,12 +225,96 @@ Expected<FaultPlan> parse_fault_plan(const std::string& spec) {
       return make_error(str_cat(where, ": missing 'step_us=U' (nonzero)"));
     }
     plan.events.push_back(e);
+    heads.push_back(head);
   }
 
-  std::stable_sort(plan.events.begin(), plan.events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.at < b.at;
+  // Application order: by time, stable by script position.
+  std::vector<std::size_t> order(plan.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return plan.events[a].at < plan.events[b].at;
                    });
+
+  // Reject contradictory scripts instead of silently letting the last
+  // event win: replay node/link state in application order. Errors name
+  // the event's literal head and its 1-based position in the script.
+  {
+    const auto pair_key = [](NodeId a, NodeId b) {
+      if (a > b) std::swap(a, b);
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+              << 32) |
+             static_cast<std::uint32_t>(b);
+    };
+    std::vector<NodeId> crashed;
+    std::vector<std::uint64_t> down;
+    struct BurstWindow {
+      std::uint64_t pair = 0;
+      SimTime at{};
+      SimTime until{};
+      std::size_t pos = 0;  // 1-based script position
+    };
+    std::vector<BurstWindow> bursts;
+    for (const std::size_t idx : order) {
+      const FaultEvent& e = plan.events[idx];
+      const std::string where =
+          str_cat("fault '", heads[idx], "' (event ", idx + 1, ")");
+      switch (e.kind) {
+        case FaultKind::kNodeCrash: {
+          if (std::find(crashed.begin(), crashed.end(), e.node) !=
+              crashed.end()) {
+            return make_error(str_cat(where, ": node ", e.node,
+                                      " is already crashed"));
+          }
+          crashed.push_back(e.node);
+          break;
+        }
+        case FaultKind::kNodeRecover: {
+          const auto it = std::find(crashed.begin(), crashed.end(), e.node);
+          if (it != crashed.end()) crashed.erase(it);
+          break;
+        }
+        case FaultKind::kLinkDown: {
+          const std::uint64_t key = pair_key(e.link_a, e.link_b);
+          if (std::find(down.begin(), down.end(), key) == down.end()) {
+            down.push_back(key);
+          }
+          break;
+        }
+        case FaultKind::kLinkUp: {
+          const std::uint64_t key = pair_key(e.link_a, e.link_b);
+          const auto it = std::find(down.begin(), down.end(), key);
+          if (it == down.end()) {
+            return make_error(str_cat(where, ": link ", e.link_a, "-",
+                                      e.link_b,
+                                      " is not down (no prior link-down)"));
+          }
+          down.erase(it);
+          break;
+        }
+        case FaultKind::kLinkBurst: {
+          const std::uint64_t key = pair_key(e.link_a, e.link_b);
+          for (const BurstWindow& w : bursts) {
+            if (w.pair == key && e.at < w.until && w.at < e.until) {
+              return make_error(str_cat(
+                  where, ": burst window overlaps event ", w.pos,
+                  " on link ", e.link_a, "-", e.link_b));
+            }
+          }
+          bursts.push_back(BurstWindow{key, e.at, e.until, idx + 1});
+          break;
+        }
+        case FaultKind::kMasterFail:
+        case FaultKind::kClockStep:
+          break;
+      }
+    }
+  }
+
+  std::vector<FaultEvent> sorted;
+  sorted.reserve(plan.events.size());
+  for (const std::size_t idx : order) sorted.push_back(plan.events[idx]);
+  plan.events = std::move(sorted);
   return plan;
 }
 
@@ -247,6 +332,10 @@ std::string FaultReport::summary() const {
   }
   out += str_cat(", guaranteed flows preserved=", flows_preserved,
                  " shed=", flows_shed);
+  if (max_islands > 1) {
+    out += str_cat(", islands peak=", max_islands, " heal(s)=", heals,
+                   " partitioned=", flows_partitioned);
+  }
   return out;
 }
 

@@ -42,7 +42,8 @@ FaultRuntime::FaultRuntime(Simulator& sim, FaultPlan plan,
       callbacks_(std::move(callbacks)),
       alive_(static_cast<std::size_t>(topology.node_count()), 1),
       failed_masters_(static_cast<std::size_t>(topology.node_count()), 0),
-      current_plan_(initial_plan) {
+      current_plan_(initial_plan),
+      island_of_node_(static_cast<std::size_t>(topology.node_count()), 0) {
   WIMESH_ASSERT(initial_plan != nullptr);
   report_.enabled = plan_.enabled();
 }
@@ -149,58 +150,7 @@ void FaultRuntime::schedule_recovery(SimTime fault_at) {
                    [this, fault_at] { run_recovery(fault_at); });
 }
 
-void FaultRuntime::run_recovery(SimTime fault_at) {
-  trace::event(trace::EventType::kRecoveryStart, sim_.now(), -1,
-               static_cast<std::int64_t>(report_.events_applied));
-  // Sync first: the repaired schedule's guard must cover the clock error
-  // bound of the tree the mesh will actually run on.
-  if (sync_) {
-    NodeId master = sync_->master();
-    const bool master_dead =
-        !sync_->master_alive() ||
-        alive_[static_cast<std::size_t>(master)] == 0;
-    if (master_dead) {
-      failed_masters_[static_cast<std::size_t>(master)] = 1;
-      NodeId next = kInvalidNode;
-      for (NodeId i = 0; i < topology_.node_count(); ++i) {
-        if (alive_[static_cast<std::size_t>(i)] != 0 &&
-            failed_masters_[static_cast<std::size_t>(i)] == 0) {
-          next = i;
-          break;
-        }
-      }
-      if (next == kInvalidNode) {
-        log_warn("faults", "no surviving sync master candidate");
-        return;
-      }
-      sync_->re_root(next, alive_);
-      ++report_.failovers;
-    } else {
-      // Same master, fresh tree: crashed nodes leave it, recovered nodes
-      // rejoin (a node outside the tree free-runs and cannot hold slots).
-      sync_->re_root(master, alive_);
-    }
-    // Re-dimension the guard for the new tree depth. Growing is always
-    // safe; shrinking mid-run would invalidate the analysis behind grants
-    // already queued, so the guard is monotone within a run.
-    const SimTime needed =
-        sync_->config().recommended_guard(sync_->max_tree_depth());
-    if (needed > inputs_.emulation.guard_time) {
-      inputs_.emulation.guard_time = needed;
-    }
-  }
-  if (tdma_) repair_schedule(fault_at);
-}
-
-void FaultRuntime::repair_schedule(SimTime fault_at) {
-  const SimTime now = sim_.now();
-  // Wall clock measures the re-plan cost; the virtual range spans fault to
-  // repaired-plan activation, i.e. exactly report_.repair_latency.
-  trace::Span span(trace::SpanName::kFaultRecovery, now);
-
-  // Surviving topology: original nodes, minus edges with a dead endpoint
-  // or an injected hard outage. (Dead nodes stay as isolated vertices so
-  // NodeIds keep their meaning.)
+Topology FaultRuntime::build_survivors() const {
   Topology survivors;
   survivors.positions = topology_.positions;
   survivors.graph.resize(topology_.node_count());
@@ -211,16 +161,192 @@ void FaultRuntime::repair_schedule(SimTime fault_at) {
     if (impairment_.link_down(edge.u, edge.v)) continue;
     survivors.graph.add_edge(edge.u, edge.v);
   }
+  return survivors;
+}
 
-  // Candidate flows: declared flows whose endpoints are alive and mutually
-  // reachable over the surviving topology. The rest are casualties, not
-  // degradation choices.
+std::vector<int> FaultRuntime::decompose_islands(const Topology& survivors) {
+  std::vector<int> prev = island_of_node_;
+  const auto n = static_cast<std::size_t>(topology_.node_count());
+  island_of_node_.assign(n, -1);
+  islands_ = 0;
+  int alive_count = 0;
+  // Components in ascending-NodeId seed order, so island indices (and the
+  // zone partition derived from them) are deterministic.
+  for (NodeId s = 0; s < topology_.node_count(); ++s) {
+    if (alive_[static_cast<std::size_t>(s)] == 0) continue;
+    ++alive_count;
+    if (island_of_node_[static_cast<std::size_t>(s)] >= 0) continue;
+    island_of_node_[static_cast<std::size_t>(s)] = islands_;
+    std::vector<NodeId> queue{s};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const NodeId v : survivors.graph.neighbors(queue[head])) {
+        if (island_of_node_[static_cast<std::size_t>(v)] >= 0) continue;
+        island_of_node_[static_cast<std::size_t>(v)] = islands_;
+        queue.push_back(v);
+      }
+    }
+    ++islands_;
+  }
+  if (islands_ == 0) islands_ = 1;  // everything dead; degenerate but sane
+
+  // Flows whose endpoints survive on opposite sides of a cut are severed:
+  // excluded from planning and typed kPartitioned at the drop sites, never
+  // silently broken.
+  severed_ids_.clear();
+  const SimTime now = sim_.now();
+  for (const FlowSpec& spec : flows_) {
+    if (alive_[static_cast<std::size_t>(spec.src)] == 0) continue;
+    if (alive_[static_cast<std::size_t>(spec.dst)] == 0) continue;
+    if (island_of_node_[static_cast<std::size_t>(spec.src)] ==
+        island_of_node_[static_cast<std::size_t>(spec.dst)]) {
+      continue;
+    }
+    severed_ids_.insert(spec.id);
+    if (spec.service == ServiceClass::kGuaranteed) {
+      ever_severed_.insert(spec.id);
+      open_outage(spec.id, now);
+      const auto it = open_outage_.find(spec.id);
+      if (it != open_outage_.end()) {
+        report_.outages[it->second].partitioned = true;
+      }
+    }
+  }
+  report_.max_islands = std::max(report_.max_islands, islands_);
+  report_.flows_partitioned = static_cast<int>(ever_severed_.size());
+  trace::event(trace::EventType::kIslandsFormed, now, -1, islands_,
+               alive_count, static_cast<std::int64_t>(severed_ids_.size()));
+  return prev;
+}
+
+std::vector<NodeId> FaultRuntime::elect_island_masters() const {
+  std::vector<NodeId> lowest_healthy(static_cast<std::size_t>(islands_),
+                                     kInvalidNode);
+  std::vector<NodeId> lowest_alive(static_cast<std::size_t>(islands_),
+                                   kInvalidNode);
+  for (NodeId i = 0; i < topology_.node_count(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (alive_[idx] == 0) continue;
+    const auto island = static_cast<std::size_t>(island_of_node_[idx]);
+    if (lowest_alive[island] == kInvalidNode) lowest_alive[island] = i;
+    if (failed_masters_[idx] == 0 &&
+        lowest_healthy[island] == kInvalidNode) {
+      lowest_healthy[island] = i;
+    }
+  }
+  std::vector<NodeId> masters(static_cast<std::size_t>(islands_),
+                              kInvalidNode);
+  for (std::size_t k = 0; k < masters.size(); ++k) {
+    masters[k] = lowest_healthy[k] != kInvalidNode ? lowest_healthy[k]
+                                                   : lowest_alive[k];
+  }
+  // A live, healthy current master keeps its island (no gratuitous
+  // failover when the fault was elsewhere).
+  if (sync_ != nullptr && sync_->master_alive()) {
+    const NodeId master = sync_->master();
+    const auto idx = static_cast<std::size_t>(master);
+    if (alive_[idx] != 0 && failed_masters_[idx] == 0) {
+      masters[static_cast<std::size_t>(island_of_node_[idx])] = master;
+    }
+  }
+  return masters;
+}
+
+void FaultRuntime::run_recovery(SimTime fault_at) {
+  trace::event(trace::EventType::kRecoveryStart, sim_.now(), -1,
+               static_cast<std::int64_t>(report_.events_applied));
+  // The surviving topology and its island decomposition feed both the sync
+  // forest and the schedule repair.
+  const Topology survivors = build_survivors();
+  const int prev_islands = islands_;
+  const std::vector<int> prev_island_of_node = decompose_islands(survivors);
+
+  // Sync first: the repaired schedule's guard must cover the clock error
+  // bound of the forest the mesh will actually run on.
+  if (sync_) {
+    const NodeId master = sync_->master();
+    const bool master_dead =
+        !sync_->master_alive() ||
+        alive_[static_cast<std::size_t>(master)] == 0;
+    if (master_dead) {
+      failed_masters_[static_cast<std::size_t>(master)] = 1;
+    }
+    island_masters_ = elect_island_masters();
+    bool electable = false;
+    for (const NodeId m : island_masters_) electable |= m != kInvalidNode;
+    if (!electable ||
+        (islands_ == 1 && island_masters_[0] == kInvalidNode)) {
+      log_warn("faults", "no surviving sync master candidate");
+      return;
+    }
+    if (islands_ == 1 && master_dead &&
+        failed_masters_[static_cast<std::size_t>(island_masters_[0])] != 0) {
+      // Single island and every survivor has already failed as master:
+      // keep the pre-partition behavior of giving up rather than
+      // re-rooting at a known-bad beacon process.
+      log_warn("faults", "no surviving sync master candidate");
+      return;
+    }
+    // Islands whose every node is a failed master get no root at all;
+    // drop them from the forest (their nodes free-run, like unreachable
+    // ones) rather than re-rooting at a dead beacon process.
+    std::vector<NodeId> roots;
+    for (std::size_t k = 0; k < island_masters_.size(); ++k) {
+      const NodeId m = island_masters_[k];
+      if (m == kInvalidNode) continue;
+      if (failed_masters_[static_cast<std::size_t>(m)] != 0) continue;
+      roots.push_back(m);
+      trace::event(trace::EventType::kIslandMaster, sim_.now(), m,
+                   static_cast<std::int64_t>(k),
+                   std::count(island_of_node_.begin(), island_of_node_.end(),
+                              static_cast<int>(k)));
+    }
+    if (roots.empty()) {
+      log_warn("faults", "no surviving sync master candidate");
+      return;
+    }
+    sync_->re_root_forest(roots, alive_);
+    if (master_dead) ++report_.failovers;
+    // Re-dimension the guard for the new forest depth. Growing is always
+    // safe; shrinking mid-run would invalidate the analysis behind grants
+    // already queued, so the guard is monotone within a run.
+    const SimTime needed =
+        sync_->config().recommended_guard(sync_->max_tree_depth());
+    if (needed > inputs_.emulation.guard_time) {
+      inputs_.emulation.guard_time = needed;
+    }
+  } else {
+    island_masters_ = elect_island_masters();
+  }
+  if (islands_ == 1 && prev_islands > 1) {
+    ++report_.heals;
+    trace::event(trace::EventType::kIslandsHealed, sim_.now(), -1,
+                 prev_islands,
+                 static_cast<std::int64_t>(ever_severed_.size()));
+  }
+  if (tdma_) {
+    repair_schedule(fault_at, survivors, prev_islands, prev_island_of_node);
+  }
+}
+
+void FaultRuntime::repair_schedule(SimTime fault_at, const Topology& survivors,
+                                   int prev_islands,
+                                   const std::vector<int>& prev_island_of_node) {
+  const SimTime now = sim_.now();
+  // Wall clock measures the re-plan cost; the virtual range spans fault to
+  // repaired-plan activation, i.e. exactly report_.repair_latency.
+  trace::Span span(trace::SpanName::kFaultRecovery, now);
+
+  // Candidate flows: declared flows whose endpoints are alive and in the
+  // same island (equivalently: mutually reachable over the surviving
+  // topology). The rest are casualties, not degradation choices.
   std::vector<FlowSpec> candidates;
   for (const FlowSpec& spec : flows_) {
     if (alive_[static_cast<std::size_t>(spec.src)] == 0) continue;
     if (alive_[static_cast<std::size_t>(spec.dst)] == 0) continue;
-    const auto hops = bfs_hops(survivors.graph, spec.src);
-    if (hops[static_cast<std::size_t>(spec.dst)] < 0) continue;
+    if (island_of_node_[static_cast<std::size_t>(spec.src)] !=
+        island_of_node_[static_cast<std::size_t>(spec.dst)]) {
+      continue;
+    }
     candidates.push_back(spec);
   }
 
@@ -228,12 +354,38 @@ void FaultRuntime::repair_schedule(SimTime fault_at) {
       survivors, RadioModel(inputs_.comm_range, inputs_.interference_range),
       inputs_.emulation, inputs_.phy, inputs_.routing);
 
+  // Islands are fault-induced zones: a split mesh plans each island
+  // independently (in parallel) with the zones border pass resolving
+  // cross-island interference, and the first post-heal plan re-runs the
+  // same two-phase merge over the pre-heal membership to compose one
+  // conflict-free schedule. A connected mesh with no heal pending keeps
+  // the exact pre-partition global planning path.
+  zones::ZoneOptions island_zones;
+  const zones::ZoneOptions* zoned = nullptr;
+  if (islands_ > 1 || (islands_ == 1 && prev_islands > 1)) {
+    const bool healing = islands_ == 1 && prev_islands > 1;
+    const int zone_count = healing ? prev_islands : islands_;
+    const std::vector<int>& membership =
+        healing ? prev_island_of_node : island_of_node_;
+    island_zones.zone_count = zone_count;
+    island_zones.jobs = zone_count;
+    island_zones.explicit_zone_of_node = membership;
+    // Dead nodes (and, on heal, nodes that recovered after the split) have
+    // no island of their own; park them in zone 0 — the border pass owns
+    // conflict-freedom across zone boundaries regardless of placement.
+    for (int& z : island_zones.explicit_zone_of_node) {
+      if (z < 0 || z >= zone_count) z = 0;
+    }
+    zoned = &island_zones;
+  }
+
   // Degradation loop: shed one guaranteed flow per infeasible attempt —
   // video before VoIP, newest first — until the survivors fit.
   std::vector<int> shed_ids;
   Expected<MeshPlan> repaired = make_error("unplanned");
   for (;;) {
-    repaired = planner.plan(candidates, inputs_.scheduler, inputs_.ilp);
+    repaired = planner.plan(candidates, inputs_.scheduler, inputs_.ilp,
+                            PlanObjective::kMinimizeSlots, zoned);
     if (repaired.has_value()) break;
     auto victim = candidates.end();
     for (auto it = candidates.begin(); it != candidates.end(); ++it) {
@@ -272,6 +424,20 @@ void FaultRuntime::repair_schedule(SimTime fault_at) {
   trace::event(trace::EventType::kScheduleRepaired, now, -1, report_.repairs,
                static_cast<std::int64_t>(shed_ids.size()),
                deployment.activation_frame);
+
+  RepairRecord repair;
+  repair.at = fault_at;
+  repair.activation = deployment.activation_time;
+  repair.islands = islands_;
+  repair.masters = island_masters_;
+  repair.flows_planned = static_cast<int>(current_plan_->guaranteed.size());
+  for (const FlowSpec& spec : flows_) {
+    if (spec.service == ServiceClass::kGuaranteed &&
+        severed_ids_.count(spec.id) != 0) {
+      ++repair.flows_severed;
+    }
+  }
+  report_.repair_history.push_back(std::move(repair));
 
   for (int id : shed_ids) {
     open_outage(id, now);

@@ -314,8 +314,15 @@ Expected<MeshPlan> QosPlanner::plan(const std::vector<FlowSpec>& flows,
     const trace::Span compose_span(trace::SpanName::kZoneCompose);
     zones::ZoneOptions zone_opts = *zoned;
     zone_opts.ilp = opt;
-    const zones::ZonePartition partition =
-        zones::partition_zones(topology_.graph, zone_opts.zone_count);
+    zones::ZonePartition partition;
+    if (!zone_opts.explicit_zone_of_node.empty()) {
+      // Caller-supplied partition (fault-induced islands).
+      partition.zone_count = zone_opts.zone_count;
+      partition.zone_of_node = zone_opts.explicit_zone_of_node;
+    } else {
+      partition =
+          zones::partition_zones(topology_.graph, zone_opts.zone_count);
+    }
     auto zoned_result =
         zones::schedule_zoned(problem, partition, data_slots, zone_opts);
     if (!zoned_result.has_value()) return make_error(zoned_result.error());

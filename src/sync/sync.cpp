@@ -57,10 +57,12 @@ SyncProtocol::SyncProtocol(Simulator& sim, const Graph& topology,
       rng_(rng) {
   WIMESH_ASSERT(is_connected(topology));
   WIMESH_ASSERT(master >= 0 && master < topology.node_count());
+  masters_ = {master};
   parent_ = spanning_tree_parents(topology, master);
   const auto hops = bfs_hops(topology, master);
   depth_.assign(hops.begin(), hops.end());
   max_depth_ = *std::max_element(depth_.begin(), depth_.end());
+  root_of_.assign(static_cast<std::size_t>(topology.node_count()), master);
 
   clocks_.resize(static_cast<std::size_t>(topology.node_count()));
   for (auto& c : clocks_) {
@@ -95,21 +97,39 @@ void SyncProtocol::fail_master() {
 }
 
 void SyncProtocol::re_root(NodeId new_master, const std::vector<char>& alive) {
+  re_root_forest({new_master}, alive);
+}
+
+void SyncProtocol::re_root_forest(const std::vector<NodeId>& masters,
+                                  const std::vector<char>& alive) {
   const NodeId n = static_cast<NodeId>(clocks_.size());
-  WIMESH_ASSERT(new_master >= 0 && new_master < n);
+  WIMESH_ASSERT_MSG(!masters.empty(), "re_root_forest needs >= 1 master");
   WIMESH_ASSERT(alive.size() == clocks_.size());
-  WIMESH_ASSERT_MSG(alive[static_cast<std::size_t>(new_master)] != 0,
-                    "cannot re-root sync at a dead node");
+  for (const NodeId m : masters) {
+    WIMESH_ASSERT(m >= 0 && m < n);
+    WIMESH_ASSERT_MSG(alive[static_cast<std::size_t>(m)] != 0,
+                      "cannot re-root sync at a dead node");
+  }
   ++epoch_;
-  master_ = new_master;
+  masters_ = masters;
+  master_ = masters.front();
   master_alive_ = true;
 
-  // BFS over the alive-induced subgraph; nodes the new master cannot reach
-  // (dead, or partitioned away) get depth -1 and free-run.
+  // Multi-source BFS over the alive-induced subgraph: each master seeds its
+  // own tree at depth 0, and since islands are disjoint components the
+  // trees never meet. Nodes no master can reach (dead, or partitioned away
+  // from every island root) get depth -1 and free-run.
   parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  root_of_.assign(static_cast<std::size_t>(n), kInvalidNode);
   depth_.assign(static_cast<std::size_t>(n), -1);
-  depth_[static_cast<std::size_t>(new_master)] = 0;
-  std::vector<NodeId> queue{new_master};
+  std::vector<NodeId> queue;
+  for (const NodeId m : masters) {
+    WIMESH_ASSERT_MSG(depth_[static_cast<std::size_t>(m)] < 0,
+                      "duplicate master in re_root_forest");
+    depth_[static_cast<std::size_t>(m)] = 0;
+    root_of_[static_cast<std::size_t>(m)] = m;
+    queue.push_back(m);
+  }
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const NodeId u = queue[head];
     for (EdgeId e : topology_->incident(u)) {
@@ -119,15 +139,24 @@ void SyncProtocol::re_root(NodeId new_master, const std::vector<char>& alive) {
       depth_[static_cast<std::size_t>(v)] =
           depth_[static_cast<std::size_t>(u)] + 1;
       parent_[static_cast<std::size_t>(v)] = u;
+      root_of_[static_cast<std::size_t>(v)] =
+          root_of_[static_cast<std::size_t>(u)];
       queue.push_back(v);
     }
   }
   max_depth_ = *std::max_element(depth_.begin(), depth_.end());
 
-  // The new master becomes the time reference; everyone reachable aligns
-  // to it on the recovery wave, which fires immediately.
-  clocks_[static_cast<std::size_t>(master_)] = ClockState{};
-  trace::event(trace::EventType::kSyncReRoot, sim_.now(), master_, max_depth_);
+  // Each master becomes its island's time reference; everyone reachable
+  // aligns on the recovery wave, which fires immediately and covers the
+  // whole forest.
+  for (const NodeId m : masters_) {
+    clocks_[static_cast<std::size_t>(m)] = ClockState{};
+    int tree_depth = 0;
+    for (std::size_t v = 0; v < root_of_.size(); ++v) {
+      if (root_of_[v] == m) tree_depth = std::max(tree_depth, depth_[v]);
+    }
+    trace::event(trace::EventType::kSyncReRoot, sim_.now(), m, tree_depth);
+  }
   schedule_wave(sim_.now());
 }
 
@@ -145,8 +174,9 @@ void SyncProtocol::run_wave() {
   // `now`. Errors are re-drawn per wave.
   std::vector<SimTime> accumulated(clocks_.size());
   for (std::size_t n = 0; n < clocks_.size(); ++n) {
-    if (static_cast<NodeId>(n) == master_) continue;
-    if (depth_[n] < 0) continue;  // unreachable: keeps free-running
+    // depth 0 = a tree root (the single master, or one per island after
+    // re_root_forest): the time reference itself never accumulates error.
+    if (depth_[n] <= 0) continue;  // root, or unreachable (free-running)
     // Walk up the tree, summing per-hop errors. Drawing per (node, wave)
     // rather than per tree edge keeps the random-walk statistics while
     // staying order-independent.
@@ -158,8 +188,7 @@ void SyncProtocol::run_wave() {
         static_cast<std::int64_t>(rng_.normal(0.0, sigma)));
   }
   for (std::size_t n = 0; n < clocks_.size(); ++n) {
-    if (static_cast<NodeId>(n) == master_) continue;
-    if (depth_[n] < 0) continue;
+    if (depth_[n] <= 0) continue;
     clocks_[n].offset = accumulated[n];
     clocks_[n].last_sync = now;
   }

@@ -178,6 +178,29 @@ void append_args(std::string& out, const Record& r) {
       append_int_arg(out, first, "len", r.c);
       append_int_arg(out, first, "relocated", r.d);
       break;
+    case EventType::kIslandsFormed:
+      append_int_arg(out, first, "islands", r.a);
+      append_int_arg(out, first, "alive", r.b);
+      append_int_arg(out, first, "severed", r.c);
+      break;
+    case EventType::kIslandMaster:
+      append_int_arg(out, first, "island", r.a);
+      append_int_arg(out, first, "size", r.b);
+      break;
+    case EventType::kIslandsHealed:
+      append_int_arg(out, first, "merged", r.a);
+      append_int_arg(out, first, "ever_severed", r.b);
+      break;
+    case EventType::kChaosTrial:
+      append_int_arg(out, first, "trial", r.a);
+      append_int_arg(out, first, "events", r.b);
+      append_int_arg(out, first, "failed", r.c);
+      break;
+    case EventType::kChaosShrink:
+      append_int_arg(out, first, "round", r.a);
+      append_int_arg(out, first, "remaining", r.b);
+      append_int_arg(out, first, "removed", r.c);
+      break;
   }
   out += '}';
 }

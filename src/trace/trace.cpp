@@ -17,6 +17,7 @@ constexpr CategoryEntry kCategories[] = {
     {kDes, "des"},     {kTdma, "tdma"},     {kWifi, "wifi"},
     {kSync, "sync"},   {kFaults, "faults"}, {kProf, "prof"},
     {kIlp, "ilp"},     {kAdmit, "admit"},   {kZones, "zones"},
+    {kChaos, "chaos"},
 };
 
 // Bit position of a (single-bit) category — index into the per-category
@@ -66,7 +67,7 @@ std::uint32_t parse_categories(const std::string& csv, std::string* error) {
             str_cat(
                 "unknown trace category '", token,
                 "' (expected des|tdma|wifi|sync|faults|prof|ilp|admit|zones|"
-                "all|off)");
+                "chaos|all|off)");
       }
       return 0;
     }
@@ -135,6 +136,16 @@ const char* event_type_name(EventType type) {
       return "zones.solve";
     case EventType::kZoneBorder:
       return "zones.border";
+    case EventType::kIslandsFormed:
+      return "faults.islands_formed";
+    case EventType::kIslandMaster:
+      return "faults.island_master";
+    case EventType::kIslandsHealed:
+      return "faults.islands_healed";
+    case EventType::kChaosTrial:
+      return "chaos.trial";
+    case EventType::kChaosShrink:
+      return "chaos.shrink";
   }
   return "?";
 }
@@ -176,6 +187,13 @@ Category event_category(EventType type) {
     case EventType::kZoneSolve:
     case EventType::kZoneBorder:
       return kZones;
+    case EventType::kIslandsFormed:
+    case EventType::kIslandMaster:
+    case EventType::kIslandsHealed:
+      return kFaults;
+    case EventType::kChaosTrial:
+    case EventType::kChaosShrink:
+      return kChaos;
   }
   return kProf;
 }

@@ -306,5 +306,83 @@ TEST(AdmitStatsTest, CountersAddUp) {
   EXPECT_EQ(s.released, r.departures);
 }
 
+// ------------------------------------------------------- topology epochs
+
+TEST(AdmitEpochTest, TypedLivenessRejectsAndEviction) {
+  const Topology topo = make_chain(4, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  const VoipCodec codec = VoipCodec::g729();
+
+  // Baseline: a healthy mesh admits end-to-end with no typed reason.
+  const Decision d0 = engine.offer(FlowSpec::voip(1, 0, 3, codec),
+                                   SimTime::zero());
+  ASSERT_NE(d0.outcome, Outcome::kRejected);
+  EXPECT_EQ(d0.reject, RejectReason::kNone);
+
+  // Epoch 1: node 3 crashes. The booked flow to it is evicted and new
+  // offers touching it fast-reject as endpoint_down.
+  std::vector<char> alive{1, 1, 1, 0};
+  const std::vector<int> evicted =
+      engine.set_topology_epoch(alive, SimTime::seconds(1));
+  EXPECT_EQ(evicted, (std::vector<int>{1}));
+  EXPECT_TRUE(engine.live_consistent());
+  const Decision dead = engine.offer(FlowSpec::voip(2, 0, 3, codec),
+                                     SimTime::seconds(2));
+  EXPECT_EQ(dead.outcome, Outcome::kRejected);
+  EXPECT_EQ(dead.reject, RejectReason::kEndpointDown);
+
+  // Epoch 2: everyone is back up but the 1-2 link is cut, splitting
+  // {0,1} from {2,3}: cross-cut offers type as no_route, same-island
+  // offers still admit.
+  alive = {1, 1, 1, 1};
+  engine.set_topology_epoch(alive, SimTime::seconds(3), {{1, 2}});
+  const Decision cut = engine.offer(FlowSpec::voip(3, 0, 3, codec),
+                                    SimTime::seconds(4));
+  EXPECT_EQ(cut.outcome, Outcome::kRejected);
+  EXPECT_EQ(cut.reject, RejectReason::kNoRoute);
+  const Decision intra = engine.offer(FlowSpec::voip(4, 2, 3, codec),
+                                      SimTime::seconds(5));
+  EXPECT_NE(intra.outcome, Outcome::kRejected);
+  EXPECT_EQ(intra.reject, RejectReason::kNone);
+
+  // Epoch 3: the link heals; the previously unroutable pair admits again.
+  engine.set_topology_epoch(alive, SimTime::seconds(6));
+  const Decision healed = engine.offer(FlowSpec::voip(5, 0, 3, codec),
+                                       SimTime::seconds(7));
+  EXPECT_NE(healed.outcome, Outcome::kRejected);
+  EXPECT_TRUE(engine.live_consistent());
+
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.epoch_updates, 3u);
+  EXPECT_EQ(s.epoch_evictions, 1u);
+  EXPECT_EQ(s.rejected_endpoint_down, 1u);
+  EXPECT_EQ(s.rejected_no_route, 1u);
+  // Liveness rejects still count against the offered-load denominator.
+  EXPECT_EQ(s.guaranteed_offered, 5u);
+}
+
+TEST(AdmitEpochTest, RejectReasonNamesAreStable) {
+  EXPECT_STREQ(reject_reason_name(RejectReason::kNone), "none");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kInfeasible), "infeasible");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kEndpointDown),
+               "endpoint_down");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kNoRoute), "no_route");
+}
+
+TEST(AdmitEpochTest, FaultFreePathIsUntouchedUntilFirstEpoch) {
+  // Until set_topology_epoch is called the engine must behave exactly as
+  // before: no epoch counters, no liveness gating.
+  const Topology topo = make_chain(4, 100.0);
+  AdmissionEngine engine(topo, radio(), canonical_params(), phy(),
+                         engine_config());
+  const ChurnResult r = replay_poisson_churn(engine, churn_spec(4.0, 200, 3));
+  EXPECT_EQ(r.stats.epoch_updates, 0u);
+  EXPECT_EQ(r.stats.epoch_evictions, 0u);
+  EXPECT_EQ(r.stats.rejected_endpoint_down, 0u);
+  EXPECT_EQ(r.stats.rejected_no_route, 0u);
+  EXPECT_EQ(r.stats.rejected_infeasible, r.stats.rejected);
+}
+
 }  // namespace
 }  // namespace wimesh::admit

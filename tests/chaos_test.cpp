@@ -1,0 +1,114 @@
+// wimesh::chaos tests: the seeded fuzzer's smoke budget (>= 10k fault and
+// churn events across the chain/grid/tree families with zero auditor
+// violations and zero oracle mismatches), determinism, the injected-bug
+// fixture (caught and shrunk to a handful of events), and the script
+// formatter round-tripping through the fault-plan grammar.
+
+#include <gtest/gtest.h>
+
+#include "wimesh/chaos/chaos.h"
+
+namespace wimesh::chaos {
+namespace {
+
+ChaosOptions smoke_options() {
+  ChaosOptions o;
+  o.seed = 20260809;
+  o.event_budget = 10000;
+  return o;
+}
+
+TEST(ChaosSmokeTest, TenThousandEventsRunCleanAcrossFamilies) {
+  const ChaosReport r = run_chaos(smoke_options());
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_GE(r.events, 10000u);
+  EXPECT_GT(r.trials, 0u);
+  EXPECT_GT(r.fault_events, 0u);
+  EXPECT_GT(r.churn_events, 0u);
+  EXPECT_EQ(r.audit_violations, 0u);
+  EXPECT_EQ(r.oracle_mismatches, 0u);
+  EXPECT_EQ(r.consistency_failures, 0u);
+  EXPECT_FALSE(r.failure.has_value());
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameReport) {
+  ChaosOptions o;
+  o.seed = 7;
+  o.event_budget = 600;
+  const ChaosReport a = run_chaos(o);
+  const ChaosReport b = run_chaos(o);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_TRUE(a.ok()) << a.summary();
+}
+
+TEST(ChaosInjectedBugTest, RecoverLossIsCaughtAndShrunk) {
+  ChaosOptions o;
+  o.seed = 20260809;
+  o.event_budget = 10000;
+  o.inject_recover_loss_bug = true;
+  const ChaosReport r = run_chaos(o);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.failure.has_value()) << r.summary();
+  const TrialFailure& f = *r.failure;
+  EXPECT_FALSE(f.detail.empty());
+  // ddmin must shrink the reproducer to a handful of events — the crash
+  // whose recovery the bug swallows plus the recover itself survive.
+  EXPECT_LE(f.script.size(), 10u);
+  EXPECT_LE(f.script.size(), f.original_events);
+  bool has_recover = false;
+  for (const auto& e : f.script) {
+    has_recover |= e.kind == faults::FaultKind::kNodeRecover;
+  }
+  EXPECT_TRUE(has_recover) << r.summary();
+
+  // The hunt is deterministic: same options, same minimal script.
+  const ChaosReport again = run_chaos(o);
+  ASSERT_TRUE(again.failure.has_value());
+  EXPECT_EQ(again.failure->trial, f.trial);
+  EXPECT_EQ(again.failure->script.size(), f.script.size());
+  EXPECT_EQ(format_event_script(again.failure->script,
+                                SimTime::milliseconds(o.detect_ms)),
+            format_event_script(f.script,
+                                SimTime::milliseconds(o.detect_ms)));
+}
+
+TEST(ChaosFormatTest, EventScriptRoundTripsThroughTheParser) {
+  std::vector<faults::FaultEvent> events;
+  faults::FaultEvent crash;
+  crash.kind = faults::FaultKind::kNodeCrash;
+  crash.at = SimTime::from_seconds(0.2);
+  crash.node = 3;
+  events.push_back(crash);
+  faults::FaultEvent down;
+  down.kind = faults::FaultKind::kLinkDown;
+  down.at = SimTime::from_seconds(0.3);
+  down.link_a = 1;
+  down.link_b = 2;
+  events.push_back(down);
+  faults::FaultEvent recover;
+  recover.kind = faults::FaultKind::kNodeRecover;
+  recover.at = SimTime::from_seconds(0.4);
+  recover.node = 3;
+  events.push_back(recover);
+
+  const std::string script =
+      format_event_script(events, SimTime::milliseconds(50));
+  const auto plan = faults::parse_fault_plan(script);
+  ASSERT_TRUE(plan.has_value()) << script << "\n" << plan.error();
+  ASSERT_EQ(plan->events.size(), events.size());
+  EXPECT_EQ(plan->detection_delay, SimTime::milliseconds(50));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(plan->events[i].kind, events[i].kind) << i;
+    EXPECT_EQ(plan->events[i].at, events[i].at) << i;
+    EXPECT_EQ(plan->events[i].node, events[i].node) << i;
+    EXPECT_EQ(plan->events[i].link_a, events[i].link_a) << i;
+    EXPECT_EQ(plan->events[i].link_b, events[i].link_b) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wimesh::chaos

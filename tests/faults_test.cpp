@@ -74,6 +74,45 @@ TEST(FaultPlanParserTest, TypedErrorsNameTheEventAndKey) {
   EXPECT_FALSE(faults::parse_fault_plan("burst@9..8 link=0-1").has_value());
 }
 
+TEST(FaultPlanParserTest, ContradictoryScriptsAreRejectedWithEventIndex) {
+  // Crashing a node that is already down.
+  const auto twice = faults::parse_fault_plan(
+      "node-crash@1 node=2; node-crash@2 node=2");
+  ASSERT_FALSE(twice.has_value());
+  EXPECT_NE(twice.error().find("(event 2)"), std::string::npos)
+      << twice.error();
+  EXPECT_NE(twice.error().find("already crashed"), std::string::npos);
+
+  // Restoring a link that was never taken down.
+  const auto up = faults::parse_fault_plan("link-up@2 link=0-1");
+  ASSERT_FALSE(up.has_value());
+  EXPECT_NE(up.error().find("(event 1)"), std::string::npos) << up.error();
+  EXPECT_NE(up.error().find("not down"), std::string::npos);
+
+  // Two Gilbert-Elliott bursts overlapping on the same link.
+  const auto bursts = faults::parse_fault_plan(
+      "burst@1..3 link=0-1; burst@2..4 link=0-1");
+  ASSERT_FALSE(bursts.has_value());
+  EXPECT_NE(bursts.error().find("overlaps"), std::string::npos)
+      << bursts.error();
+}
+
+TEST(FaultPlanParserTest, CrashRecoverCyclesAndDisjointBurstsAreFine) {
+  EXPECT_TRUE(faults::parse_fault_plan(
+                  "node-crash@1 node=2; node-recover@2 node=2; "
+                  "node-crash@3 node=2")
+                  .has_value());
+  EXPECT_TRUE(faults::parse_fault_plan(
+                  "link-down@1 link=0-1; link-up@2 link=0-1; "
+                  "link-down@3 link=0-1")
+                  .has_value());
+  // Same window on different links, and back-to-back on the same link.
+  EXPECT_TRUE(faults::parse_fault_plan(
+                  "burst@1..3 link=0-1; burst@1..3 link=1-2; "
+                  "burst@3..4 link=0-1")
+                  .has_value());
+}
+
 // ------------------------------------------------------- link impairments
 
 TEST(LinkImpairmentTest, HardOutageIsSymmetricAndReversible) {

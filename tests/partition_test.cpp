@@ -1,0 +1,208 @@
+// Split-brain survivability tests: a 4x4 grid cut into two islands must
+// keep both halves running (independent audited schedules, per-island sync
+// roots), shed only the flows that genuinely cross the cut with the typed
+// `partitioned` reason, and on heal merge back into one audited schedule
+// with deterministic re-admission of the severed flows.
+
+#include <gtest/gtest.h>
+
+#include "wimesh/batch/runner.h"
+#include "wimesh/core/scenario.h"
+#include "wimesh/faults/plan.h"
+
+namespace wimesh {
+namespace {
+
+// 4x4 grid, nodes r*4+c. Cutting the four column-1<->column-2 links splits
+// it into a left island {cols 0,1} and a right island {cols 2,3}.
+constexpr char kGrid4Scenario[] =
+    "topology = grid 4 4 100\n"
+    "duration_s = 4\n"
+    "mac = tdma\n"
+    "voip 0 0 5 g729 100\n"    // intra-left call
+    "voip 2 10 15 g729 100\n"  // intra-right call
+    "voip 4 1 14 g729 100\n";  // crosses the cut: severed while split
+
+// Staggered cuts (the last one completes the partition), then staggered
+// heals (the first one reconnects the halves). 100 ms spacing with a 50 ms
+// detection delay keeps every recovery pass unambiguous.
+constexpr char kSplitHealSpec[] =
+    "link-down@1 link=1-2; link-down@1.1 link=5-6; "
+    "link-down@1.2 link=9-10; link-down@1.3 link=13-14; "
+    "link-up@2 link=1-2; link-up@2.1 link=5-6; "
+    "link-up@2.2 link=9-10; link-up@2.3 link=13-14; detect_ms=50";
+
+Scenario make_faulted(const char* scenario_text, const char* fault_spec) {
+  auto sc = parse_scenario(scenario_text);
+  WIMESH_ASSERT(sc.has_value());
+  auto plan = faults::parse_fault_plan(fault_spec);
+  WIMESH_ASSERT(plan.has_value());
+  sc->config.faults = std::move(*plan);
+  sc->config.audit = true;
+  return std::move(*sc);
+}
+
+SimulationResult run_faulted(const char* scenario_text,
+                             const char* fault_spec) {
+  const Scenario sc = make_faulted(scenario_text, fault_spec);
+  MeshNetwork net(sc.config);
+  for (const FlowSpec& f : sc.flows) net.add_flow(f);
+  WIMESH_ASSERT(net.compute_plan().has_value());
+  return net.run(sc.mac, sc.duration);
+}
+
+TEST(PartitionTest, GridSplitsIntoTwoAuditedIslandsAndHeals) {
+  const SimulationResult r = run_faulted(kGrid4Scenario, kSplitHealSpec);
+
+  // Both islands' schedules (and the merged one) run audit-clean: zero
+  // conflict/guard violations outside the waived repair windows.
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+
+  const faults::FaultReport& f = r.faults;
+  ASSERT_TRUE(f.enabled);
+  EXPECT_EQ(f.events_applied, 8);
+  EXPECT_EQ(f.max_islands, 2);
+  EXPECT_EQ(f.heals, 1);
+  EXPECT_EQ(f.flows_partitioned, 2);  // both directions of the cross call
+  EXPECT_EQ(f.flows_shed, 0);         // partition is typed, not a shed
+  EXPECT_EQ(f.flows_preserved, 6);    // final merged plan carries all six
+
+  // One repair record per structural event, in order.
+  ASSERT_EQ(f.repair_history.size(), 8u);
+
+  // The cut completes at t=1.3: two islands, one master each. Island 0
+  // holds node 0 so the incumbent master keeps it; island 1 elects its
+  // lowest surviving node, which is node 2 (row 0, column 2).
+  const faults::RepairRecord& split = f.repair_history[3];
+  EXPECT_EQ(split.at, SimTime::from_seconds(1.3));
+  EXPECT_EQ(split.islands, 2);
+  ASSERT_EQ(split.masters.size(), 2u);
+  EXPECT_EQ(split.masters[0], 0);
+  EXPECT_EQ(split.masters[1], 2);
+  EXPECT_EQ(split.flows_severed, 2);
+  EXPECT_EQ(split.flows_planned, 4);  // the four intra-island flows
+
+  // The first link-up at t=2 reconnects the halves: heal-time merge back
+  // to one schedule under a single sync root, severed flows re-admitted.
+  const faults::RepairRecord& heal = f.repair_history[4];
+  EXPECT_EQ(heal.at, SimTime::seconds(2));
+  EXPECT_EQ(heal.islands, 1);
+  ASSERT_EQ(heal.masters.size(), 1u);
+  EXPECT_EQ(heal.masters[0], 0);
+  EXPECT_EQ(heal.flows_severed, 0);
+  EXPECT_EQ(heal.flows_planned, 6);
+
+  // Severed flows carry the typed reason and are restored after the heal;
+  // intra-island flows ride through hot-swaps without being partitioned
+  // or shed.
+  bool saw_partitioned_4 = false, saw_partitioned_5 = false;
+  for (const auto& rec : f.outages) {
+    if (rec.partitioned) {
+      // Only the cross-cut call is ever typed as partitioned, its outage
+      // spans the whole split, and the heal restores it.
+      EXPECT_TRUE(rec.flow_id == 4 || rec.flow_id == 5)
+          << "flow " << rec.flow_id;
+      (rec.flow_id == 4 ? saw_partitioned_4 : saw_partitioned_5) = true;
+      EXPECT_TRUE(rec.restored()) << "flow " << rec.flow_id;
+      EXPECT_GT(rec.restored_at, SimTime::seconds(2));
+    } else {
+      EXPECT_FALSE(rec.shed) << "flow " << rec.flow_id;
+      EXPECT_TRUE(rec.restored()) << "flow " << rec.flow_id;
+    }
+  }
+  EXPECT_TRUE(saw_partitioned_4);
+  EXPECT_TRUE(saw_partitioned_5);
+}
+
+TEST(PartitionTest, MasterAndBackupCrashingTheSameInstantStillElects) {
+  // The incumbent master (0) and the next-lowest candidate (1) die in the
+  // same frame; the election must skip both and root the island at node 2.
+  constexpr char kGrid3[] =
+      "topology = grid 3 3 100\n"
+      "duration_s = 3\n"
+      "mac = tdma\n"
+      "voip 0 2 6 g729 100\n"
+      "voip 2 5 7 g729 100\n";
+  const SimulationResult r = run_faulted(
+      kGrid3, "node-crash@1 node=0; node-crash@1 node=1; detect_ms=50");
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+  const faults::FaultReport& f = r.faults;
+  EXPECT_EQ(f.events_applied, 2);
+  EXPECT_GE(f.failovers, 1);
+  EXPECT_EQ(f.max_islands, 1);  // survivors stay connected
+  ASSERT_FALSE(f.repair_history.empty());
+  const faults::RepairRecord& last = f.repair_history.back();
+  ASSERT_EQ(last.masters.size(), 1u);
+  EXPECT_EQ(last.masters[0], 2);
+  EXPECT_EQ(f.flows_preserved, 4);
+  EXPECT_EQ(f.flows_shed, 0);
+}
+
+TEST(PartitionTest, CrashIsolatingTheMasterRootsBothIslands) {
+  // Killing node 1 of a 3-chain strands the master (0) alone: its island
+  // keeps the incumbent as a zero-neighbor root while the far side elects
+  // node 2. No flow survives the cut, so the repaired plan is empty.
+  constexpr char kChain3[] =
+      "topology = chain 3 100\n"
+      "duration_s = 3\n"
+      "mac = tdma\n"
+      "voip 0 0 2 g729 100\n";
+  const SimulationResult r =
+      run_faulted(kChain3, "node-crash@1 node=1; detect_ms=50");
+  EXPECT_EQ(r.audit.total_violations(), 0u) << r.audit.summary();
+  const faults::FaultReport& f = r.faults;
+  EXPECT_EQ(f.max_islands, 2);
+  ASSERT_EQ(f.repair_history.size(), 1u);
+  const faults::RepairRecord& rec = f.repair_history.front();
+  EXPECT_EQ(rec.islands, 2);
+  ASSERT_EQ(rec.masters.size(), 2u);
+  EXPECT_EQ(rec.masters[0], 0);
+  EXPECT_EQ(rec.masters[1], 2);
+  EXPECT_EQ(rec.flows_severed, 2);
+  EXPECT_EQ(rec.flows_planned, 0);
+  EXPECT_EQ(f.flows_partitioned, 2);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(PartitionTest, SplitHealRunIsDeterministic) {
+  const Scenario sc = make_faulted(kGrid4Scenario, kSplitHealSpec);
+  const auto run_once = [&] {
+    MeshNetwork net(sc.config);
+    for (const FlowSpec& f : sc.flows) net.add_flow(f);
+    WIMESH_ASSERT(net.compute_plan().has_value());
+    return net.run(sc.mac, sc.duration);
+  };
+  const SimulationResult a = run_once();
+  const SimulationResult b = run_once();
+  ASSERT_EQ(a.faults.repair_history.size(), b.faults.repair_history.size());
+  for (std::size_t i = 0; i < a.faults.repair_history.size(); ++i) {
+    const faults::RepairRecord& ra = a.faults.repair_history[i];
+    const faults::RepairRecord& rb = b.faults.repair_history[i];
+    EXPECT_EQ(ra.at, rb.at);
+    EXPECT_EQ(ra.activation, rb.activation);
+    EXPECT_EQ(ra.islands, rb.islands);
+    EXPECT_EQ(ra.masters, rb.masters);
+    EXPECT_EQ(ra.flows_planned, rb.flows_planned);
+    EXPECT_EQ(ra.flows_severed, rb.flows_severed);
+  }
+}
+
+TEST(PartitionTest, SplitHealSweepIsBitIdenticalAcrossJobs) {
+  Scenario sc = make_faulted(kGrid4Scenario, kSplitHealSpec);
+  sc.duration = SimTime::seconds(3);
+  const auto specs = batch::seed_sweep(sc, 1, 3);
+  batch::BatchOptions serial;
+  serial.jobs = 1;
+  batch::BatchOptions parallel;
+  parallel.jobs = 4;
+  const std::string a = batch::results_json(batch::run_batch(specs, serial));
+  const std::string b =
+      batch::results_json(batch::run_batch(specs, parallel));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"max_islands\""), std::string::npos);
+  EXPECT_NE(a.find("\"repairs_log\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wimesh

@@ -273,5 +273,78 @@ TEST(SyncFailoverTest, StepClockIsAbsorbedByNextWave) {
             cfg.max_error_bound(2));
 }
 
+// ----------------------------------------------------- partitioned forest
+
+TEST(SyncForestTest, ReRootForestGivesEachIslandItsOwnRoot) {
+  Simulator sim;
+  const Topology t = make_chain(5, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(100);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(250));
+
+  // Node 2 dies, cutting {0,1} from {3,4}: one sync root per island.
+  const std::vector<char> alive{1, 1, 0, 1, 1};
+  sync.re_root_forest({0, 3}, alive);
+  ASSERT_EQ(sync.masters().size(), 2u);
+  EXPECT_EQ(sync.master(), 0);
+  EXPECT_EQ(sync.master_of(0), 0);
+  EXPECT_EQ(sync.master_of(1), 0);
+  EXPECT_EQ(sync.master_of(2), kInvalidNode);
+  EXPECT_EQ(sync.master_of(3), 3);
+  EXPECT_EQ(sync.master_of(4), 3);
+  EXPECT_EQ(sync.max_tree_depth(), 1);
+
+  // Both roots read zero error against their own islands after a wave.
+  sim.run_until(sim.now() + cfg.resync_interval * 2);
+  EXPECT_EQ(sync.error(0, sim.now()), SimTime::zero());
+  EXPECT_EQ(sync.error(3, sim.now()), SimTime::zero());
+}
+
+TEST(SyncForestTest, ZeroNeighborIslandMasterFreeRunsAlone) {
+  Simulator sim;
+  const Topology t = make_chain(4, 100.0);
+  SyncConfig cfg;
+  cfg.resync_interval = SimTime::milliseconds(100);
+  SyncProtocol sync(sim, t.graph, 0, cfg, Rng(7));
+  sync.start();
+  sim.run_until(SimTime::milliseconds(250));
+
+  // Node 1 dies: the incumbent master is stranded with zero surviving
+  // neighbors. It must stay a (degenerate) root while {2,3} re-root.
+  const std::vector<char> alive{1, 0, 1, 1};
+  sync.re_root_forest({0, 2}, alive);
+  ASSERT_EQ(sync.masters().size(), 2u);
+  EXPECT_EQ(sync.master_of(0), 0);
+  EXPECT_EQ(sync.master_of(1), kInvalidNode);
+  EXPECT_EQ(sync.master_of(2), 2);
+  EXPECT_EQ(sync.master_of(3), 2);
+  EXPECT_EQ(sync.max_tree_depth(), 1);  // deepest island, not the loner
+
+  // Waves keep running without touching the dead node; the loner's clock
+  // is trivially exact against itself.
+  sim.run_until(sim.now() + cfg.resync_interval * 3);
+  EXPECT_EQ(sync.error(0, sim.now()), SimTime::zero());
+  EXPECT_EQ(sync.error(2, sim.now()), SimTime::zero());
+}
+
+TEST(SyncForestTest, ForestReRootIsDeterministic) {
+  const auto depths_after = [] {
+    Simulator sim;
+    const Topology t = make_grid(3, 3, 100.0);
+    SyncProtocol sync(sim, t.graph, 0, SyncConfig{}, Rng(7));
+    sync.start();
+    sim.run_until(SimTime::milliseconds(500));
+    const std::vector<char> alive{1, 1, 1, 0, 0, 0, 1, 1, 1};
+    sync.re_root_forest({0, 6}, alive);
+    sim.run_until(SimTime::seconds(1));
+    std::vector<SimTime> errs;
+    for (NodeId n = 0; n < 9; ++n) errs.push_back(sync.error(n, sim.now()));
+    return errs;
+  };
+  EXPECT_EQ(depths_after(), depths_after());
+}
+
 }  // namespace
 }  // namespace wimesh
