@@ -64,7 +64,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sweep seed=LO..HI] [--jobs K] [--json OUT] "
                "[--audit [fail-fast]] [--faults PLAN] [--ilp KNOBS] "
-               "[--zones N] [--admit KNOBS] [--trace OUT[:cats]] "
+               "[--zones N] [--admit KNOBS] [--radio KNOBS] "
+               "[--trace OUT[:cats]] "
                "<scenario-file> | --demo | --chaos KNOBS\n"
                "  --faults PLAN   inject faults, e.g. "
                "'node-crash@2 node=4; master-fail@3'\n"
@@ -95,6 +96,18 @@ int usage(const char* argv0) {
                "against the\n"
                "                  cold re-solve oracle; grammar: 'admit =' in "
                "scenario.h)\n"
+               "  --radio KNOBS   physical channel model knobs, comma list "
+               "of on |\n"
+               "                  model=physical|protocol | shadowing=DB | "
+               "fading=jakes|none |\n"
+               "                  doppler=HZ | adapt=on/off | probe=N | "
+               "seed=N | ...\n"
+               "                  (appended after the scenario's 'radio =' "
+               "lines, so later\n"
+               "                  tokens win; 'model=protocol' forces the "
+               "protocol model;\n"
+               "                  full grammar: 'radio =' in "
+               "core/scenario.h)\n"
                "  --chaos KNOBS   seeded fault/churn fuzzing instead of a "
                "scenario run;\n"
                "                  comma list of on | seed=N | events=N | "
@@ -264,6 +277,7 @@ int main(int argc, char** argv) {
   std::string ilp_arg;
   std::string zones_arg;
   std::string admit_arg;
+  std::string radio_arg;
   std::string trace_path;
   std::uint32_t trace_cats = 0;
   bool trace_requested = false;
@@ -304,6 +318,8 @@ int main(int argc, char** argv) {
       zones_arg = argv[++i];
     } else if (arg == "--admit" && i + 1 < argc) {
       admit_arg = argv[++i];
+    } else if (arg == "--radio" && i + 1 < argc) {
+      radio_arg = argv[++i];
     } else if (arg == "--chaos" && i + 1 < argc) {
       return run_chaos_cli(argv[++i]);
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -344,6 +360,7 @@ int main(int argc, char** argv) {
   if (!ilp_arg.empty()) text += "\nilp = " + ilp_arg + "\n";
   if (!zones_arg.empty()) text += "\nzones = " + zones_arg + "\n";
   if (!admit_arg.empty()) text += "\nadmit = " + admit_arg + "\n";
+  if (!radio_arg.empty()) text += "\nradio = " + radio_arg + "\n";
 
   auto scenario = parse_scenario(text);
   if (!scenario.has_value()) {

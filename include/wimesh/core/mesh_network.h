@@ -22,6 +22,7 @@
 #include "wimesh/faults/plan.h"
 #include "wimesh/metrics/flow_stats.h"
 #include "wimesh/qos/planner.h"
+#include "wimesh/radio/medium.h"
 #include "wimesh/sync/sync.h"
 
 namespace wimesh {
@@ -37,6 +38,12 @@ struct MeshConfig {
   double comm_range = 110.0;
   double interference_range = 220.0;
   PhyMode phy = PhyMode::ofdm_802_11a(54);
+  // Physical channel stack (wimesh/radio): SINR reception with path loss /
+  // shadowing / fading, power-based carrier sense, optional rate
+  // adaptation, and the SINR-derived conflict graph. Off by default —
+  // radio.enabled == false leaves every legacy code path untouched, so
+  // existing scenarios produce byte-identical output.
+  radio::RadioConfig radio;
   EmulationParams emulation;  // frame layout + guard time
   SyncConfig sync;
   // When true the guard time is derived from the sync error bound at the
@@ -91,6 +98,9 @@ struct SimulationResult {
   std::uint64_t receptions_corrupted = 0;
   std::uint64_t mac_drops = 0;
   std::uint64_t overlay_busy_at_slot_start = 0;
+  // Packets the MAC handed back at a block's release deadline because
+  // channel-loss retries ran out of budget (re-released in later blocks).
+  std::uint64_t overlay_deadline_requeues = 0;
   // Invariant audit outcome (enabled == false unless MeshConfig::audit).
   audit::AuditReport audit;
   // Fault/recovery continuity metrics (enabled == false unless the run had
@@ -143,6 +153,9 @@ class MeshNetwork {
 
  private:
   MeshConfig config_;
+  // Physical channel environment (null when config_.radio.enabled is
+  // false). Declared before planner_, which captures a pointer to it.
+  std::unique_ptr<radio::RadioEnvironment> radio_env_;
   QosPlanner planner_;
   std::vector<FlowSpec> flows_;
   MeshPlan plan_;

@@ -25,6 +25,29 @@
 //   interference_range = 220
 //   phy = ofdm54                     # ofdm{6,9,12,18,24,36,48,54},
 //                                    # dsss{1,2,5,11}
+//   radio = on,shadowing=4,fading=jakes
+//                                    # physical channel stack (wimesh/radio)
+//                                    # replacing the binary protocol model.
+//                                    # Comma-separated knobs:
+//                                    #   on | model=physical|protocol |
+//                                    #   shadowing=SIGMA_DB |
+//                                    #   fading=jakes|none | doppler=HZ |
+//                                    #   oscillators=N | txpower=DBM |
+//                                    #   noise=DBM | capture=DB | cs=DBM |
+//                                    #   cutoff=DBM | exponent_los=X |
+//                                    #   exponent_obstructed=X |
+//                                    #   floor_loss=DB | freq=GHZ |
+//                                    #   adapt=on|off | probe=N | ewma=X |
+//                                    #   seed=N
+//                                    # Repeated 'radio =' lines accumulate.
+//                                    # Omitted = protocol model, bit-for-bit
+//                                    # the pre-radio behavior.
+//   wall 50 0 50 100 12              # obstacle segment x1 y1 x2 y2 [loss_db]
+//                                    # (any topology; needs a 'radio =' line
+//                                    # to take effect)
+//   floor 4 1                        # 'floor <node> <level>': storey of a
+//                                    # node (default 0); each level of
+//                                    # separation adds floor_loss dB
 //   frame_ms = 10
 //   control_slots = 4
 //   data_slots = 96

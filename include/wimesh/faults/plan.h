@@ -49,11 +49,22 @@ const char* fault_kind_name(FaultKind k);
 // Two-state Markov packet-error process: each delivery attempt first moves
 // the chain (good->bad with p_good_to_bad, bad->good with p_bad_to_good),
 // then errors with the state's PER. Defaults model a hard burst.
+//
+// Derived behavior, pinned by the seeded statistical suite in
+// faults_test.cpp (chi-square on the burst-length distribution plus
+// occupancy/loss-rate checks):
+//  * steady-state bad occupancy  P(bad) = p_g2b / (p_g2b + p_b2g);
+//  * bad dwells are geometric with mean 1/p_b2g attempts — with
+//    per_bad = 1 and per_good = 0 that is exactly the mean length of an
+//    observed loss burst;
+//  * long-run loss rate = P(bad)*per_bad + P(good)*per_good.
+// The chain advances once per delivery attempt (not per unit time), so
+// "burst length" is measured in frames offered to the link.
 struct GilbertElliottParams {
-  double p_good_to_bad = 0.2;
-  double p_bad_to_good = 0.3;
-  double per_good = 0.0;
-  double per_bad = 1.0;
+  double p_good_to_bad = 0.2;   // per-attempt escape rate of the good state
+  double p_bad_to_good = 0.3;   // per-attempt escape rate of the bad state
+  double per_good = 0.0;        // loss probability while good
+  double per_bad = 1.0;         // loss probability while bad
 };
 
 struct FaultEvent {

@@ -24,6 +24,11 @@ class PhyMode {
 
   const std::string& name() const { return name_; }
   double bitrate_bps() const { return bitrate_bps_; }
+  // PHY family and the factory argument that selects this mode — the keys
+  // the physical-layer rate tables (wimesh/radio) use to find the matching
+  // error curve and rate ladder.
+  bool is_ofdm() const { return family_ == Family::kOfdm; }
+  int nominal_rate_mbps() const { return nominal_rate_mbps_; }
 
   SimTime slot_time() const { return slot_; }
   SimTime sifs() const { return sifs_; }
@@ -47,6 +52,7 @@ class PhyMode {
   Family family_ = Family::kOfdm;
   std::string name_;
   double bitrate_bps_ = 0.0;
+  int nominal_rate_mbps_ = 0;
   double control_bitrate_bps_ = 0.0;  // rate used for ACKs
   int bits_per_symbol_ = 0;           // OFDM only
   SimTime slot_{};

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "wimesh/common/expected.h"
 #include "wimesh/graph/graph.h"
 #include "wimesh/graph/topology.h"
 
@@ -21,6 +22,12 @@ class RadioModel {
     WIMESH_ASSERT(comm_range > 0);
     WIMESH_ASSERT(interference_range >= comm_range);
   }
+
+  // Validating factory for externally-supplied ranges (scenario files):
+  // names what is wrong instead of asserting. The ctor remains for
+  // internally-computed ranges where violations are bugs.
+  static Expected<RadioModel> try_make(double comm_range,
+                                       double interference_range);
 
   double comm_range() const { return comm_range_; }
   double interference_range() const { return interference_range_; }

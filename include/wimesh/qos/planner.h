@@ -13,6 +13,7 @@
 #include "wimesh/phy/phy.h"
 #include "wimesh/phy/radio_model.h"
 #include "wimesh/qos/flow.h"
+#include "wimesh/radio/medium.h"
 #include "wimesh/sched/scheduler.h"
 #include "wimesh/tdma/overlay.h"
 #include "wimesh/zones/zones.h"
@@ -95,9 +96,15 @@ struct MeshPlan {
 
 class QosPlanner {
  public:
+  // `radio_env`, when non-null, replaces the protocol conflict graph with
+  // the SINR-derived one (build_conflict_graph_sinr) in every problem this
+  // planner builds. The environment must outlive the planner. Routing and
+  // demand sizing are unchanged — the physical layer only decides which
+  // link pairs may share a slot.
   QosPlanner(const Topology& topology, const RadioModel& radio,
              EmulationParams params, PhyMode phy,
-             RoutingPolicy routing = RoutingPolicy::kHopCount);
+             RoutingPolicy routing = RoutingPolicy::kHopCount,
+             const radio::RadioEnvironment* radio_env = nullptr);
 
   // Routes every flow, sizes per-link guaranteed demands and builds the
   // conflict graph — steps 1–3 of plan(), without solving anything.
@@ -149,6 +156,7 @@ class QosPlanner {
   EmulationParams params_;
   PhyMode phy_;
   RoutingPolicy routing_;
+  const radio::RadioEnvironment* radio_env_ = nullptr;
 };
 
 }  // namespace wimesh

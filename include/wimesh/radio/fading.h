@@ -1,0 +1,90 @@
+#pragma once
+
+// Time-correlated small-scale fading (Jakes / Clarke sum-of-sinusoids).
+//
+// Each unordered node pair owns an independent fading process: a bank of
+// sinusoid oscillators whose arrival angles and phases are drawn once from
+// an RNG stream derived from (radio seed, pair key) — the same
+// derive_stream discipline wimesh::batch uses for per-run streams. The
+// gain at time t is therefore a pure function of (seed, pair, t): the
+// fading a link experiences never depends on evaluation order, on which
+// worker thread runs the simulation, or on how many other links were
+// queried first, so fading-enabled sweeps stay bit-identical for any
+// --jobs value.
+//
+// The envelope is Rayleigh-distributed with unit mean power (0 dB average
+// gain) and decorrelates over roughly 1/(2*doppler_hz) seconds — walking
+// speed at 5 GHz gives a few tens of milliseconds, i.e. several TDMA
+// frames, which is exactly the regime the guard-time story cares about.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wimesh/common/rng.h"
+#include "wimesh/common/time.h"
+#include "wimesh/graph/graph.h"
+
+namespace wimesh::radio {
+
+// Stream key of the unordered pair {a, b}: collision-free packing of the
+// two 32-bit NodeIds. Shared by the shadowing and fading stream derivation
+// so a pair's randomness is addressable without any draw ordering.
+std::uint64_t pair_stream_key(NodeId a, NodeId b);
+
+struct FadingConfig {
+  enum class Kind {
+    kNone,   // fading layer disabled; gain is 0 dB always
+    kJakes,  // Rayleigh envelope, Jakes Doppler spectrum
+  };
+  Kind kind = Kind::kNone;
+  double doppler_hz = 5.0;  // max Doppler shift (pedestrian @ 5 GHz ~ 5-10)
+  int oscillators = 8;      // sum-of-sinusoids order
+
+  bool enabled() const { return kind != Kind::kNone; }
+};
+
+// One pair's oscillator bank.
+class JakesFader {
+ public:
+  // Angles/phases are drawn from `stream_seed` at construction; two faders
+  // built from the same seed are identical regardless of when or where
+  // they are built.
+  JakesFader(std::uint64_t stream_seed, const FadingConfig& config);
+
+  // Power gain in dB at virtual time t (0 dB = the mean of the process).
+  // Deep fades are floored at -60 dB so the value stays finite.
+  double gain_db(SimTime t) const;
+
+ private:
+  struct Oscillator {
+    double omega = 0.0;    // 2*pi*doppler*cos(arrival angle), rad/s
+    double phase_i = 0.0;
+    double phase_q = 0.0;
+  };
+  std::vector<Oscillator> oscillators_;
+  double scale_ = 1.0;  // sqrt(1/M): unit mean envelope power
+};
+
+// Lazily materializes one JakesFader per unordered node pair. Lookup
+// never draws from a shared RNG — each pair's stream seed is derived
+// directly from (root seed, pair key), so creation order is irrelevant.
+class FadingProcess {
+ public:
+  FadingProcess(std::uint64_t root_seed, FadingConfig config)
+      : root_seed_(root_seed), config_(config) {}
+
+  // Power gain in dB for the pair {a, b} at time t; 0 when disabled.
+  double gain_db(NodeId a, NodeId b, SimTime t) const;
+
+  const FadingConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t root_seed_;
+  FadingConfig config_;
+  // Pair key -> fader, grown on first use (mutable: lookups are
+  // conceptually const and the content is order-independent).
+  mutable std::unordered_map<std::uint64_t, JakesFader> faders_;
+};
+
+}  // namespace wimesh::radio

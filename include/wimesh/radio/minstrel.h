@@ -1,0 +1,84 @@
+#pragma once
+
+// Minstrel-style per-link rate adaptation.
+//
+// Each directed link keeps an EWMA success probability per rate of the
+// family's ladder and transmits at the rate maximizing expected throughput
+// (nominal rate × EWMA success). Every Nth data transmission is a probe:
+// a deterministic round-robin over the non-best candidates, so stale
+// statistics refresh without any randomness — adaptation is a pure
+// function of the feedback sequence, preserving bit-identical runs.
+//
+// Differences from Linux Minstrel, on purpose:
+//  * probes are periodic and round-robin instead of randomized (no RNG);
+//  * the ladder is floored at the planning rate (the scenario's PhyMode):
+//    TDMA slot demands are sized at that rate, so adaptation may only
+//    shorten airtimes, never overrun a granted block. The same floor keeps
+//    DCF NAV estimates conservative.
+//  * untried rates start optimistic (success = 1), so the controller
+//    climbs quickly on clean links and the EWMA walks failures back down.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wimesh/graph/graph.h"
+#include "wimesh/radio/medium.h"
+#include "wimesh/radio/reception.h"
+
+namespace wimesh::radio {
+
+class MinstrelLink {
+ public:
+  // Candidate rates are table indices [floor_index, table->size()).
+  MinstrelLink(const RateTable* table, std::size_t floor_index,
+               RateAdaptConfig config);
+
+  // Rate index for the next data transmission (the current best, or a
+  // probe every config.probe_interval-th call).
+  std::size_t pick_rate();
+
+  // PHY-level feedback for a transmission at `rate_index`. Returns true
+  // when the best rate changed (callers trace the switch).
+  bool on_result(std::size_t rate_index, bool success);
+
+  // Current best rate (max nominal * EWMA success; ties go to the lower,
+  // more robust rate).
+  std::size_t best_rate() const { return best_; }
+  double ewma_success(std::size_t rate_index) const;
+  std::uint64_t attempts(std::size_t rate_index) const;
+
+ private:
+  std::size_t recompute_best() const;
+
+  const RateTable* table_;
+  std::size_t floor_ = 0;
+  RateAdaptConfig config_;
+  struct RateStats {
+    double ewma = 1.0;  // optimistic prior
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+  };
+  std::vector<RateStats> stats_;  // indexed by (rate index - floor_)
+  std::size_t best_ = 0;
+  std::size_t probe_cursor_ = 0;  // round-robin over non-best candidates
+  std::uint64_t tx_count_ = 0;
+};
+
+// Lazily materializes one MinstrelLink per directed (tx, rx) link.
+class RateController {
+ public:
+  RateController(const RateTable* table, std::size_t floor_index,
+                 RateAdaptConfig config)
+      : table_(table), floor_(floor_index), config_(config) {}
+
+  MinstrelLink& link(NodeId tx, NodeId rx);
+
+ private:
+  const RateTable* table_;
+  std::size_t floor_;
+  RateAdaptConfig config_;
+  std::unordered_map<std::uint64_t, MinstrelLink> links_;
+};
+
+}  // namespace wimesh::radio

@@ -20,6 +20,7 @@
 #include "wimesh/graph/graph.h"
 #include "wimesh/graph/topology.h"
 #include "wimesh/phy/radio_model.h"
+#include "wimesh/radio/medium.h"
 #include "wimesh/wimax/mesh_frame.h"
 
 namespace wimesh {
@@ -43,6 +44,19 @@ Graph build_conflict_graph(const LinkSet& links,
 // Sparse like the geometric variant: candidates are the links incident to
 // the 1-hop neighborhood of either endpoint (2-hop link adjacency).
 Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity);
+
+// Physical (SINR-derived) conflict graph: links l=(a→b) and m=(c→d)
+// conflict when they share an endpoint or when the MEAN received power
+// (path loss + shadowing; fading averages out over a schedule's lifetime)
+// of any endpoint of one at any endpoint of the other reaches the
+// environment's interference cutoff. The ACK-aware cross product of
+// endpoints matches the protocol builder, so with shadowing off, no
+// walls/floors, and cutoff = tx_power − open_loss(interference_range)
+// this graph is edge-for-edge identical to build_conflict_graph(...,
+// RadioModel) — the high-SINR differential oracle in the tests.
+// Pairwise (l asc, m asc) enumeration: EdgeIds match the naive builders.
+Graph build_conflict_graph_sinr(const LinkSet& links,
+                                const radio::RadioEnvironment& env);
 
 // Reference O(L^2) pairwise builders — the original implementations, kept
 // as the oracle for the sparse builders' differential tests. Same graph,

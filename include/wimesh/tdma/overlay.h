@@ -10,11 +10,20 @@
 // minus the guard time. Because the schedule is conflict-free and sync
 // error is absorbed by the guard, the MAC sees an idle medium and transmits
 // back-to-back with deterministic per-packet cost.
+//
+// The release sizing assumes one attempt per packet. On a physical channel
+// (fading, SINR) receptions can corrupt, and an unchecked MAC retry would
+// spill transmissions past the block into slots granted to other nodes. The
+// slotter therefore arms the MAC's release deadline at every block start
+// (block end minus the guard); attempts that cannot complete by it are not
+// started, and the packets the MAC still holds come back to the front of
+// their link queue to be re-released in a later block.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "wimesh/sync/sync.h"
@@ -107,10 +116,14 @@ class TdmaOverlayNode {
   // zero when guard/schedule are dimensioned correctly).
   std::uint64_t busy_at_slot_start() const { return busy_at_slot_start_; }
   std::uint64_t packets_released() const { return packets_released_; }
+  // Released packets the MAC handed back because its retries ran out of
+  // block budget (nonzero only on lossy physical channels).
+  std::uint64_t deadline_requeues() const { return deadline_requeues_; }
 
  private:
   void schedule_frame(std::int64_t frame_index, SimTime stop);
   void on_block_start(const TxGrant& grant, std::int64_t frame_index);
+  void on_deadline_requeue(const std::vector<MacPacket>& returned);
   void adopt_staged();
 
   struct LinkQueues {
@@ -139,9 +152,14 @@ class TdmaOverlayNode {
   bool enabled_ = true;
   std::unordered_map<LinkId, LinkQueues> queues_;
   std::size_t best_effort_queue_cap_ = 256;
+  // Ids of best-effort packets currently released to the MAC, so a deadline
+  // requeue restores each packet to its service class. Cleared at every
+  // block start (the MAC is verifiably empty there).
+  std::unordered_set<std::uint64_t> released_best_effort_;
   std::uint64_t busy_at_slot_start_ = 0;
   std::uint64_t packets_released_ = 0;
   std::uint64_t best_effort_drops_ = 0;
+  std::uint64_t deadline_requeues_ = 0;
 };
 
 }  // namespace wimesh

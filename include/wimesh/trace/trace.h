@@ -40,7 +40,8 @@ enum Category : std::uint32_t {
   kAdmit = 1u << 7,   // online admission control (decisions, hot-swaps)
   kZones = 1u << 8,   // zone partitioning / per-zone solves / border pass
   kChaos = 1u << 9,   // chaos fuzzing trials / oracle checks / shrinking
-  kAll = (1u << 10) - 1,
+  kRadio = 1u << 10,  // physical layer: deep fades, capture, rate switches
+  kAll = (1u << 11) - 1,
 };
 
 // Parses a comma-separated category list ("tdma,sync"). "all" and "on"
@@ -94,6 +95,10 @@ enum class EventType : std::uint16_t {
   // Chaos fuzzing engine (appended to keep earlier values stable).
   kChaosTrial,        // a=trial index, b=events in script, c=0 ok / 1 failed
   kChaosShrink,       // a=shrink round, b=events remaining, c=events removed
+  // Physical radio layer (appended to keep earlier values stable).
+  kRadioFadeDeep,     // node=rx, a=tx, b=fading gain in centi-dB (<= -1000)
+  kRadioCapture,      // node=rx, a=tx, b=SINR centi-dB, c=interferers
+  kRadioRateSwitch,   // node=tx, a=rx, b=new best rate index, c=rate Mbps
 };
 const char* event_type_name(EventType type);
 Category event_category(EventType type);
@@ -104,6 +109,7 @@ enum class RxDropCause : std::int64_t {
   kHalfDuplex = 2,  // the receiving radio was itself transmitting
   kImpairment = 3,  // injected link fault corrupted the frame
   kPer = 4,         // Bernoulli packet-error-rate drop
+  kSinr = 5,        // SINR below the capture threshold (physical radio)
 };
 
 enum class SpanName : std::uint16_t {
@@ -174,7 +180,7 @@ class Tracer {
   const TraceConfig& config() const { return config_; }
 
  private:
-  static constexpr std::size_t kCategoryCount = 10;
+  static constexpr std::size_t kCategoryCount = 11;
 
   TraceConfig config_;
   std::vector<Record> ring_;

@@ -1,16 +1,27 @@
 #pragma once
 
-// Shared-medium wireless channel under the protocol interference model.
+// Shared-medium wireless channel.
 //
-// The channel delivers frames, drives per-node carrier sense, and decides
-// corruption: a reception is lost if any other transmission audible at the
-// receiver overlaps it in time (no capture effect), if the receiver itself
-// transmits during it (half-duplex), or if the Bernoulli error process
-// fires. Propagation delay is negligible at mesh ranges (< 2 µs) and is
-// modelled as zero; carrier sensing is therefore instantaneous, which is
-// the standard simplification for protocol-model simulators.
+// Default (protocol) model: a reception is lost if any other transmission
+// audible at the receiver overlaps it in time (no capture effect), if the
+// receiver itself transmits during it (half-duplex), or if the Bernoulli
+// error process fires. Audibility is the binary RadioModel range test.
+//
+// With a physical radio environment attached (set_radio), reception turns
+// probabilistic: concurrent transmitters accumulate interference power at
+// each receiver, the frame survives iff its SINR clears the capture
+// threshold and the per-rate SNR→PER curve's coin flip, carrier sense
+// fires on received power crossing the CS threshold (so fading and walls
+// shape who defers to whom), and unicast data may ride an adapted rate
+// picked by the Minstrel-style controller. Half-duplex loss and the
+// legacy Bernoulli/impairment stages behave identically in both models.
+//
+// Propagation delay is negligible at mesh ranges (< 2 µs) and is modelled
+// as zero; carrier sensing is therefore instantaneous, which is the
+// standard simplification for protocol-model simulators.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wimesh/common/rng.h"
@@ -18,6 +29,8 @@
 #include "wimesh/graph/topology.h"
 #include "wimesh/phy/phy.h"
 #include "wimesh/phy/radio_model.h"
+#include "wimesh/radio/medium.h"
+#include "wimesh/radio/minstrel.h"
 #include "wimesh/wifi/packet.h"
 
 namespace wimesh {
@@ -87,6 +100,12 @@ class WifiChannel {
     impairment_ = impairment;
   }
 
+  // Attaches a physical radio environment (nullptr to detach; not owned;
+  // must outlive the channel). Switches reception, carrier sense and — when
+  // the environment enables it — rate adaptation to the physical model
+  // described in the header comment. Call before any transmission.
+  void set_radio(const radio::RadioEnvironment* env);
+
   // Node liveness (fault injection). A down node radiates nothing — its
   // transmissions neither occupy the medium nor reach any receiver — and
   // decodes nothing. All nodes start up.
@@ -116,6 +135,11 @@ class WifiChannel {
     WifiFrame frame;
     NodeId rx = kInvalidNode;
     bool corrupted = false;
+    // Physical model only: signal power at reception start and the summed
+    // power of every transmission that overlapped it (SINR denominator).
+    double signal_dbm = 0.0;
+    double interference_mw = 0.0;
+    int interferers = 0;
   };
   struct ActiveTx {
     std::uint64_t key;
@@ -125,6 +149,13 @@ class WifiChannel {
     // transmission's lifetime so the busy/idle carrier-sense edges it
     // produced stay balanced even if liveness changes mid-air.
     bool radiated = true;
+    // Rate-table index this frame went out at (physical model; control
+    // frames and non-adapted data use the base rate).
+    std::size_t rate_idx = 0;
+    // Physical model: nodes whose carrier sense went busy at tx start; the
+    // idle edges at tx end replay this list, so busy/idle stay balanced
+    // even though fading varies between the two instants.
+    std::vector<NodeId> cs_nodes;
     std::vector<Reception> receptions;
   };
 
@@ -140,6 +171,9 @@ class WifiChannel {
   bool deliver_overheard_ = false;
   ChannelProbe* probe_ = nullptr;
   ChannelImpairment* impairment_ = nullptr;
+  const radio::RadioEnvironment* radio_env_ = nullptr;
+  std::vector<PhyMode> rate_modes_;  // airtime per rate-table index
+  std::unique_ptr<radio::RateController> rate_ctrl_;
   std::vector<MacInterface*> macs_;
   std::vector<char> node_up_;
   std::vector<ActiveTx> active_;

@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "wimesh/common/rng.h"
 #include "wimesh/des/simulator.h"
@@ -91,6 +92,24 @@ class DcfMac : public MacInterface {
   static SimTime overlay_service_time(const PhyMode& phy,
                                       std::size_t payload_bytes);
 
+  // TDMA-overlay release discipline. The slotter sizes its releases by
+  // one-attempt service times, so a retry after a corrupted exchange eats
+  // budget that was promised to later packets — left unchecked, retries
+  // spill transmissions past the granted block into other nodes' slots.
+  // With a deadline armed, no attempt (first or retry) starts unless its
+  // worst-case service completes by the deadline; when one would not fit,
+  // the MAC abandons service and hands every packet it still holds back
+  // through the deadline handler, newest-first, so a consumer that inserts
+  // each at the front of its queue restores the original FIFO order. Never
+  // armed in plain DCF mode, where contention has no block to respect.
+  void set_release_deadline(SimTime deadline) { release_deadline_ = deadline; }
+  void set_deadline_handler(
+      std::function<void(const std::vector<MacPacket>&)> handler) {
+    on_deadline_ = std::move(handler);
+  }
+  // Packets handed back across all deadline expiries (diagnostic).
+  std::uint64_t deadline_requeues() const { return deadline_requeues_; }
+
   // Diagnostics.
   std::uint64_t tx_attempts() const { return tx_attempts_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -132,6 +151,8 @@ class DcfMac : public MacInterface {
   void on_data_tx_end();
   void on_ack_timeout();
   void retry_after_failure();
+  bool past_deadline(std::size_t payload_bytes) const;
+  void requeue_past_deadline();
   void set_nav(SimTime until);
   void send_ack(const WifiFrame& data);
   void send_cts(const WifiFrame& rts);
@@ -147,11 +168,13 @@ class DcfMac : public MacInterface {
 
   std::deque<MacPacket> queue_;
   std::optional<MacPacket> current_;
-  // Duplicate filter, as 802.11 does with (address, sequence) caches: a
-  // retry whose original ACK was lost must be re-ACKed but not delivered
-  // upward twice. Per-sender last-seen id suffices because each MAC sends
-  // in FIFO order.
-  std::unordered_map<NodeId, std::uint64_t> last_seen_from_;
+  // Duplicate filter, as 802.11 does with per-(transmitter, TID) sequence
+  // caches: a retry whose original ACK was lost must be re-ACKed but not
+  // delivered upward twice. Keyed by (sender, flow) — not sender alone —
+  // because a deadline requeue re-sends a packet in a *later* block, and a
+  // guaranteed-class packet from the same sender may legitimately arrive in
+  // between; within one flow delivery stays FIFO, so last-seen id suffices.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seen_from_;
   State state_ = State::kIdle;
   int busy_count_ = 0;
   bool transmitting_ = false;  // data or ACK on the air from this node
@@ -160,10 +183,14 @@ class DcfMac : public MacInterface {
   int backoff_slots_ = 0;
   SimTime nav_until_{};  // virtual carrier sense from overheard RTS/CTS
   EventHandle timer_{};
+  // Release discipline (TDMA overlay only; disengaged when unset).
+  std::optional<SimTime> release_deadline_;
+  std::function<void(const std::vector<MacPacket>&)> on_deadline_;
 
   std::uint64_t tx_attempts_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t deadline_requeues_ = 0;
 };
 
 }  // namespace wimesh

@@ -66,11 +66,32 @@ MeshConfig resolve_guard(MeshConfig config) {
 
 }  // namespace
 
+namespace {
+
+// Sub-stream label for deriving the radio seed from the run seed ("radio"
+// in ASCII); any fixed constant works, it only has to be stable.
+constexpr std::uint64_t kRadioSeedStream = 0x726164696f;
+
+std::unique_ptr<radio::RadioEnvironment> make_radio_env(
+    const MeshConfig& config) {
+  if (!config.radio.enabled) return nullptr;
+  const std::uint64_t seed =
+      config.radio.seed != 0
+          ? config.radio.seed
+          : Rng::derive_stream(config.seed, kRadioSeedStream);
+  return std::make_unique<radio::RadioEnvironment>(
+      config.radio, config.topology.positions, config.phy, seed);
+}
+
+}  // namespace
+
 MeshNetwork::MeshNetwork(MeshConfig config)
     : config_(resolve_guard(std::move(config))),
+      radio_env_(make_radio_env(config_)),
       planner_(config_.topology,
                RadioModel(config_.comm_range, config_.interference_range),
-               config_.emulation, config_.phy, config_.routing) {}
+               config_.emulation, config_.phy, config_.routing,
+               radio_env_.get()) {}
 
 void MeshNetwork::add_flow(FlowSpec spec) {
   WIMESH_ASSERT_MSG(!has_plan_, "flows must be declared before planning");
@@ -151,6 +172,10 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
   WifiChannel channel(sim, config_.topology.positions, radio, config_.phy,
                       ErrorModel{config_.packet_error_rate}, root.split(),
                       /*deliver_overheard=*/rts_mode);
+  // Physical radio model (scenario 'radio =' key). The attach changes no
+  // RNG splits, so radio-off runs stay byte-identical to builds without
+  // the subsystem.
+  if (radio_env_ != nullptr) channel.set_radio(radio_env_.get());
 
   // Invariant auditor (opt-in). Pure observer: it draws no randomness and
   // schedules no events, so results are identical with auditing on or off.
@@ -502,6 +527,7 @@ SimulationResult MeshNetwork::run(MacMode mode, SimTime duration,
   result.receptions_corrupted = channel.receptions_corrupted();
   for (const auto& overlay : overlays) {
     result.overlay_busy_at_slot_start += overlay->busy_at_slot_start();
+    result.overlay_deadline_requeues += overlay->deadline_requeues();
   }
   if (auditor) {
     // Everything the ledger has not seen delivered or dropped must still be

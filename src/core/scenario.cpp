@@ -165,6 +165,134 @@ Expected<bool> apply_admit_options(Scenario& sc, const std::string& value,
   return true;
 }
 
+// Applies one comma-separated "radio =" knob list (repeated lines
+// accumulate, later tokens win). Grammar documented in core/scenario.h.
+// Any 'radio =' line switches the physical model on unless
+// model=protocol explicitly keeps it off.
+Expected<bool> apply_radio_options(radio::RadioConfig& rc,
+                                   const std::string& value,
+                                   std::size_t line_no) {
+  rc.enabled = true;
+  for (const std::string& raw : split(value, ',')) {
+    const std::string tok = trim(raw);
+    if (tok.empty() || tok == "on") continue;
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      return make_error(str_cat("line ", line_no, ": unknown radio token '",
+                                tok,
+                                "' (expected on|model=...|shadowing=X|"
+                                "fading=...|doppler=X|oscillators=N|"
+                                "txpower=X|noise=X|capture=X|cs=X|cutoff=X|"
+                                "exponent_los=X|exponent_obstructed=X|"
+                                "floor_loss=X|freq=X|adapt=on/off|probe=N|"
+                                "ewma=X|seed=N)"));
+    }
+    const std::string name = trim(tok.substr(0, eq));
+    const std::string val = trim(tok.substr(eq + 1));
+    if (name == "model") {
+      if (val == "physical") {
+        rc.enabled = true;
+      } else if (val == "protocol") {
+        rc.enabled = false;
+      } else {
+        return make_error(str_cat("line ", line_no, ": unknown radio model '",
+                                  val, "' (physical|protocol)"));
+      }
+      continue;
+    }
+    if (name == "fading") {
+      if (val == "jakes") {
+        rc.fading.kind = radio::FadingConfig::Kind::kJakes;
+      } else if (val == "none") {
+        rc.fading.kind = radio::FadingConfig::Kind::kNone;
+      } else {
+        return make_error(str_cat("line ", line_no,
+                                  ": unknown fading model '", val,
+                                  "' (jakes|none)"));
+      }
+      continue;
+    }
+    if (name == "adapt") {
+      if (val == "on") {
+        rc.rate_adapt.enabled = true;
+      } else if (val == "off") {
+        rc.rate_adapt.enabled = false;
+      } else {
+        return make_error(str_cat("line ", line_no,
+                                  ": radio adapt must be on|off"));
+      }
+      continue;
+    }
+    const auto num = to_number(val, line_no);
+    if (!num) return make_error(num.error());
+    if (name == "shadowing") {
+      if (*num < 0) {
+        return make_error(str_cat("line ", line_no,
+                                  ": shadowing sigma must be >= 0 dB, got ",
+                                  val));
+      }
+      rc.shadowing_sigma_db = *num;
+    } else if (name == "doppler") {
+      if (*num <= 0) {
+        return make_error(str_cat("line ", line_no,
+                                  ": doppler must be > 0 Hz, got ", val));
+      }
+      rc.fading.doppler_hz = *num;
+    } else if (name == "oscillators") {
+      if (*num < 1) {
+        return make_error(str_cat("line ", line_no,
+                                  ": oscillators must be >= 1, got ", val));
+      }
+      rc.fading.oscillators = static_cast<int>(*num);
+    } else if (name == "txpower") {
+      rc.tx_power_dbm = *num;
+    } else if (name == "noise") {
+      rc.noise_floor_dbm = *num;
+    } else if (name == "capture") {
+      rc.capture_threshold_db = *num;
+    } else if (name == "cs") {
+      rc.cs_threshold_dbm = *num;
+    } else if (name == "cutoff") {
+      rc.interference_cutoff_dbm = *num;
+    } else if (name == "exponent_los") {
+      rc.propagation.exponent_los = *num;
+    } else if (name == "exponent_obstructed") {
+      rc.propagation.exponent_obstructed = *num;
+    } else if (name == "floor_loss") {
+      if (*num < 0) {
+        return make_error(str_cat("line ", line_no,
+                                  ": floor_loss must be >= 0 dB, got ", val));
+      }
+      rc.propagation.floor_loss_db = *num;
+    } else if (name == "freq") {
+      if (*num <= 0) {
+        return make_error(str_cat("line ", line_no,
+                                  ": freq must be > 0 GHz, got ", val));
+      }
+      rc.propagation.frequency_ghz = *num;
+    } else if (name == "probe") {
+      if (*num < 2) {
+        return make_error(str_cat("line ", line_no,
+                                  ": probe interval must be >= 2, got ",
+                                  val));
+      }
+      rc.rate_adapt.probe_interval = static_cast<int>(*num);
+    } else if (name == "ewma") {
+      if (*num <= 0 || *num > 1) {
+        return make_error(str_cat("line ", line_no,
+                                  ": ewma must be in (0, 1], got ", val));
+      }
+      rc.rate_adapt.ewma_alpha = *num;
+    } else if (name == "seed") {
+      rc.seed = static_cast<std::uint64_t>(*num);
+    } else {
+      return make_error(str_cat("line ", line_no, ": unknown radio knob '",
+                                name, "'"));
+    }
+  }
+  return true;
+}
+
 // Accumulates 'node <id> <x> <y>' / 'link <u> <v>' lines that follow a
 // 'topology = custom' header; build_custom_topology validates and builds
 // the graph once the whole file is read.
@@ -323,6 +451,14 @@ Expected<Scenario> parse_scenario(const std::string& text) {
   Scenario sc;
   bool have_topology = false;
   CustomTopologyState custom;
+  // 'floor <node> <level>' lines; validated against the topology (which a
+  // custom declaration only finishes after the whole file) post-loop.
+  struct FloorDecl {
+    std::int64_t node = 0;
+    int level = 0;
+    std::size_t line = 0;
+  };
+  std::vector<FloorDecl> floor_decls;
   std::size_t line_no = 0;
 
   for (const std::string& raw : split(text, '\n')) {
@@ -367,6 +503,37 @@ Expected<Scenario> parse_scenario(const std::string& text) {
         return make_error(str_cat("line ", line_no, ": bad ", kind,
                                   " line (expected 'node <id> <x> <y>' / "
                                   "'link <u> <v>')"));
+      }
+      if (kind == "wall") {
+        if (tokens.size() != 5 && tokens.size() != 6) {
+          return make_error(str_cat("line ", line_no,
+                                    ": bad wall line (expected 'wall <x1> "
+                                    "<y1> <x2> <y2> [loss_db]')"));
+        }
+        const auto x1 = num(1), y1 = num(2), x2 = num(3), y2 = num(4);
+        if (!x1 || !y1 || !x2 || !y2) return make_error("bad wall line");
+        radio::WallSegment wall;
+        wall.a = Point{*x1, *y1};
+        wall.b = Point{*x2, *y2};
+        if (tokens.size() == 6) {
+          const auto loss = num(5);
+          if (!loss) return make_error(loss.error());
+          wall.loss_db = *loss;
+        }
+        sc.config.radio.propagation.walls.push_back(wall);
+        continue;
+      }
+      if (kind == "floor") {
+        if (tokens.size() != 3) {
+          return make_error(str_cat("line ", line_no,
+                                    ": bad floor line (expected 'floor "
+                                    "<node> <level>')"));
+        }
+        const auto node = num(1), level = num(2);
+        if (!node || !level) return make_error("bad floor line");
+        floor_decls.push_back({static_cast<std::int64_t>(*node),
+                               static_cast<int>(*level), line_no});
+        continue;
       }
       if (kind == "voip" && tokens.size() == 6) {
         const auto id = num(1), a = num(2), b = num(3), delay = num(5);
@@ -495,6 +662,9 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     } else if (key == "ilp") {
       auto applied = apply_ilp_options(sc.config.ilp, value, line_no);
       if (!applied) return make_error(applied.error());
+    } else if (key == "radio") {
+      auto applied = apply_radio_options(sc.config.radio, value, line_no);
+      if (!applied) return make_error(applied.error());
     } else if (key == "admit") {
       auto applied = apply_admit_options(sc, value, line_no);
       if (!applied) return make_error(applied.error());
@@ -585,6 +755,32 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     sc.config.topology = std::move(*topo);
   }
   if (!have_topology) return make_error("scenario is missing 'topology'");
+
+  // Physical-layer validation: surface misconfiguration as named scenario
+  // errors instead of the asserts the typed factories would otherwise hit.
+  {
+    auto ranges = RadioModel::try_make(sc.config.comm_range,
+                                       sc.config.interference_range);
+    if (!ranges) return make_error(str_cat("radio ranges: ", ranges.error()));
+  }
+  if (sc.config.radio.enabled ||
+      !sc.config.radio.propagation.walls.empty()) {
+    auto prop = radio::Propagation::try_make(sc.config.radio.propagation);
+    if (!prop) return make_error(str_cat("radio: ", prop.error()));
+  }
+  if (!floor_decls.empty()) {
+    const NodeId n = sc.config.topology.node_count();
+    sc.config.radio.floors.assign(static_cast<std::size_t>(n), 0);
+    for (const auto& decl : floor_decls) {
+      if (decl.node < 0 || decl.node >= n) {
+        return make_error(str_cat("line ", decl.line, ": floor declares node ",
+                                  decl.node, " but the topology has ", n,
+                                  " nodes"));
+      }
+      sc.config.radio.floors[static_cast<std::size_t>(decl.node)] =
+          decl.level;
+    }
+  }
   // Churn replays synthesize their own arrivals, so a flow-less scenario
   // is complete once 'admit =' appears.
   if (sc.flows.empty() && !sc.admit_enabled) {

@@ -30,6 +30,7 @@ PhyMode PhyMode::ofdm_802_11a(int rate_mbps) {
   m.family_ = Family::kOfdm;
   m.name_ = str_cat("802.11a-", rate_mbps, "Mbps");
   m.bitrate_bps_ = rate_mbps * 1e6;
+  m.nominal_rate_mbps_ = rate_mbps;
   m.control_bitrate_bps_ = 6e6;
   m.bits_per_symbol_ = bits_per_symbol;
   m.slot_ = SimTime::microseconds(9);
@@ -54,6 +55,7 @@ PhyMode PhyMode::dsss_802_11b(int rate_mbps) {
   m.family_ = Family::kDsss;
   m.name_ = str_cat("802.11b-", rate_mbps == 5 ? 5.5 : rate_mbps, "Mbps");
   m.bitrate_bps_ = rate_bps;
+  m.nominal_rate_mbps_ = rate_mbps;
   m.control_bitrate_bps_ = 1e6;
   m.slot_ = SimTime::microseconds(20);
   m.sifs_ = SimTime::microseconds(10);

@@ -1,6 +1,23 @@
 #include "wimesh/phy/radio_model.h"
 
+#include "wimesh/common/strings.h"
+
 namespace wimesh {
+
+Expected<RadioModel> RadioModel::try_make(double comm_range,
+                                          double interference_range) {
+  if (!(comm_range > 0)) {
+    return make_error(str_cat("comm_range must be > 0, got ",
+                              fmt_double(comm_range)));
+  }
+  if (!(interference_range >= comm_range)) {
+    return make_error(str_cat("interference_range (",
+                              fmt_double(interference_range),
+                              ") must be >= comm_range (",
+                              fmt_double(comm_range), ")"));
+  }
+  return RadioModel(comm_range, interference_range);
+}
 
 Graph RadioModel::build_connectivity(
     const std::vector<Point>& positions) const {

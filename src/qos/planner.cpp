@@ -41,12 +41,14 @@ const FlowPlan* MeshPlan::find_flow(int flow_id) const {
 
 QosPlanner::QosPlanner(const Topology& topology, const RadioModel& radio,
                        EmulationParams params, PhyMode phy,
-                       RoutingPolicy routing)
+                       RoutingPolicy routing,
+                       const radio::RadioEnvironment* radio_env)
     : topology_(topology),
       radio_(radio),
       params_(params),
       phy_(std::move(phy)),
-      routing_(routing) {
+      routing_(routing),
+      radio_env_(radio_env) {
   // A disconnected topology is admissible: after node/link failures the
   // fault runtime replans over the surviving subgraph, pre-filtering flows
   // to reachable (src, dst) pairs. Flows whose endpoints cannot reach each
@@ -192,8 +194,14 @@ BuiltProblem QosPlanner::build_problem(
   }
 
   // ---- 3. Conflict graph, plus the flow paths the delay-aware ILP caps.
+  // With a physical radio environment, link pairs conflict by mean SINR
+  // instead of protocol-model ranges; everything downstream (scheduler,
+  // delay bounds, admission) is agnostic to which builder produced it.
   out.problem.conflicts =
-      build_conflict_graph(out.problem.links, topology_.positions, radio_);
+      radio_env_ != nullptr
+          ? build_conflict_graph_sinr(out.problem.links, *radio_env_)
+          : build_conflict_graph(out.problem.links, topology_.positions,
+                                 radio_);
   for (const FlowPlan& f : out.guaranteed) {
     FlowPath fp;
     fp.links = f.links;

@@ -1,0 +1,71 @@
+#include "wimesh/radio/fading.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wimesh::radio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMinGainDb = -60.0;  // deep-fade floor
+
+}  // namespace
+
+std::uint64_t pair_stream_key(NodeId a, NodeId b) {
+  const auto lo = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(std::min(a, b)));
+  const auto hi = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(std::max(a, b)));
+  return (hi << 32) | lo;
+}
+
+JakesFader::JakesFader(std::uint64_t stream_seed, const FadingConfig& config) {
+  const int m = std::max(config.oscillators, 1);
+  Rng rng(stream_seed);
+  oscillators_.reserve(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    Oscillator osc;
+    // Random arrival angle gives each oscillator its Doppler shift; the
+    // ensemble approximates the Jakes U-shaped spectrum.
+    const double arrival = rng.uniform(0.0, 2.0 * kPi);
+    osc.omega = 2.0 * kPi * config.doppler_hz * std::cos(arrival);
+    osc.phase_i = rng.uniform(0.0, 2.0 * kPi);
+    osc.phase_q = rng.uniform(0.0, 2.0 * kPi);
+    oscillators_.push_back(osc);
+  }
+  scale_ = std::sqrt(1.0 / static_cast<double>(m));
+}
+
+double JakesFader::gain_db(SimTime t) const {
+  const double ts = t.to_seconds();
+  double in_phase = 0.0;
+  double quadrature = 0.0;
+  for (const Oscillator& osc : oscillators_) {
+    in_phase += std::cos(osc.omega * ts + osc.phase_i);
+    quadrature += std::cos(osc.omega * ts + osc.phase_q);
+  }
+  in_phase *= scale_;
+  quadrature *= scale_;
+  // E[i^2 + q^2] = 1, so the envelope power is already the linear gain.
+  const double power = in_phase * in_phase + quadrature * quadrature;
+  if (power <= 0.0) return kMinGainDb;
+  return std::max(10.0 * std::log10(power), kMinGainDb);
+}
+
+double FadingProcess::gain_db(NodeId a, NodeId b, SimTime t) const {
+  if (!config_.enabled()) return 0.0;
+  const std::uint64_t key = pair_stream_key(a, b);
+  auto it = faders_.find(key);
+  if (it == faders_.end()) {
+    // First query for this pair: derive its private stream and keep the
+    // fader. The seed depends only on (root seed, pair), never on how many
+    // pairs were materialized before, so lookup order cannot change results.
+    it = faders_
+             .emplace(key, JakesFader(Rng::derive_stream(root_seed_, key),
+                                      config_))
+             .first;
+  }
+  return it->second.gain_db(t);
+}
+
+}  // namespace wimesh::radio

@@ -1,0 +1,89 @@
+#include "wimesh/radio/minstrel.h"
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh::radio {
+namespace {
+
+// Directed link key: (tx, rx) order matters — the two directions of a
+// link can see asymmetric interference.
+std::uint64_t directed_key(NodeId tx, NodeId rx) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(rx));
+}
+
+}  // namespace
+
+MinstrelLink::MinstrelLink(const RateTable* table, std::size_t floor_index,
+                           RateAdaptConfig config)
+    : table_(table), floor_(floor_index), config_(config) {
+  WIMESH_ASSERT(table_ != nullptr);
+  WIMESH_ASSERT(floor_ < table_->size());
+  WIMESH_ASSERT(config_.probe_interval >= 2);
+  WIMESH_ASSERT(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  stats_.resize(table_->size() - floor_);
+  best_ = floor_;
+}
+
+std::size_t MinstrelLink::recompute_best() const {
+  std::size_t best = floor_;
+  double best_tput = -1.0;
+  for (std::size_t i = floor_; i < table_->size(); ++i) {
+    const double tput = static_cast<double>(table_->entry(i).rate_mbps) *
+                        stats_[i - floor_].ewma;
+    // Strict '>' keeps ties on the lower (more robust) rate.
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t MinstrelLink::pick_rate() {
+  ++tx_count_;
+  const std::size_t candidates = table_->size() - floor_;
+  if (candidates <= 1) return floor_;
+  if (tx_count_ % static_cast<std::uint64_t>(config_.probe_interval) == 0) {
+    // Probe: next non-best candidate in round-robin order.
+    for (std::size_t step = 0; step < candidates; ++step) {
+      probe_cursor_ = (probe_cursor_ + 1) % candidates;
+      if (floor_ + probe_cursor_ != best_) return floor_ + probe_cursor_;
+    }
+  }
+  return best_;
+}
+
+bool MinstrelLink::on_result(std::size_t rate_index, bool success) {
+  WIMESH_ASSERT(rate_index >= floor_ && rate_index < table_->size());
+  RateStats& s = stats_[rate_index - floor_];
+  ++s.attempts;
+  if (success) ++s.successes;
+  s.ewma = (1.0 - config_.ewma_alpha) * s.ewma +
+           config_.ewma_alpha * (success ? 1.0 : 0.0);
+  const std::size_t new_best = recompute_best();
+  const bool changed = new_best != best_;
+  best_ = new_best;
+  return changed;
+}
+
+double MinstrelLink::ewma_success(std::size_t rate_index) const {
+  WIMESH_ASSERT(rate_index >= floor_ && rate_index < table_->size());
+  return stats_[rate_index - floor_].ewma;
+}
+
+std::uint64_t MinstrelLink::attempts(std::size_t rate_index) const {
+  WIMESH_ASSERT(rate_index >= floor_ && rate_index < table_->size());
+  return stats_[rate_index - floor_].attempts;
+}
+
+MinstrelLink& RateController::link(NodeId tx, NodeId rx) {
+  const std::uint64_t key = directed_key(tx, rx);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, MinstrelLink(table_, floor_, config_)).first;
+  }
+  return it->second;
+}
+
+}  // namespace wimesh::radio

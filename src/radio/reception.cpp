@@ -1,0 +1,159 @@
+#include "wimesh/radio/reception.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wimesh/common/assert.h"
+
+namespace wimesh::radio {
+namespace {
+
+constexpr double kMinPowerMw = 1e-15;  // -120 dBm floor keeps logs finite
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+// Uncoded bit error rate of the modulation at per-symbol SNR `snr`
+// (linear). OFDM formulas are the Gray-coded AWGN expressions; DSSS/CCK
+// use the exponential DPSK bound with the spreading gain folded into an
+// effective SNR (11-chip Barker for 1/2 Mbps, 8-chip CCK above).
+double raw_bit_error_rate(Modulation mod, double snr) {
+  switch (mod) {
+    case Modulation::kBpsk:
+      return q_function(std::sqrt(2.0 * snr));
+    case Modulation::kQpsk:
+      return q_function(std::sqrt(snr));
+    case Modulation::kQam16:
+      return 0.75 * q_function(std::sqrt(snr / 5.0));
+    case Modulation::kQam64:
+      return (7.0 / 12.0) * q_function(std::sqrt(snr / 21.0));
+    case Modulation::kDbpsk:
+      return 0.5 * std::exp(-std::min(11.0 * snr, 700.0));
+    case Modulation::kDqpsk:
+      return 0.5 * std::exp(-std::min(5.5 * snr, 700.0));
+    case Modulation::kCck5:
+      return 0.5 * std::exp(-std::min(2.0 * snr, 700.0));
+    case Modulation::kCck11:
+      return 0.5 * std::exp(-std::min(snr, 700.0));
+  }
+  return 0.5;
+}
+
+// Free distance of the 802.11 convolutional code (K=7) at each puncturing.
+int d_free(double code_rate) {
+  if (code_rate <= 0.5) return 10;
+  if (code_rate <= 2.0 / 3.0 + 1e-9) return 6;
+  return 5;  // 3/4
+}
+
+}  // namespace
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) {
+  return 10.0 * std::log10(std::max(mw, kMinPowerMw));
+}
+
+double sinr_db(double signal_dbm, double interference_mw,
+               double noise_floor_dbm) {
+  const double denom_mw = dbm_to_mw(noise_floor_dbm) + interference_mw;
+  return signal_dbm - mw_to_dbm(denom_mw);
+}
+
+double packet_error_rate(const RateEntry& rate, double snr_db,
+                         std::size_t bytes) {
+  const double snr = dbm_to_mw(snr_db);  // dB -> linear is the same map
+  const double raw = raw_bit_error_rate(rate.modulation, snr);
+  double ber = raw;
+  if (rate.code_rate < 1.0) {
+    // Hard-decision Viterbi first-event-error approximation:
+    // Pb ≈ 0.5 * (4 p (1-p))^(d_free / 2).
+    const double p = std::min(raw, 0.5);
+    ber = 0.5 * std::pow(4.0 * p * (1.0 - p),
+                         static_cast<double>(d_free(rate.code_rate)) / 2.0);
+  }
+  ber = std::clamp(ber, 0.0, 0.5);
+  const double bits = 8.0 * static_cast<double>(bytes);
+  // PER = 1 - (1 - BER)^bits, evaluated stably via log1p.
+  const double log_ok = bits * std::log1p(-ber);
+  return 1.0 - std::exp(log_ok);
+}
+
+RateTable::RateTable(std::vector<RateEntry> entries, bool ofdm)
+    : entries_(std::move(entries)), ofdm_(ofdm) {
+  // Decode threshold per rate: bisect the monotone PER curve for the
+  // PER(1000 B) == 10% point. Deterministic (pure float math).
+  min_snr_db_.reserve(entries_.size());
+  for (const RateEntry& e : entries_) {
+    double lo = -10.0;
+    double hi = 40.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (packet_error_rate(e, mid, 1000) > 0.1) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    min_snr_db_.push_back(0.5 * (lo + hi));
+  }
+}
+
+RateTable RateTable::ofdm_802_11a() {
+  return RateTable(
+      {
+          {6, Modulation::kBpsk, 0.5},
+          {9, Modulation::kBpsk, 0.75},
+          {12, Modulation::kQpsk, 0.5},
+          {18, Modulation::kQpsk, 0.75},
+          {24, Modulation::kQam16, 0.5},
+          {36, Modulation::kQam16, 0.75},
+          {48, Modulation::kQam64, 2.0 / 3.0},
+          {54, Modulation::kQam64, 0.75},
+      },
+      /*ofdm=*/true);
+}
+
+RateTable RateTable::dsss_802_11b() {
+  return RateTable(
+      {
+          {1, Modulation::kDbpsk, 1.0},
+          {2, Modulation::kDqpsk, 1.0},
+          {5, Modulation::kCck5, 1.0},
+          {11, Modulation::kCck11, 1.0},
+      },
+      /*ofdm=*/false);
+}
+
+RateTable RateTable::for_phy(const PhyMode& phy) {
+  return phy.is_ofdm() ? ofdm_802_11a() : dsss_802_11b();
+}
+
+const RateEntry& RateTable::entry(std::size_t i) const {
+  WIMESH_ASSERT(i < entries_.size());
+  return entries_[i];
+}
+
+PhyMode RateTable::phy_mode(std::size_t i) const {
+  const RateEntry& e = entry(i);
+  return ofdm_ ? PhyMode::ofdm_802_11a(e.rate_mbps)
+               : PhyMode::dsss_802_11b(e.rate_mbps);
+}
+
+std::size_t RateTable::index_of(int rate_mbps) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].rate_mbps == rate_mbps) return i;
+  }
+  WIMESH_ASSERT_MSG(false, "rate is not in this PHY family's ladder");
+  return 0;
+}
+
+double RateTable::per(std::size_t i, double snr_db, std::size_t bytes) const {
+  return packet_error_rate(entry(i), snr_db, bytes);
+}
+
+double RateTable::min_snr_db(std::size_t i) const {
+  WIMESH_ASSERT(i < min_snr_db_.size());
+  return min_snr_db_[i];
+}
+
+}  // namespace wimesh::radio

@@ -180,6 +180,35 @@ Graph build_conflict_graph(const LinkSet& links, const Graph& connectivity) {
       });
 }
 
+Graph build_conflict_graph_sinr(const LinkSet& links,
+                                const radio::RadioEnvironment& env) {
+  const double cutoff = env.interference_cutoff_dbm();
+  // Mean power any endpoint of a radiates at any endpoint of b. Both
+  // endpoints of a scheduled link transmit (data + link-layer ACK), so the
+  // full 2x2 endpoint cross product matters — same shape as
+  // geometric_conflict, with received power replacing the range test.
+  const auto cross_power = [&](const Link& a, const Link& b) {
+    double strongest = -1e300;
+    for (NodeId u : {a.from, a.to}) {
+      for (NodeId v : {b.from, b.to}) {
+        strongest = std::max(strongest, env.mean_rx_power_dbm(u, v));
+      }
+    }
+    return strongest;
+  };
+  Graph g(links.count());
+  for (LinkId l = 0; l < links.count(); ++l) {
+    for (LinkId m = l + 1; m < links.count(); ++m) {
+      const Link& a = links.link(l);
+      const Link& b = links.link(m);
+      if (share_endpoint(a, b) || cross_power(a, b) >= cutoff) {
+        g.add_edge(l, m);
+      }
+    }
+  }
+  return g;
+}
+
 Graph build_conflict_graph_naive(const LinkSet& links,
                                  const std::vector<Point>& positions,
                                  const RadioModel& radio) {

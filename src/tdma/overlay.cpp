@@ -44,6 +44,9 @@ TdmaOverlayNode::TdmaOverlayNode(Simulator& sim, DcfMac& mac,
                                  EmulationParams params)
     : sim_(sim), mac_(mac), sync_(sync), self_(self), params_(params) {
   WIMESH_ASSERT(mac.self() == self);
+  mac_.set_deadline_handler([this](const std::vector<MacPacket>& returned) {
+    on_deadline_requeue(returned);
+  });
 }
 
 void TdmaOverlayNode::set_grants(std::vector<TxGrant> grants) {
@@ -213,10 +216,16 @@ void TdmaOverlayNode::on_block_start(const TxGrant& grant,
                grant.range.start, grant.range.length, frame_index);
   // Release exactly the packets whose worst-case (deterministic, in
   // zero-backoff mode) service times fit the block minus the guard.
-  // Guaranteed traffic drains first; best effort fills what remains.
-  SimTime remaining = params_.frame.slot_duration() * grant.range.length -
-                      params_.guard_time;
-  const auto drain = [&](std::deque<MacPacket>& q) {
+  // Guaranteed traffic drains first; best effort fills what remains. The
+  // same budget becomes the MAC's release deadline: retries provoked by a
+  // lossy channel must not transmit past it, and packets that no longer
+  // fit come back through on_deadline_requeue.
+  const SimTime budget = params_.frame.slot_duration() * grant.range.length -
+                         params_.guard_time;
+  mac_.set_release_deadline(sim_.now() + budget);
+  released_best_effort_.clear();  // MAC verified empty above
+  SimTime remaining = budget;
+  const auto drain = [&](std::deque<MacPacket>& q, bool guaranteed) {
     while (!q.empty()) {
       MacPacket p = q.front();
       const SimTime cost = mac_.max_service_time(p.bytes);
@@ -224,12 +233,41 @@ void TdmaOverlayNode::on_block_start(const TxGrant& grant,
       remaining -= cost;
       q.pop_front();
       p.to = grant.neighbor;
+      if (!guaranteed) released_best_effort_.insert(p.id);
       mac_.send(p);
       ++packets_released_;
     }
   };
-  drain(queue.guaranteed);
-  drain(queue.best_effort);
+  drain(queue.guaranteed, /*guaranteed=*/true);
+  drain(queue.best_effort, /*guaranteed=*/false);
+}
+
+void TdmaOverlayNode::on_deadline_requeue(
+    const std::vector<MacPacket>& returned) {
+  // The MAC hands packets back newest-first, so pushing each onto the front
+  // of its queue restores the original FIFO order ahead of anything that
+  // arrived during the block. Requeue targets the grant currently serving
+  // the packet's neighbor: a hot-swap may have renamed the link since
+  // release, and a packet in flight cares about where it is going.
+  for (const MacPacket& p : returned) {
+    const bool guaranteed = released_best_effort_.erase(p.id) == 0;
+    LinkId link = kInvalidLink;
+    for (const TxGrant& g : grants_) {
+      if (g.neighbor == p.to) {
+        link = g.link;
+        break;
+      }
+    }
+    const auto it = link == kInvalidLink ? queues_.end() : queues_.find(link);
+    if (it == queues_.end()) {
+      // No current grant serves this neighbor (revoked mid-service).
+      if (hooks_.on_revoked_drop) hooks_.on_revoked_drop(self_, link, p);
+      continue;
+    }
+    auto& q = it->second;
+    (guaranteed ? q.guaranteed : q.best_effort).push_front(p);
+    ++deadline_requeues_;
+  }
 }
 
 }  // namespace wimesh

@@ -36,6 +36,8 @@ const char* rx_cause_name(std::int64_t cause) {
       return "impairment";
     case RxDropCause::kPer:
       return "per";
+    case RxDropCause::kSinr:
+      return "sinr";
   }
   return "?";
 }
@@ -200,6 +202,20 @@ void append_args(std::string& out, const Record& r) {
       append_int_arg(out, first, "round", r.a);
       append_int_arg(out, first, "remaining", r.b);
       append_int_arg(out, first, "removed", r.c);
+      break;
+    case EventType::kRadioFadeDeep:
+      append_int_arg(out, first, "tx", r.a);
+      append_int_arg(out, first, "gain_cdb", r.b);
+      break;
+    case EventType::kRadioCapture:
+      append_int_arg(out, first, "tx", r.a);
+      append_int_arg(out, first, "sinr_cdb", r.b);
+      append_int_arg(out, first, "interferers", r.c);
+      break;
+    case EventType::kRadioRateSwitch:
+      append_int_arg(out, first, "rx", r.a);
+      append_int_arg(out, first, "rate_index", r.b);
+      append_int_arg(out, first, "rate_mbps", r.c);
       break;
   }
   out += '}';

@@ -17,7 +17,7 @@ constexpr CategoryEntry kCategories[] = {
     {kDes, "des"},     {kTdma, "tdma"},     {kWifi, "wifi"},
     {kSync, "sync"},   {kFaults, "faults"}, {kProf, "prof"},
     {kIlp, "ilp"},     {kAdmit, "admit"},   {kZones, "zones"},
-    {kChaos, "chaos"},
+    {kChaos, "chaos"}, {kRadio, "radio"},
 };
 
 // Bit position of a (single-bit) category — index into the per-category
@@ -67,7 +67,7 @@ std::uint32_t parse_categories(const std::string& csv, std::string* error) {
             str_cat(
                 "unknown trace category '", token,
                 "' (expected des|tdma|wifi|sync|faults|prof|ilp|admit|zones|"
-                "chaos|all|off)");
+                "chaos|radio|all|off)");
       }
       return 0;
     }
@@ -146,6 +146,12 @@ const char* event_type_name(EventType type) {
       return "chaos.trial";
     case EventType::kChaosShrink:
       return "chaos.shrink";
+    case EventType::kRadioFadeDeep:
+      return "radio.fade_deep";
+    case EventType::kRadioCapture:
+      return "radio.capture";
+    case EventType::kRadioRateSwitch:
+      return "radio.rate_switch";
   }
   return "?";
 }
@@ -194,6 +200,10 @@ Category event_category(EventType type) {
     case EventType::kChaosTrial:
     case EventType::kChaosShrink:
       return kChaos;
+    case EventType::kRadioFadeDeep:
+    case EventType::kRadioCapture:
+    case EventType::kRadioRateSwitch:
+      return kRadio;
   }
   return kProf;
 }

@@ -11,6 +11,25 @@ constexpr std::size_t kAckBytes = 14;
 constexpr std::size_t kRtsBytes = 20;
 constexpr std::size_t kCtsBytes = 14;
 
+// Fading this deep at reception start is worth flagging in the trace:
+// -10 dB turns a 20 dB SNR margin into borderline decode territory.
+constexpr double kDeepFadeDb = -10.0;
+
+// On-air size per frame type — what the PER curves integrate over.
+std::size_t frame_bytes(const WifiFrame& frame) {
+  switch (frame.type) {
+    case WifiFrame::Type::kAck:
+      return kAckBytes;
+    case WifiFrame::Type::kRts:
+      return kRtsBytes;
+    case WifiFrame::Type::kCts:
+      return kCtsBytes;
+    case WifiFrame::Type::kData:
+      break;
+  }
+  return frame.packet.bytes + kMacOverheadBytes;
+}
+
 }  // namespace
 
 WifiChannel::WifiChannel(Simulator& sim, std::vector<Point> positions,
@@ -29,6 +48,22 @@ WifiChannel::WifiChannel(Simulator& sim, std::vector<Point> positions,
 void WifiChannel::set_node_up(NodeId node, bool up) {
   WIMESH_ASSERT(node >= 0 && node < node_count());
   node_up_[static_cast<std::size_t>(node)] = up ? 1 : 0;
+}
+
+void WifiChannel::set_radio(const radio::RadioEnvironment* env) {
+  radio_env_ = env;
+  rate_ctrl_.reset();
+  rate_modes_.clear();
+  if (env == nullptr) return;
+  WIMESH_ASSERT(env->node_count() == node_count());
+  rate_modes_.reserve(env->rates().size());
+  for (std::size_t i = 0; i < env->rates().size(); ++i) {
+    rate_modes_.push_back(env->rates().phy_mode(i));
+  }
+  if (env->config().rate_adapt.enabled) {
+    rate_ctrl_ = std::make_unique<radio::RateController>(
+        &env->rates(), env->base_rate_index(), env->config().rate_adapt);
+  }
 }
 
 void WifiChannel::attach(NodeId node, MacInterface* mac) {
@@ -66,13 +101,30 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
   WIMESH_ASSERT(tx >= 0 && tx < node_count());
   WIMESH_ASSERT_MSG(!node_transmitting(tx),
                     "node started a second simultaneous transmission");
-  const SimTime duration = frame_airtime(frame);
+  // Rate selection: unicast data may ride an adapted rate; everything else
+  // (control frames, broadcast) stays at the base rate, exactly like real
+  // 802.11. Adapted rates are never below the base rate (the controller's
+  // floor), so the airtime can only shrink relative to what TDMA slot
+  // sizing and DCF NAV estimates assumed.
+  std::size_t rate_idx =
+      radio_env_ != nullptr ? radio_env_->base_rate_index() : 0;
+  if (rate_ctrl_ != nullptr && frame.type == WifiFrame::Type::kData &&
+      frame.to != kInvalidNode) {
+    rate_idx = rate_ctrl_->link(tx, frame.to).pick_rate();
+  }
+  const SimTime duration =
+      (radio_env_ != nullptr && frame.type == WifiFrame::Type::kData &&
+       rate_idx != radio_env_->base_rate_index())
+          ? rate_modes_[rate_idx].airtime(frame.packet.bytes +
+                                          kMacOverheadBytes)
+          : frame_airtime(frame);
   const SimTime end = sim_.now() + duration;
 
   ActiveTx record;
   record.key = next_key_++;
   record.tx = tx;
   record.end = end;
+  record.rate_idx = rate_idx;
   // A down transmitter's MAC still goes through the motions (it cannot know
   // it is dead), but nothing leaves the antenna: no interference, no
   // receptions, no carrier sense, and the auditor never sees the frame.
@@ -80,7 +132,7 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
 
   const Point& tx_pos = positions_[static_cast<std::size_t>(tx)];
 
-  if (record.radiated) {
+  if (record.radiated && radio_env_ == nullptr) {
     ++frames_transmitted_;
     trace::event(trace::EventType::kTxStart, sim_.now(), tx, frame.to,
                  static_cast<std::int64_t>(frame.type), duration.ns(),
@@ -152,6 +204,93 @@ SimTime WifiChannel::transmit(const WifiFrame& frame) {
         macs_[static_cast<std::size_t>(n)]->on_medium_busy();
       }
     }
+  } else if (record.radiated) {
+    // ---- Physical (SINR) model.
+    const SimTime now = sim_.now();
+    ++frames_transmitted_;
+    trace::event(trace::EventType::kTxStart, now, tx, frame.to,
+                 static_cast<std::int64_t>(frame.type), duration.ns(),
+                 static_cast<std::int64_t>(frame.packet.bytes));
+    if (probe_ != nullptr) probe_->on_transmission_start(frame, end);
+
+    // This transmission raises the interference floor of every ongoing
+    // reception; whether that kills the decode is settled by SINR at
+    // decode time. Half-duplex stays immediately fatal.
+    for (ActiveTx& ongoing : active_) {
+      for (Reception& r : ongoing.receptions) {
+        if (r.corrupted) continue;
+        if (r.rx == tx) {
+          r.corrupted = true;
+          ++receptions_corrupted_;
+          trace::event(
+              trace::EventType::kRxCorrupted, now, r.rx, r.frame.from,
+              static_cast<std::int64_t>(trace::RxDropCause::kHalfDuplex));
+          continue;
+        }
+        r.interference_mw +=
+            radio::dbm_to_mw(radio_env_->rx_power_dbm(tx, r.rx, now));
+        ++r.interferers;
+      }
+    }
+
+    // The addressee always attempts the decode (its PER verdict needs the
+    // full power budget); other nodes only bother when the signal crosses
+    // their detection (carrier-sense) threshold.
+    const auto begin_reception = [&](NodeId rx) {
+      if (rx == tx) return;
+      if (node_up_[static_cast<std::size_t>(rx)] == 0) return;
+      if (macs_[static_cast<std::size_t>(rx)] == nullptr) return;
+      const double signal_dbm = radio_env_->rx_power_dbm(tx, rx, now);
+      if (frame.to != rx && signal_dbm < radio_env_->cs_threshold_dbm()) {
+        return;
+      }
+      Reception r;
+      r.frame = frame;
+      r.rx = rx;
+      r.signal_dbm = signal_dbm;
+      for (const ActiveTx& ongoing : active_) {
+        if (!ongoing.radiated) continue;
+        if (ongoing.tx == rx) {
+          if (!r.corrupted) {
+            r.corrupted = true;
+            ++receptions_corrupted_;
+            trace::event(
+                trace::EventType::kRxCorrupted, now, rx, tx,
+                static_cast<std::int64_t>(trace::RxDropCause::kHalfDuplex));
+          }
+          continue;
+        }
+        r.interference_mw += radio::dbm_to_mw(
+            radio_env_->rx_power_dbm(ongoing.tx, rx, now));
+        ++r.interferers;
+      }
+      if (frame.to == rx) {
+        const double fade = radio_env_->fading_gain_db(tx, rx, now);
+        if (fade <= kDeepFadeDb) {
+          trace::event(trace::EventType::kRadioFadeDeep, now, rx, tx,
+                       static_cast<std::int64_t>(fade * 100.0));
+        }
+      }
+      record.receptions.push_back(std::move(r));
+    };
+
+    if (frame.to == kInvalidNode || deliver_overheard_) {
+      for (NodeId rx = 0; rx < node_count(); ++rx) begin_reception(rx);
+    } else {
+      begin_reception(frame.to);
+    }
+
+    // Carrier sense by received power: fading and obstacles decide who
+    // defers. The busy set is remembered so the idle edges at tx end match
+    // it exactly (fading will have moved by then).
+    for (NodeId n = 0; n < node_count(); ++n) {
+      if (n == tx || macs_[static_cast<std::size_t>(n)] == nullptr) continue;
+      if (radio_env_->rx_power_dbm(tx, n, now) >=
+          radio_env_->cs_threshold_dbm()) {
+        record.cs_nodes.push_back(n);
+        macs_[static_cast<std::size_t>(n)]->on_medium_busy();
+      }
+    }
   }
 
   const std::uint64_t key = record.key;
@@ -172,8 +311,9 @@ void WifiChannel::finish_transmission(std::uint64_t key) {
 
   // Carrier sense falls first so MACs see a consistent idle medium when the
   // decode callbacks run. Idle edges mirror the busy edges raised at
-  // transmit start, so they key off `radiated`, not current liveness.
-  if (done.radiated) {
+  // transmit start, so they key off `radiated` (and, in the physical
+  // model, the remembered busy set), not current liveness or fading.
+  if (done.radiated && radio_env_ == nullptr) {
     for (NodeId n = 0; n < node_count(); ++n) {
       if (n == done.tx || macs_[static_cast<std::size_t>(n)] == nullptr) {
         continue;
@@ -183,31 +323,87 @@ void WifiChannel::finish_transmission(std::uint64_t key) {
         macs_[static_cast<std::size_t>(n)]->on_medium_idle();
       }
     }
+  } else if (done.radiated) {
+    for (NodeId n : done.cs_nodes) {
+      macs_[static_cast<std::size_t>(n)]->on_medium_idle();
+    }
   }
 
-  for (const Reception& r : done.receptions) {
-    if (r.corrupted) continue;
+  // Decode arbitration for one reception. Stage order: in-flight
+  // corruption, receiver liveness, injected impairments, then (physical
+  // model) SINR capture + the per-rate PER coin, then the legacy Bernoulli
+  // error process.
+  const auto decodes = [&](const Reception& r) -> bool {
+    if (r.corrupted) return false;
     // A receiver that crashed mid-reception decodes nothing.
-    if (node_up_[static_cast<std::size_t>(r.rx)] == 0) continue;
+    if (node_up_[static_cast<std::size_t>(r.rx)] == 0) return false;
     if (impairment_ != nullptr &&
         impairment_->corrupts(done.tx, r.rx, sim_.now())) {
       ++receptions_corrupted_;
       trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx, done.tx,
                    static_cast<std::int64_t>(trace::RxDropCause::kImpairment));
-      continue;
+      return false;
+    }
+    if (radio_env_ != nullptr) {
+      const double sinr =
+          radio_env_->sinr_db(r.signal_dbm, r.interference_mw);
+      if (r.interference_mw > 0.0 &&
+          sinr < radio_env_->capture_threshold_db()) {
+        ++receptions_corrupted_;
+        trace::event(
+            trace::EventType::kRxCorrupted, sim_.now(), r.rx, done.tx,
+            static_cast<std::int64_t>(trace::RxDropCause::kCollision));
+        return false;
+      }
+      const double per = radio_env_->rates().per(done.rate_idx, sinr,
+                                                 frame_bytes(r.frame));
+      if (per > 0.0 && rng_.chance(per)) {
+        ++receptions_corrupted_;
+        trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx,
+                     done.tx,
+                     static_cast<std::int64_t>(trace::RxDropCause::kSinr));
+        return false;
+      }
+      if (r.interference_mw > 0.0) {
+        // Survived concurrent interference: the capture effect the binary
+        // protocol model cannot express.
+        trace::event(trace::EventType::kRadioCapture, sim_.now(), r.rx,
+                     done.tx, static_cast<std::int64_t>(sinr * 100.0),
+                     r.interferers);
+      }
     }
     if (error_.packet_error_rate > 0.0 &&
         rng_.chance(error_.packet_error_rate)) {
       ++receptions_corrupted_;
       trace::event(trace::EventType::kRxCorrupted, sim_.now(), r.rx, done.tx,
                    static_cast<std::int64_t>(trace::RxDropCause::kPer));
-      continue;
+      return false;
     }
-    // Overheard copies inform NAV but do not count as deliveries.
-    if (r.frame.to == kInvalidNode || r.frame.to == r.rx) {
-      ++frames_delivered_;
+    return true;
+  };
+
+  for (const Reception& r : done.receptions) {
+    const bool ok = decodes(r);
+    if (ok) {
+      // Overheard copies inform NAV but do not count as deliveries.
+      if (r.frame.to == kInvalidNode || r.frame.to == r.rx) {
+        ++frames_delivered_;
+      }
+      macs_[static_cast<std::size_t>(r.rx)]->on_frame_received(r.frame);
     }
-    macs_[static_cast<std::size_t>(r.rx)]->on_frame_received(r.frame);
+    // Rate adaptation learns from the addressee's fate — a proxy for the
+    // ACK feedback a real transmitter gets.
+    if (rate_ctrl_ != nullptr && r.frame.type == WifiFrame::Type::kData &&
+        r.frame.to == r.rx) {
+      radio::MinstrelLink& link = rate_ctrl_->link(done.tx, r.rx);
+      if (link.on_result(done.rate_idx, ok)) {
+        const std::size_t best = link.best_rate();
+        trace::event(
+            trace::EventType::kRadioRateSwitch, sim_.now(), done.tx, r.rx,
+            static_cast<std::int64_t>(best),
+            radio_env_->rates().entry(best).rate_mbps);
+      }
+    }
   }
 }
 

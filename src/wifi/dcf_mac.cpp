@@ -188,10 +188,40 @@ void DcfMac::retry_after_failure() {
     if (cb_.on_dropped) cb_.on_dropped(dropped, MacDropCause::kRetryLimit);
     return;
   }
+  if (past_deadline(current_->bytes)) {
+    // Another attempt cannot complete inside the granted block; hand the
+    // packet (and anything behind it) back rather than spill into slots
+    // the schedule promised to someone else.
+    requeue_past_deadline();
+    return;
+  }
   ++retransmissions_;
   cw_ = std::min(2 * cw_ + 1, channel_.phy().cw_max());
   backoff_slots_ = draw_backoff();
   begin_access();
+}
+
+bool DcfMac::past_deadline(std::size_t payload_bytes) const {
+  return release_deadline_.has_value() &&
+         sim_.now() + max_service_time(payload_bytes) > *release_deadline_;
+}
+
+void DcfMac::requeue_past_deadline() {
+  // Newest-first, so a consumer that pushes each returned packet onto the
+  // front of its queue restores the original FIFO order.
+  std::vector<MacPacket> returned;
+  returned.reserve(queue_.size() + 1);
+  while (!queue_.empty()) {
+    returned.push_back(queue_.back());
+    queue_.pop_back();
+  }
+  if (current_.has_value()) {
+    returned.push_back(*current_);
+    current_.reset();
+  }
+  state_ = State::kIdle;
+  deadline_requeues_ += returned.size();
+  if (on_deadline_) on_deadline_(returned);
 }
 
 void DcfMac::set_nav(SimTime until) {
@@ -309,8 +339,11 @@ void DcfMac::on_frame_received(const WifiFrame& frame) {
     case WifiFrame::Type::kData:
       if (frame.to == self_) {
         send_ack(frame);  // re-ACK duplicates too: the sender needs it
+        const std::uint64_t dedup_key =
+            (static_cast<std::uint64_t>(frame.from) << 32) ^
+            static_cast<std::uint32_t>(frame.packet.flow_id);
         const auto [it, fresh] =
-            last_seen_from_.try_emplace(frame.from, frame.packet.id);
+            last_seen_from_.try_emplace(dedup_key, frame.packet.id);
         if (!fresh) {
           if (it->second == frame.packet.id) return;  // duplicate retry
           it->second = frame.packet.id;
@@ -353,6 +386,11 @@ void DcfMac::finish_packet(bool post_backoff) {
   if (queue_.empty()) return;
   current_ = queue_.front();
   queue_.pop_front();
+  if (past_deadline(current_->bytes)) {
+    // Earlier retries consumed the budget this packet was released against.
+    requeue_past_deadline();
+    return;
+  }
   attempt_ = 0;
   cw_ = channel_.phy().cw_min();
   backoff_slots_ = post_backoff ? draw_backoff() : 0;

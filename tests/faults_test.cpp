@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "wimesh/batch/runner.h"
 #include "wimesh/core/scenario.h"
 #include "wimesh/faults/impairment.h"
@@ -138,6 +141,88 @@ TEST(LinkImpairmentTest, BurstActsOnlyInsideItsWindow) {
   EXPECT_TRUE(imp.corrupts(1, 0, SimTime::milliseconds(1900)));
   EXPECT_FALSE(imp.corrupts(0, 1, SimTime::seconds(2)));  // half-open window
   EXPECT_FALSE(imp.corrupts(2, 3, SimTime::milliseconds(1500)));
+}
+
+// Statistical pin of the Gilbert–Elliott process (seeded, so deterministic):
+// with per_bad = 1 and per_good = 0 every loss is exactly a visit to the bad
+// state, which exposes the chain itself. Checks the three derived quantities
+// documented in faults/plan.h — steady-state occupancy, geometric burst
+// lengths (chi-square), and the long-run loss rate.
+TEST(LinkImpairmentTest, GilbertElliottMatchesDerivedStatistics) {
+  faults::LinkImpairment imp((Rng(12345)));
+  faults::GilbertElliottParams ge;  // defaults: p_gb = 0.2, p_bg = 0.3
+  ge.per_good = 0.0;
+  ge.per_bad = 1.0;
+  const SimTime horizon = SimTime::seconds(1000000);
+  imp.add_burst(0, 1, SimTime::zero(), horizon, ge);
+
+  constexpr int kAttempts = 20000;
+  std::vector<int> run_lengths;  // completed loss bursts, in attempts
+  int losses = 0;
+  int current_run = 0;
+  for (int i = 0; i < kAttempts; ++i) {
+    const bool lost = imp.corrupts(0, 1, SimTime::microseconds(i + 1));
+    if (lost) {
+      ++losses;
+      ++current_run;
+    } else if (current_run > 0) {
+      run_lengths.push_back(current_run);
+      current_run = 0;
+    }
+  }
+  // (A trailing in-progress burst is censored, not counted.)
+
+  // Occupancy: P(bad) = p_gb / (p_gb + p_bg) = 0.2 / 0.5 = 0.4. The chain's
+  // autocorrelation (1 - p_gb - p_bg = 0.5) inflates the sample variance
+  // threefold vs iid; 0.02 is still > 3 sigma at N = 20000.
+  EXPECT_NEAR(static_cast<double>(losses) / kAttempts, 0.4, 0.02);
+
+  // Mean burst length: geometric with mean 1/p_bg = 10/3 attempts.
+  ASSERT_GT(run_lengths.size(), 1000u);
+  double total = 0.0;
+  for (int len : run_lengths) total += len;
+  EXPECT_NEAR(total / static_cast<double>(run_lengths.size()), 10.0 / 3.0,
+              0.25);
+
+  // Chi-square of the burst-length histogram against the geometric pmf
+  // P(L = k) = p_bg * (1 - p_bg)^(k-1), buckets {1,2,3,4,5,>=6}.
+  constexpr int kBuckets = 6;
+  double observed[kBuckets] = {};
+  for (int len : run_lengths)
+    ++observed[len >= kBuckets ? kBuckets - 1 : len - 1];
+  const double n = static_cast<double>(run_lengths.size());
+  const double p = ge.p_bad_to_good;
+  double chi2 = 0.0;
+  double tail = 1.0;
+  for (int k = 0; k < kBuckets; ++k) {
+    const double pmf =
+        k < kBuckets - 1 ? p * std::pow(1.0 - p, k) : tail;
+    tail -= pmf;
+    const double expected = n * pmf;
+    const double d = observed[k] - expected;
+    chi2 += d * d / expected;
+  }
+  // chi-square critical value, df = 5, alpha = 0.001.
+  EXPECT_LT(chi2, 20.515);
+}
+
+// Long-run loss rate with partial PERs in both states:
+// P(bad)*per_bad + P(good)*per_good.
+TEST(LinkImpairmentTest, GilbertElliottLongRunLossRate) {
+  faults::LinkImpairment imp((Rng(777)));
+  faults::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.1;
+  ge.p_bad_to_good = 0.2;  // P(bad) = 1/3
+  ge.per_good = 0.05;
+  ge.per_bad = 0.8;
+  imp.add_burst(2, 3, SimTime::zero(), SimTime::seconds(1000000), ge);
+
+  constexpr int kAttempts = 20000;
+  int losses = 0;
+  for (int i = 0; i < kAttempts; ++i)
+    losses += imp.corrupts(2, 3, SimTime::microseconds(i + 1)) ? 1 : 0;
+  // (1/3)*0.8 + (2/3)*0.05 = 0.3
+  EXPECT_NEAR(static_cast<double>(losses) / kAttempts, 0.3, 0.02);
 }
 
 // ------------------------------------------------------- recovery end-to-end

@@ -461,5 +461,144 @@ TEST(ScenarioParserTest, ZonedScenarioPlansAndRuns) {
   EXPECT_EQ(r.audit.total_violations(), 0u);
 }
 
+// ------------------------------------------------------------ radio grammar
+
+TEST(ScenarioParserTest, RadioKeyParsesEveryKnob) {
+  const auto sc = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = on,shadowing=4.5,fading=jakes,doppler=12,oscillators=16\n"
+      "radio = txpower=20,noise=-92,capture=8,cs=-80,cutoff=-85\n"
+      "radio = exponent_los=19,exponent_obstructed=22,floor_loss=15,freq=2.4\n"
+      "radio = adapt=on,probe=8,ewma=0.5,seed=42\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  const auto& rc = sc->config.radio;
+  EXPECT_TRUE(rc.enabled);
+  EXPECT_DOUBLE_EQ(rc.shadowing_sigma_db, 4.5);
+  EXPECT_EQ(rc.fading.kind, radio::FadingConfig::Kind::kJakes);
+  EXPECT_DOUBLE_EQ(rc.fading.doppler_hz, 12.0);
+  EXPECT_EQ(rc.fading.oscillators, 16);
+  EXPECT_DOUBLE_EQ(rc.tx_power_dbm, 20.0);
+  EXPECT_DOUBLE_EQ(rc.noise_floor_dbm, -92.0);
+  EXPECT_DOUBLE_EQ(rc.capture_threshold_db, 8.0);
+  EXPECT_DOUBLE_EQ(rc.cs_threshold_dbm, -80.0);
+  EXPECT_DOUBLE_EQ(rc.interference_cutoff_dbm, -85.0);
+  EXPECT_DOUBLE_EQ(rc.propagation.exponent_los, 19.0);
+  EXPECT_DOUBLE_EQ(rc.propagation.exponent_obstructed, 22.0);
+  EXPECT_DOUBLE_EQ(rc.propagation.floor_loss_db, 15.0);
+  EXPECT_DOUBLE_EQ(rc.propagation.frequency_ghz, 2.4);
+  EXPECT_TRUE(rc.rate_adapt.enabled);
+  EXPECT_EQ(rc.rate_adapt.probe_interval, 8);
+  EXPECT_DOUBLE_EQ(rc.rate_adapt.ewma_alpha, 0.5);
+  EXPECT_EQ(rc.seed, 42u);
+}
+
+TEST(ScenarioParserTest, RadioDefaultsOffAndProtocolKeepsItOff) {
+  const auto off = parse_scenario(kMinimal);
+  ASSERT_TRUE(off.has_value()) << off.error();
+  EXPECT_FALSE(off->config.radio.enabled);
+
+  const auto protocol = parse_scenario(
+      "topology = chain 4 100\n"
+      "radio = model=protocol,shadowing=3\n"
+      "voip 0 0 3 g729 100\n");
+  ASSERT_TRUE(protocol.has_value()) << protocol.error();
+  EXPECT_FALSE(protocol->config.radio.enabled);
+  // The knob still landed (a later 'radio = on' line would use it).
+  EXPECT_DOUBLE_EQ(protocol->config.radio.shadowing_sigma_db, 3.0);
+}
+
+TEST(ScenarioParserTest, WallAndFloorLinesParse) {
+  const auto sc = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = on\n"
+      "wall 50 -10 50 10\n"
+      "wall 150 -10 150 10 7.5\n"
+      "floor 1 1\n"
+      "floor 2 2\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_TRUE(sc.has_value()) << sc.error();
+  const auto& walls = sc->config.radio.propagation.walls;
+  ASSERT_EQ(walls.size(), 2u);
+  EXPECT_DOUBLE_EQ(walls[0].a.x, 50.0);
+  EXPECT_DOUBLE_EQ(walls[0].loss_db, 12.0);  // default
+  EXPECT_DOUBLE_EQ(walls[1].loss_db, 7.5);
+  ASSERT_EQ(sc->config.radio.floors.size(), 3u);
+  EXPECT_EQ(sc->config.radio.floors[0], 0);  // undeclared -> ground floor
+  EXPECT_EQ(sc->config.radio.floors[1], 1);
+  EXPECT_EQ(sc->config.radio.floors[2], 2);
+}
+
+TEST(ScenarioParserTest, BadRadioTokensNameTheLine) {
+  auto bad_model = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = model=quantum\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(bad_model.has_value());
+  EXPECT_NE(bad_model.error().find("line 2"), std::string::npos)
+      << bad_model.error();
+  EXPECT_NE(bad_model.error().find("quantum"), std::string::npos);
+
+  auto neg_shadow = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = shadowing=-2\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(neg_shadow.has_value());
+  EXPECT_NE(neg_shadow.error().find("shadowing"), std::string::npos)
+      << neg_shadow.error();
+
+  auto unknown_knob = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = gain=3\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(unknown_knob.has_value());
+  EXPECT_NE(unknown_knob.error().find("unknown radio knob"),
+            std::string::npos)
+      << unknown_knob.error();
+
+  auto bad_ewma = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = ewma=1.5\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(bad_ewma.has_value());
+  EXPECT_NE(bad_ewma.error().find("ewma"), std::string::npos)
+      << bad_ewma.error();
+}
+
+TEST(ScenarioParserTest, RadioRangeAndWallValidationNameTheProblem) {
+  // interference_range < comm_range: caught for every scenario via
+  // RadioModel::try_make, radio line or not.
+  auto inverted = parse_scenario(
+      "topology = chain 3 100\n"
+      "comm_range = 200\n"
+      "interference_range = 100\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(inverted.has_value());
+  EXPECT_NE(inverted.error().find("radio ranges:"), std::string::npos)
+      << inverted.error();
+  EXPECT_NE(inverted.error().find("interference_range"), std::string::npos);
+
+  // Zero-length wall: caught post-parse via Propagation::try_make.
+  auto degenerate = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = on\n"
+      "wall 5 5 5 5\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(degenerate.has_value());
+  EXPECT_NE(degenerate.error().find("radio: wall 1"), std::string::npos)
+      << degenerate.error();
+}
+
+TEST(ScenarioParserTest, FloorForUndeclaredNodeIsAnError) {
+  auto bad = parse_scenario(
+      "topology = chain 3 100\n"
+      "radio = on\n"
+      "floor 7 1\n"
+      "voip 0 0 2 g729 100\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().find("line 3"), std::string::npos) << bad.error();
+  EXPECT_NE(bad.error().find("7"), std::string::npos) << bad.error();
+}
+
 }  // namespace
 }  // namespace wimesh
